@@ -1,0 +1,54 @@
+"""E4 — §III-b: exponential decrease in N ("key size" analogy).
+
+Claim reproduced: attack probability decreases exponentially in the
+number of resolvers; equivalently, security bits grow *linearly* with N
+at slope x·(-log2 p) — the asymptotic advantage the paper compares to
+increasing a cryptographic key size.
+"""
+
+from repro.analysis.advantage import (
+    marginal_bits_per_resolver,
+    security_bits,
+)
+from repro.analysis.model import resolvers_for_target_security
+
+from benchmarks.conftest import run_once
+
+N_SWEEP = [3, 5, 9, 17, 33, 65]
+P_SWEEP = [0.05, 0.10, 0.25, 0.50]
+X = 0.5
+
+
+def compute():
+    bits = {(n, p): security_bits(n, X, p)
+            for n in N_SWEEP for p in P_SWEEP}
+    targets = {p: resolvers_for_target_security(X, p, 2.0 ** -64)
+               for p in P_SWEEP}
+    return bits, targets
+
+
+def bench_e4_asymptotic_advantage(benchmark, emit_table):
+    bits, targets = run_once(benchmark, compute)
+
+    rows = []
+    for n in N_SWEEP:
+        rows.append([n] + [f"{bits[(n, p)]:.1f}" for p in P_SWEEP])
+    slope_row = ["bits/resolver"] + [
+        f"{marginal_bits_per_resolver(X, p):.2f}" for p in P_SWEEP]
+    rows.append(slope_row)
+    rows.append(["N for 64-bit"] + [str(targets[p]) for p in P_SWEEP])
+    emit_table(
+        "e4_asymptotic_advantage",
+        "E4 / §III-b: security bits (-log2 attack probability), x = 1/2",
+        ["N"] + [f"p={p}" for p in P_SWEEP],
+        rows,
+        notes="Bits grow linearly in N (constant marginal bits per added "
+              "resolver) == attack probability shrinks exponentially, the "
+              "paper's key-size-style advantage.")
+
+    # Linearity check: doubling N (minus rounding) ~ doubles the bits.
+    for p in P_SWEEP:
+        assert bits[(33, p)] > 1.8 * bits[(17, p)] * 0.9
+        # Monotone increase.
+        for n1, n2 in zip(N_SWEEP, N_SWEEP[1:]):
+            assert bits[(n2, p)] > bits[(n1, p)]

@@ -1,0 +1,80 @@
+"""E6 — §II fn.2's cost: the empty-answer DoS, and the quorum extension.
+
+Claim reproduced: "This comes at the cost of allowing DoS attacks when
+the attacker includes no responses at all in his poisonous response."
+
+We corrupt 1..2 of 3 resolvers with the EMPTY behaviour and measure
+availability under (a) the paper's strict semantics (all resolvers must
+answer; pool collapses — the documented DoS) and (b) the quorum
+extension (min_answers=2) that trades the hard guarantee (the bound
+degrades from 1/3 to 1/2 share for a remaining attacker) for liveness.
+"""
+
+from repro.attacks.compromise import (
+    CompromiseConfig,
+    CompromisedResolverBehavior,
+    corrupt_first_k,
+)
+from repro.core.pool import PoolGeneratorConfig
+from repro.scenarios import build_pool_scenario
+
+from benchmarks.conftest import run_once
+
+
+def run_case(corrupted: int, min_answers, seed: int):
+    scenario = build_pool_scenario(seed=seed, num_providers=3,
+                                   answers_per_query=4)
+    if corrupted:
+        corrupt_first_k(scenario.providers, corrupted, CompromiseConfig(
+            target=scenario.pool_domain,
+            behavior=CompromisedResolverBehavior.EMPTY))
+    config = PoolGeneratorConfig(min_answers=min_answers,
+                                 ignore_empty_answers=min_answers is not None)
+    generator = scenario.make_generator(config=config)
+    pool = scenario.generate_pool_sync(generator)
+    benign = (scenario.directory.benign_fraction(pool.addresses)
+              if pool.addresses else None)
+    return pool, benign
+
+
+def sweep():
+    cases = []
+    for corrupted in (0, 1, 2):
+        for min_answers, mode in ((None, "strict (paper)"),
+                                  (2, "quorum ≥ 2")):
+            pool, benign = run_case(corrupted, min_answers,
+                                    seed=400 + corrupted)
+            cases.append((corrupted, mode, pool, benign))
+    return cases
+
+
+def bench_e6_dos_cost(benchmark, emit_table):
+    cases = run_once(benchmark, sweep)
+
+    rows = []
+    for corrupted, mode, pool, benign in cases:
+        rows.append([
+            corrupted, mode,
+            "yes" if pool.ok else "NO (DoS)",
+            len(pool.addresses),
+            f"{benign:.0%}" if benign is not None else "-",
+            "yes" if pool.degraded else "no",
+        ])
+    emit_table(
+        "e6_dos_cost",
+        "E6 / §II fn.2: availability under the empty-answer DoS",
+        ["corrupted (EMPTY)", "combination mode", "pool produced",
+         "pool size", "benign fraction", "degraded"],
+        rows,
+        notes="Strict Algorithm 1: one empty answer collapses the pool "
+              "(fn.2's documented cost). The quorum extension keeps "
+              "liveness while the number of silent resolvers stays below "
+              "N - min_answers.")
+
+    by_key = {(corrupted, mode): pool
+              for corrupted, mode, pool, _ in cases}
+    assert by_key[(0, "strict (paper)")].ok
+    assert not by_key[(1, "strict (paper)")].ok      # the DoS
+    assert by_key[(1, "quorum ≥ 2")].ok              # liveness restored
+    assert by_key[(1, "quorum ≥ 2")].degraded
+    assert not by_key[(2, "quorum ≥ 2")].ok          # below quorum

@@ -1,0 +1,58 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one experiment from DESIGN.md's index
+(E1-E10), prints the table the paper's claim implies, and writes it to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can cite the
+measured numbers.
+"""
+
+from pathlib import Path
+from typing import List, Sequence
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]], notes: str = "") -> str:
+    """Render an aligned text table."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if notes:
+        lines.append("")
+        lines.append(notes)
+    return "\n".join(lines)
+
+
+@pytest.fixture
+def emit_table():
+    """Print an experiment table and persist it under results/."""
+
+    def _emit(experiment: str, title: str, headers: Sequence[str],
+              rows: Sequence[Sequence[object]], notes: str = "") -> str:
+        text = format_table(title, headers, rows, notes)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return text
+
+    return _emit
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The simulations are deterministic; repeated rounds would only
+    re-measure identical work, so one round keeps the suite fast.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

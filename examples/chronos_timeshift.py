@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""The paper's headline experiment, as a story in four acts.
+
+An attacker who (a) sits on the client's access link and (b) controls
+one of the three trusted DoH providers tries to shift the client's
+clock by 10 seconds. We try all four combinations of
+{plain DNS, distributed DoH} x {naive SNTP, Chronos} and watch who
+survives — reproducing §I/§V: plain DNS falls even with Chronos ([1]),
+distributed DoH + Chronos holds.
+
+Run:  python examples/chronos_timeshift.py
+"""
+
+from repro.attacks.timeshift import TimeShiftExperiment
+
+
+def main() -> None:
+    experiment = TimeShiftExperiment(seed=7, lie_offset=10.0,
+                                     num_providers=3, corrupted_providers=1)
+    print("Attacker: on-path at the client edge + 1 of 3 DoH providers; "
+          "goal: shift clock by 10 s\n")
+    header = (f"{'configuration':28s} {'pool poisoned':>13s} "
+              f"{'clock error':>12s} {'verdict':>10s}")
+    print(header)
+    print("-" * len(header))
+    for result in experiment.run_all():
+        verdict = "SHIFTED" if result.shifted else "safe"
+        print(f"{result.configuration:28s} "
+              f"{result.pool_malicious_fraction:>12.0%} "
+              f"{result.clock_error_after:>10.3f}s "
+              f"{verdict:>10s}")
+    print("\nReading: Chronos alone cannot survive a poisoned pool "
+          "(rows 1-2); Algorithm 1 bounds the poison to 1/3 (rows 3-4); "
+          "only the tandem (row 4) keeps correct time — §IV's point.")
+
+
+if __name__ == "__main__":
+    main()

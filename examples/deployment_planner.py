@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Deployment planner: how many resolvers do you need?
+
+Uses the §III analysis to answer the operator's question: given an
+estimate of per-resolver compromise probability, how many independent
+DoH resolvers give a target security level — the paper's "key size"
+knob, tabulated.
+
+Run:  python examples/deployment_planner.py
+"""
+
+from repro.analysis import (
+    attack_probability_exact,
+    attack_probability_paper,
+    marginal_bits_per_resolver,
+    resolvers_for_target_security,
+    security_bits,
+)
+
+
+def main() -> None:
+    x = 0.5  # attacker must corrupt half the resolvers (y = 1/2 goal)
+
+    print("Attack probability by deployment size (x = 1/2)\n")
+    print(f"{'N':>3s}  " + "".join(f"p={p:<11.2f}" for p in (0.05, 0.1, 0.2)))
+    for n in (3, 5, 7, 9, 13, 17, 25, 33):
+        row = [f"{n:>3d}  "]
+        for p in (0.05, 0.1, 0.2):
+            row.append(f"{attack_probability_paper(n, x, p):<13.2e}")
+        print("".join(row))
+
+    print("\nSecurity bits (paper model) and the key-size analogy:")
+    for p in (0.05, 0.1, 0.2):
+        slope = marginal_bits_per_resolver(x, p)
+        print(f"  p={p:.2f}: every added resolver buys {slope:.2f} bits "
+              f"(N=9 -> {security_bits(9, x, p):.1f} bits)")
+
+    print("\nSmallest N for a target attack probability (p=0.1):")
+    for target in (1e-3, 1e-6, 1e-9, 1e-12):
+        n = resolvers_for_target_security(x, 0.1, target)
+        exact = attack_probability_exact(n, x, 0.1)
+        print(f"  target {target:.0e}: N = {n:2d} "
+              f"(exact binomial model: {exact:.2e})")
+
+    print("\nPaper's 3-resolver example: attacking a 2/3 majority needs "
+          f"2 resolvers -> p^2 = {attack_probability_paper(3, 2/3, 0.1):.3f} "
+          "at p=0.1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — Secure Consensus Generation with Distributed DoH.
+
+Reproduction of Jeitner, Shulman & Waidner (DSN-S 2020,
+arXiv:2010.09331): secure server-pool generation by querying a pool
+domain through multiple DNS-over-HTTPS resolvers and combining the
+truncated answers (Algorithm 1).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: Algorithm 1, majority voting, policies,
+    the backward-compatible plain-DNS front-end, periodic refresh.
+``repro.dns`` / ``repro.doh``
+    Wire-accurate DNS substrate and the RFC 8484 DoH transport over a
+    structurally honest TLS simulation.
+``repro.ntp``
+    NTP clocks/servers/clients and the Chronos watchdog.
+``repro.attacks``
+    Off-path, fragmentation, on-path, compromised-resolver and
+    time-shift attacker models.
+``repro.analysis``
+    Section III closed forms and Monte-Carlo validation.
+``repro.netsim`` / ``repro.scenarios``
+    The deterministic discrete-event Internet and assembled worlds.
+
+Quick start::
+
+    from repro.scenarios import figure1_scenario
+    pool = figure1_scenario(seed=1).generate_pool_sync()
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,49 @@
+"""Security analysis (§III) — closed forms and Monte-Carlo validation.
+
+* :mod:`repro.analysis.model` — the paper's two results: the required
+  corrupted-resolver count ``⌈yN⌉`` (§III-a) and the attack probability
+  ``p_attack^⌈xN⌉`` (§III-b), plus the exact independent-compromise
+  (binomial tail) model the paper's expression approximates;
+* :mod:`repro.analysis.montecarlo` — empirical validation of the models
+  by direct simulation of resolver compromise;
+* :mod:`repro.analysis.advantage` — the "key-size style asymptotic
+  advantage": security bits as a function of N;
+* :mod:`repro.analysis.poolquality` — analytic pool composition under
+  k corrupted resolvers with and without truncation.
+"""
+
+from repro.analysis.advantage import (
+    equivalent_keyspace_bits,
+    marginal_bits_per_resolver,
+    security_bits,
+)
+from repro.analysis.model import (
+    attack_probability_exact,
+    attack_probability_paper,
+    required_corrupted_resolvers,
+    resolvers_for_target_security,
+)
+from repro.analysis.montecarlo import (
+    MonteCarloResult,
+    simulate_attack_probability,
+    simulate_pool_fraction,
+)
+from repro.analysis.poolquality import (
+    pool_fraction_with_truncation,
+    pool_fraction_without_truncation,
+)
+
+__all__ = [
+    "equivalent_keyspace_bits",
+    "marginal_bits_per_resolver",
+    "security_bits",
+    "attack_probability_exact",
+    "attack_probability_paper",
+    "required_corrupted_resolvers",
+    "resolvers_for_target_security",
+    "MonteCarloResult",
+    "simulate_attack_probability",
+    "simulate_pool_fraction",
+    "pool_fraction_with_truncation",
+    "pool_fraction_without_truncation",
+]

@@ -1,0 +1,48 @@
+"""The asymptotic advantage of adding resolvers (§III-b).
+
+    "by increasing the number of used DoH resolvers, a successful attack
+    becomes exponentially less probable, effectively giving the same
+    type of asymptotic advantage over an attacker which is achieved by
+    increasing the key size in a traditional cryptosystem."
+
+We quantify that as *security bits*: ``-log2`` of the attack
+probability. Under the paper's model the bits grow linearly in N with
+slope ``x · (-log2 p_attack)`` — the key-size analogy made exact.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.model import attack_probability_paper
+from repro.util.validation import check_probability
+
+
+def security_bits(n: int, x: float, p_attack: float) -> float:
+    """``-log2`` of the paper-model attack probability.
+
+    >>> security_bits(3, 2/3, 0.5)
+    2.0
+    """
+    probability = attack_probability_paper(n, x, p_attack)
+    if probability <= 0.0:
+        return math.inf
+    return -math.log2(probability)
+
+
+def marginal_bits_per_resolver(x: float, p_attack: float) -> float:
+    """Asymptotic security bits gained per added resolver.
+
+    Each extra resolver raises ``M = ⌈xN⌉`` by ``x`` on average, so the
+    exponent grows by ``x·(-log2 p)`` bits.
+    """
+    check_probability(p_attack, "p_attack")
+    if p_attack == 0.0:
+        return math.inf
+    return x * -math.log2(p_attack)
+
+
+def equivalent_keyspace_bits(n: int, x: float, p_attack: float) -> float:
+    """Size (in bits) of the brute-force keyspace with the same success
+    probability for a single guess — the paper's key-size framing."""
+    return security_bits(n, x, p_attack)

@@ -1,0 +1,85 @@
+"""Monte-Carlo validation of the §III models.
+
+Two simulations:
+
+* :func:`simulate_attack_probability` — flip a compromise coin per
+  resolver per trial; count trials where ≥ ⌈xN⌉ fell. Converges to
+  :func:`repro.analysis.model.attack_probability_exact`.
+* :func:`simulate_pool_fraction` — build the combined pool under k
+  corrupted resolvers (with the attacker inflating or not) and measure
+  the attacker's share, validating both §III-a and §II footnote 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.policy import TruncationPolicy
+from repro.util.rng import make_rng
+from repro.util.validation import check_probability
+
+
+@dataclass
+class MonteCarloResult:
+    """An estimate with its standard error and trial count."""
+
+    estimate: float
+    standard_error: float
+    trials: int
+
+    def within(self, expected: float, sigmas: float = 4.0) -> bool:
+        """Is ``expected`` within ``sigmas`` standard errors (minimum
+        tolerance 1e-9 for zero-variance corners)?"""
+        tolerance = max(self.standard_error * sigmas, 1e-9)
+        return abs(self.estimate - expected) <= tolerance
+
+
+def simulate_attack_probability(n: int, x: float, p_attack: float,
+                                trials: int = 10_000,
+                                seed: int = 0) -> MonteCarloResult:
+    """Estimate P[attacker corrupts ≥ ⌈xN⌉ of N resolvers]."""
+    check_probability(p_attack, "p_attack")
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    needed = math.ceil(x * n - 1e-9)
+    rng = make_rng(seed, "mc-attack", str(n), str(x), str(p_attack))
+    successes = 0
+    for _ in range(trials):
+        corrupted = sum(1 for _ in range(n) if rng.random() < p_attack)
+        if corrupted >= needed:
+            successes += 1
+    estimate = successes / trials
+    stderr = math.sqrt(max(estimate * (1 - estimate), 1e-12) / trials)
+    return MonteCarloResult(estimate=estimate, standard_error=stderr,
+                            trials=trials)
+
+
+def simulate_pool_fraction(n: int, corrupted: int, answers_per_query: int,
+                           inflate_to: int,
+                           truncation: TruncationPolicy,
+                           trials: int = 1_000,
+                           seed: int = 0) -> MonteCarloResult:
+    """Estimate the attacker's share of the combined pool.
+
+    Honest resolvers answer ``answers_per_query`` genuine addresses;
+    corrupted ones answer ``inflate_to`` attacker addresses. The pool is
+    combined under ``truncation``.
+    """
+    if not 0 <= corrupted <= n:
+        raise ValueError(f"corrupted must be in [0, {n}]")
+    rng = make_rng(seed, "mc-pool", str(n), str(corrupted))
+    fractions = []
+    for _ in range(trials):
+        lengths = ([inflate_to] * corrupted
+                   + [answers_per_query] * (n - corrupted))
+        k = truncation.truncate_length(lengths)
+        attacker_share = corrupted * min(inflate_to, k)
+        total = attacker_share + (n - corrupted) * min(answers_per_query, k)
+        fractions.append(attacker_share / total if total else 0.0)
+        rng.random()  # keep the stream advancing for API symmetry
+    estimate = sum(fractions) / trials
+    variance = sum((f - estimate) ** 2 for f in fractions) / max(trials - 1, 1)
+    stderr = math.sqrt(variance / trials)
+    return MonteCarloResult(estimate=estimate, standard_error=stderr,
+                            trials=trials)

@@ -1,0 +1,51 @@
+"""Analytic pool composition under k corrupted resolvers.
+
+Closed forms for what :func:`repro.analysis.montecarlo.simulate_pool_fraction`
+measures, and for what the end-to-end scenarios produce — used to
+cross-check the three layers against each other in E2/E5.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive
+
+
+def pool_fraction_with_truncation(n: int, corrupted: int,
+                                  honest_answers: int,
+                                  attacker_answers: int) -> float:
+    """Attacker's pool share under SHORTEST truncation.
+
+    Every resolver contributes K = min(all list lengths); the attacker
+    owns ``corrupted`` of the N shares — independent of how much it
+    inflates (that is the theorem behind §II fn. 2).
+    Degenerate case: an attacker answering *zero* records collapses the
+    pool (returns 0.0 share of an empty pool; availability is the cost).
+    """
+    _validate(n, corrupted, honest_answers)
+    if attacker_answers == 0 and corrupted > 0:
+        return 0.0
+    return corrupted / n
+
+
+def pool_fraction_without_truncation(n: int, corrupted: int,
+                                     honest_answers: int,
+                                     attacker_answers: int) -> float:
+    """Attacker's pool share when lists are concatenated unmodified.
+
+    Inflation pays off linearly: share = cA / (cA + (N-c)H).
+    """
+    _validate(n, corrupted, honest_answers)
+    attacker_total = corrupted * attacker_answers
+    honest_total = (n - corrupted) * honest_answers
+    total = attacker_total + honest_total
+    if total == 0:
+        return 0.0
+    return attacker_total / total
+
+
+def _validate(n: int, corrupted: int, honest_answers: int) -> None:
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0 <= corrupted <= n:
+        raise ValueError(f"corrupted must be in [0, {n}], got {corrupted}")
+    check_positive(honest_answers, "honest_answers")

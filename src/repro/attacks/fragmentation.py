@@ -1,0 +1,135 @@
+"""Fragmentation-based DNS poisoning (Herzberg & Shulman [5]).
+
+Mechanism being modelled: a UDP response larger than the path MTU is
+IP-fragmented; the DNS transaction ID, UDP header and question all
+travel in the *first* fragment, while trailing resource records ride in
+later fragments that carry no DNS-layer entropy. An off-path attacker
+who can predict the IPID can pre-plant a spoofed second fragment and
+overwrite those trailing records without guessing TXID or port.
+
+Substitution in this simulator (documented in DESIGN.md): the netsim
+layer does not fragment packets, so the *effect* is reproduced — for
+responses exceeding ``mtu`` crossing the victim's access link, the
+attacker may rewrite only the byte range beyond the first-fragment
+payload boundary. The capability is therefore strictly weaker than
+on-path rewriting (small responses are untouchable, headers and the
+question are untouchable), matching the real attack's constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.dns.message import Message, ResourceRecord
+from repro.dns.name import Name
+from repro.dns.rdata import address_rdata
+from repro.dns.rrtype import RRType
+from repro.dns.wire import WireFormatError
+from repro.netsim.address import IPAddress
+from repro.netsim.internet import Internet, TapAction
+from repro.netsim.link import Link
+from repro.netsim.packet import Datagram
+
+# IPv4 minimum-ish first-fragment payload after headers, rounded the way
+# [5] discusses (attackers can often force tiny fragments; we default to
+# a conservative 576-byte first fragment).
+DEFAULT_MTU = 576
+
+
+@dataclass
+class FragmentationStats:
+    responses_seen: int = 0
+    oversized_seen: int = 0
+    tails_rewritten: int = 0
+
+
+class FragmentationPoisoner:
+    """Off-path attacker with the fragment-overwrite capability.
+
+    :param internet: network to attach to.
+    :param link_name: the victim-side link where reassembly happens.
+    :param mtu: first-fragment payload size; only bytes beyond this
+        boundary are attacker-writable.
+    :param target: poisoned (qname, A) pair.
+    :param forged_addresses: what the spoofed tail injects.
+    :param ipid_prediction_works: models the IPID-prediction step of
+        [5]; when False the planted fragment never matches and the
+        attack silently fails (control condition).
+    """
+
+    def __init__(self, internet: Internet, link_name: str,
+                 target: "Name | str",
+                 forged_addresses: Sequence["IPAddress | str"],
+                 mtu: int = DEFAULT_MTU,
+                 ipid_prediction_works: bool = True) -> None:
+        self._mtu = mtu
+        self._target = Name(target)
+        self._forged = [IPAddress(a) for a in forged_addresses]
+        self._predicts_ipid = ipid_prediction_works
+        self._stats = FragmentationStats()
+        internet.add_tap(link_name, self._tap)
+
+    @property
+    def stats(self) -> FragmentationStats:
+        return self._stats
+
+    def _tap(self, link: Link, datagram: Datagram) -> TapAction:
+        # Only plaintext DNS responses are interesting (TLS tails are
+        # ciphertext; rewriting them just fails the MAC).
+        if datagram.src.port != 53:
+            return TapAction.passthrough()
+        try:
+            message = Message.decode(datagram.payload)
+        except WireFormatError:
+            return TapAction.passthrough()
+        if not message.is_response or len(message.questions) != 1:
+            return TapAction.passthrough()
+        self._stats.responses_seen += 1
+        if len(datagram.payload) <= self._mtu:
+            return TapAction.passthrough()
+        self._stats.oversized_seen += 1
+        question = message.questions[0]
+        if question.qname != self._target or question.qtype is not RRType.A:
+            return TapAction.passthrough()
+        if not self._predicts_ipid:
+            return TapAction.passthrough()
+
+        forged = self._rewrite_tail(message)
+        if forged is None:
+            return TapAction.passthrough()
+        self._stats.tails_rewritten += 1
+        return TapAction.rewrite(forged.encode())
+
+    def _rewrite_tail(self, message: Message) -> Optional[Message]:
+        """Replace the answer records that live beyond the fragment
+        boundary with forged ones.
+
+        We recompute which *whole records* start past the boundary —
+        the attacker keeps the first-fragment records intact (it cannot
+        touch them) and substitutes the rest.
+        """
+        kept: List[ResourceRecord] = []
+        replaced = 0
+        # Walk the answer records, encoding incrementally, to find which
+        # whole records start beyond the first-fragment boundary.
+        for record in message.answers:
+            trial = Message(txid=message.txid, flags=message.flags,
+                            questions=list(message.questions),
+                            answers=kept + [record])
+            if len(trial.encode()) <= self._mtu:
+                kept.append(record)
+            else:
+                replaced += 1
+        if replaced == 0:
+            return None
+        forged_tail = [
+            ResourceRecord(self._target, RRType.A, 86_400,
+                           address_rdata(self._forged[index % len(self._forged)]))
+            for index in range(replaced)
+        ]
+        return Message(txid=message.txid, flags=message.flags,
+                       questions=list(message.questions),
+                       answers=kept + forged_tail,
+                       authority=list(message.authority),
+                       additional=list(message.additional))

@@ -1,0 +1,167 @@
+"""On-path (MitM) attackers controlling a subset of links.
+
+The paper's realistic adversary "can control some of the servers and
+some of the links in the Internet but not all". An
+:class:`OnPathAttacker` owns a set of link names and derives its
+capabilities mechanically from what crosses them:
+
+* plaintext DNS: read, drop, delay, or *rewrite* responses — full
+  poisoning power over controlled paths;
+* TLS records: the ciphertext is opaque and MAC-protected, so the only
+  available actions are dropping and delaying (observable as DoS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.dns.message import Message, ResourceRecord, make_response
+from repro.dns.name import Name
+from repro.dns.rdata import address_rdata
+from repro.dns.rrtype import RRType
+from repro.dns.wire import WireFormatError
+from repro.netsim.address import IPAddress
+from repro.netsim.internet import Internet, TapAction
+from repro.netsim.link import Link
+from repro.netsim.packet import Datagram
+
+
+@dataclass
+class MitmStats:
+    packets_observed: int = 0
+    dns_responses_rewritten: int = 0
+    packets_dropped: int = 0
+    tls_records_seen: int = 0
+
+
+class OnPathAttacker:
+    """Controls the given links; capabilities are per-packet.
+
+    :param internet: the network to tap.
+    :param links: canonical link names ("a--b") under attacker control.
+    """
+
+    def __init__(self, internet: Internet, links: Sequence[str]) -> None:
+        self._internet = internet
+        self._links = list(links)
+        self._stats = MitmStats()
+        self._dns_rewrites: List[Callable[[Message, Datagram], Optional[Message]]] = []
+        self._drop_tls = False
+        self._tls_delay = 0.0
+        self._drop_all = False
+        for link_name in self._links:
+            internet.add_tap(link_name, self._tap)
+
+    @property
+    def stats(self) -> MitmStats:
+        return self._stats
+
+    @property
+    def links(self) -> List[str]:
+        return list(self._links)
+
+    # ------------------------------------------------------------------
+    # Capability configuration.
+    # ------------------------------------------------------------------
+
+    def poison_a_records(self, qname: "Name | str",
+                         forged_addresses: Sequence["IPAddress | str"],
+                         inflate_to: Optional[int] = None) -> None:
+        """Rewrite every plaintext DNS response for ``qname``/A crossing
+        a controlled link to carry the forged addresses.
+
+        :param inflate_to: if set, pad the answer to this many records
+            by repeating forged addresses (the over-population attack).
+        """
+        target = Name(qname)
+        addresses = [IPAddress(a) for a in forged_addresses]
+
+        def rewrite(message: Message, datagram: Datagram) -> Optional[Message]:
+            if not message.is_response or len(message.questions) != 1:
+                return None
+            question = message.questions[0]
+            if question.qname != target or question.qtype is not RRType.A:
+                return None
+            chosen = list(addresses)
+            if inflate_to is not None:
+                while len(chosen) < inflate_to:
+                    chosen.append(addresses[len(chosen) % len(addresses)])
+            answers = [
+                ResourceRecord(question.qname, RRType.A, 86_400,
+                               address_rdata(address))
+                for address in chosen
+            ]
+            forged = make_response(message, answers=answers,
+                                   authoritative=message.flags.aa,
+                                   recursion_available=message.flags.ra)
+            return forged
+
+        self._dns_rewrites.append(rewrite)
+
+    def empty_a_answers(self, qname: "Name | str") -> None:
+        """Rewrite responses for ``qname``/A to carry zero answers —
+        the empty-answer DoS of §II footnote 2."""
+        target = Name(qname)
+
+        def rewrite(message: Message, datagram: Datagram) -> Optional[Message]:
+            if not message.is_response or len(message.questions) != 1:
+                return None
+            question = message.questions[0]
+            if question.qname != target or question.qtype is not RRType.A:
+                return None
+            return make_response(message, answers=[],
+                                 authoritative=message.flags.aa,
+                                 recursion_available=message.flags.ra)
+
+        self._dns_rewrites.append(rewrite)
+
+    def block_tls(self, enabled: bool = True) -> None:
+        """Drop every TLS record crossing controlled links (DoS)."""
+        self._drop_tls = enabled
+
+    def delay_tls(self, seconds: float) -> None:
+        """Hold TLS records back by ``seconds`` (degradation, not DoS)."""
+        self._tls_delay = seconds
+
+    def block_everything(self, enabled: bool = True) -> None:
+        """Full blackhole of controlled links."""
+        self._drop_all = enabled
+
+    # ------------------------------------------------------------------
+    # The tap.
+    # ------------------------------------------------------------------
+
+    def _tap(self, link: Link, datagram: Datagram) -> TapAction:
+        self._stats.packets_observed += 1
+        if self._drop_all:
+            self._stats.packets_dropped += 1
+            return TapAction.drop()
+
+        if self._looks_like_tls(datagram):
+            self._stats.tls_records_seen += 1
+            if self._drop_tls:
+                self._stats.packets_dropped += 1
+                return TapAction.drop()
+            if self._tls_delay > 0:
+                return TapAction.rewrite(datagram.payload,
+                                         extra_delay=self._tls_delay)
+            return TapAction.passthrough()
+
+        if self._dns_rewrites:
+            try:
+                message = Message.decode(datagram.payload)
+            except WireFormatError:
+                return TapAction.passthrough()
+            for rewrite in self._dns_rewrites:
+                forged = rewrite(message, datagram)
+                if forged is not None:
+                    self._stats.dns_responses_rewritten += 1
+                    return TapAction.rewrite(forged.encode())
+        return TapAction.passthrough()
+
+    @staticmethod
+    def _looks_like_tls(datagram: Datagram) -> bool:
+        """Traffic classification, the way real middleboxes do it: by
+        transport port. HTTPS/DoH traffic involves port 443."""
+        return datagram.dst.port == 443 or datagram.src.port == 443

@@ -1,0 +1,170 @@
+"""Off-path DNS response forgery.
+
+The attacker cannot see the resolver's query, so it must guess the
+transaction ID and the ephemeral source port, and its forgeries must
+arrive before the genuine answer. Everything else — the spoofed source
+address, the plausible answer section — it controls freely.
+
+The attack needs a *trigger* (the attacker makes, or predicts, a client
+query so it knows roughly when the resolver's upstream query happens);
+experiments model the trigger by launching the spray at resolution time.
+
+Against a modern resolver (random 16-bit TXID × ~28k ports) a blind
+burst is hopeless, which the experiments confirm; against the weakened
+configurations (`ResolverConfig(txid_bits=...)`, sequential ports) that
+model historical stacks, it succeeds — reproducing why [1] is a real
+threat for pool generation over plain DNS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.dns.message import Flags, Message, Question, ResourceRecord
+from repro.dns.name import Name
+from repro.dns.rcode import RCode
+from repro.dns.rdata import address_rdata
+from repro.dns.rrtype import RRType
+from repro.netsim.address import Endpoint, IPAddress
+from repro.netsim.host import EPHEMERAL_RANGE
+from repro.netsim.internet import Internet
+from repro.netsim.packet import Datagram
+
+
+@dataclass
+class SprayPlan:
+    """What the attacker sprays: the guess space and the lie.
+
+    :param question: the (name, type) being poisoned.
+    :param spoofed_server: the authoritative/upstream endpoint the
+        forgeries claim to come from.
+    :param target_ports: destination (resolver ephemeral) ports to try.
+    :param txid_guesses: transaction IDs to try per port.
+    :param forged_addresses: addresses the lie carries.
+    :param ttl: TTL of the forged records (long = sticky poison).
+    """
+
+    question: Question
+    spoofed_server: Endpoint
+    target_ports: Sequence[int]
+    txid_guesses: Sequence[int]
+    forged_addresses: Sequence[IPAddress]
+    ttl: int = 86_400
+
+    @property
+    def packet_count(self) -> int:
+        return len(self.target_ports) * len(self.txid_guesses)
+
+
+@dataclass
+class SprayReport:
+    """Accounting for one spray burst."""
+
+    packets_injected: int = 0
+    ports_covered: int = 0
+    txids_covered: int = 0
+
+
+class OffPathPoisoner:
+    """An attacker that can inject spoofed UDP but observe nothing.
+
+    :param internet: the network (injection entry point).
+    :param injection_node: topology node the attacker sends from; it
+        only affects latency, since sources are spoofed.
+    """
+
+    def __init__(self, internet: Internet, injection_node: str) -> None:
+        self._internet = internet
+        self._node = injection_node
+        self._reports: List[SprayReport] = []
+
+    @property
+    def reports(self) -> List[SprayReport]:
+        return list(self._reports)
+
+    @property
+    def total_packets_injected(self) -> int:
+        return sum(report.packets_injected for report in self._reports)
+
+    # ------------------------------------------------------------------
+    # Forgery construction.
+    # ------------------------------------------------------------------
+
+    def forge_response(self, txid: int, question: Question,
+                       addresses: Iterable[IPAddress],
+                       ttl: int = 86_400) -> Message:
+        """A NOERROR answer for the question carrying the attacker's
+        addresses."""
+        answers = [
+            ResourceRecord(question.qname, question.qtype, ttl,
+                           address_rdata(address))
+            for address in addresses
+        ]
+        return Message(txid=txid,
+                       flags=Flags(qr=True, aa=True, rcode=RCode.NOERROR),
+                       questions=[question], answers=answers)
+
+    # ------------------------------------------------------------------
+    # The spray.
+    # ------------------------------------------------------------------
+
+    def spray(self, victim_address: IPAddress, plan: SprayPlan) -> SprayReport:
+        """Inject the full guess burst toward ``victim_address``.
+
+        All packets are injected at the current instant; network latency
+        from the injection node determines whether they win the race
+        against the genuine answer.
+        """
+        report = SprayReport(ports_covered=len(plan.target_ports),
+                             txids_covered=len(plan.txid_guesses))
+        for port in plan.target_ports:
+            for txid in plan.txid_guesses:
+                forged = self.forge_response(txid, plan.question,
+                                             plan.forged_addresses, plan.ttl)
+                datagram = Datagram(
+                    src=plan.spoofed_server,
+                    dst=Endpoint(victim_address, port),
+                    payload=forged.encode())
+                self._internet.inject(datagram, at_node=self._node)
+                report.packets_injected += 1
+        self._reports.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Guess-space helpers.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def sequential_port_guesses(window: int,
+                                start: int = EPHEMERAL_RANGE[0]) -> List[int]:
+        """Ports a sequential-allocation stack will use next."""
+        low, high = EPHEMERAL_RANGE
+        return [low + ((start - low + index) % (high - low + 1))
+                for index in range(window)]
+
+    @staticmethod
+    def txid_space(bits: int) -> List[int]:
+        """Every TXID of a ``bits``-wide transaction-ID space."""
+        if not 1 <= bits <= 16:
+            raise ValueError("bits must be in [1, 16]")
+        return list(range(1 << bits))
+
+    def poison_resolver_lookup(
+        self, victim_address: IPAddress, qname: "Name | str", qtype: RRType,
+        spoofed_server: Endpoint, forged_addresses: Sequence[IPAddress],
+        port_window: int = 8, txid_bits: int = 16,
+        port_start: Optional[int] = None,
+    ) -> SprayReport:
+        """Convenience wrapper: build and fire a spray for one lookup."""
+        plan = SprayPlan(
+            question=Question(Name(qname), qtype),
+            spoofed_server=spoofed_server,
+            target_ports=self.sequential_port_guesses(
+                port_window,
+                start=port_start if port_start is not None
+                else EPHEMERAL_RANGE[0]),
+            txid_guesses=self.txid_space(txid_bits),
+            forged_addresses=list(forged_addresses),
+        )
+        return self.spray(victim_address, plan)

@@ -1,0 +1,89 @@
+"""The over-population attack ([1] against Chronos) and its defence.
+
+The move: the attacker answers the pool query with *many* addresses —
+far more than pool.ntp.org's usual four — so that even if the client
+also hears honest answers, attacker addresses dominate the combined
+pool and Chronos's honest-majority assumption breaks.
+
+The paper's counter (§II footnote 2) is shortest-list truncation: a
+resolver can only ever contribute K = min-length addresses, so inflating
+an answer changes nothing. This module packages the attack so E5 can
+run it against both the paper's policy and the ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.attacks.compromise import (
+    CompromiseConfig,
+    CompromisedResolverBehavior,
+    corrupt_first_k,
+)
+from repro.core.policy import TruncationPolicy
+from repro.core.pool import GeneratedPool, PoolGeneratorConfig
+from repro.netsim.address import IPAddress
+from repro.scenarios.builders import PoolScenario
+
+
+@dataclass
+class OverPopulationResult:
+    """Composition of the pool under the attack."""
+
+    pool: GeneratedPool
+    attacker_addresses: List[IPAddress]
+    attacker_fraction: float
+    truncation: TruncationPolicy
+
+    @property
+    def attacker_controls_majority(self) -> bool:
+        return self.attacker_fraction > 0.5
+
+
+class OverPopulationAttack:
+    """Run the inflation attack through ``corrupted`` of N resolvers.
+
+    :param scenario: the Figure 1 world.
+    :param corrupted: how many providers the attacker controls.
+    :param inflate_to: answer-list length the corrupted providers use
+        (honest ones return the pool's usual rotation size).
+    :param attacker_addresses: the malicious server addresses injected.
+    """
+
+    def __init__(self, scenario: PoolScenario, corrupted: int,
+                 inflate_to: int = 20,
+                 attacker_addresses: Sequence["IPAddress | str"] = ()) -> None:
+        if corrupted < 1:
+            raise ValueError("over-population needs ≥ 1 corrupted resolver")
+        self._scenario = scenario
+        self._attacker_addresses = ([IPAddress(a) for a in attacker_addresses]
+                                    or [IPAddress(f"203.0.113.{i + 1}")
+                                        for i in range(8)])
+        config = CompromiseConfig(
+            target=scenario.pool_domain,
+            behavior=CompromisedResolverBehavior.INFLATE,
+            forged_addresses=self._attacker_addresses,
+            inflate_to=inflate_to,
+        )
+        self._engines = corrupt_first_k(scenario.providers, corrupted, config)
+
+    @property
+    def attacker_addresses(self) -> List[IPAddress]:
+        return list(self._attacker_addresses)
+
+    def run(self, truncation: TruncationPolicy) -> OverPopulationResult:
+        """Generate a pool under the attack with the given policy."""
+        generator = self._scenario.make_generator(
+            config=PoolGeneratorConfig(truncation=truncation))
+        pool = self._scenario.generate_pool_sync(generator)
+        attacker_set = set(self._attacker_addresses)
+        if pool.addresses:
+            fraction = (sum(1 for a in pool.addresses if a in attacker_set)
+                        / len(pool.addresses))
+        else:
+            fraction = 0.0
+        return OverPopulationResult(pool=pool,
+                                    attacker_addresses=self.attacker_addresses,
+                                    attacker_fraction=fraction,
+                                    truncation=truncation)

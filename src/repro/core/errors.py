@@ -1,0 +1,16 @@
+"""Errors raised by the secure pool-generation core."""
+
+from __future__ import annotations
+
+
+class PoolGenerationError(RuntimeError):
+    """Pool generation could not satisfy its security requirements.
+
+    Raised (or reported through outcome objects) when, e.g., fewer
+    resolvers answered than the configured minimum, or truncation
+    collapsed the pool to zero (the DoS case of §II footnote 2).
+    """
+
+
+class ConfigurationError(ValueError):
+    """Invalid generator/resolver-set configuration."""

@@ -1,0 +1,317 @@
+"""Algorithm 1: secure server-pool generation (the paper's core).
+
+The lookup queries the pool domain through every resolver in the
+configured :class:`~repro.core.resolverset.ResolverSet` in parallel,
+truncates every answer list to the length of the shortest, and returns
+the multiset combination::
+
+    results = [], lengths = [], addresspool = []
+    for res in resolvers:
+        r = query(res, domain)
+        results.append(r); lengths.append(len(r))
+    truncatelength = min(lengths)
+    for r in results:
+        addresspool.add(truncate(r, truncatelength))
+    return addresspool
+
+Duplicates are preserved deliberately (§IV: the application must treat
+repeated addresses as individual servers, otherwise an attacker
+controlling a majority of resolvers could not be out-voted by honest
+duplicates).
+
+``combine_answer_lists`` is the pure-function heart of the algorithm,
+used directly by property tests; :class:`SecurePoolGenerator` is the
+network-facing orchestrator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.policy import DualStackPolicy, TruncationPolicy
+from repro.core.resolverset import ResolverRef, ResolverSet
+from repro.dns.rrtype import RRType
+from repro.doh.client import DoHClient, DoHQueryOutcome
+from repro.netsim.address import IPAddress
+from repro.netsim.simulator import Simulator
+
+
+# ----------------------------------------------------------------------
+# Pure combination logic.
+# ----------------------------------------------------------------------
+
+
+def combine_answer_lists(
+    answer_lists: Dict[str, Sequence[IPAddress]],
+    policy: TruncationPolicy = TruncationPolicy.SHORTEST,
+) -> Tuple[List[IPAddress], int, Dict[str, List[IPAddress]]]:
+    """Apply Algorithm 1's truncate-and-combine step.
+
+    :param answer_lists: per-resolver address lists (resolver name →
+        addresses, in answer order).
+    :param policy: truncation policy (SHORTEST is the paper's).
+    :returns: ``(pool, truncate_length, per_resolver_contributions)``.
+        The pool is a multiset: duplicates across resolvers are kept.
+    :raises ConfigurationError: on empty input.
+    """
+    if not answer_lists:
+        raise ConfigurationError("no answer lists to combine")
+    truncate_length = policy.truncate_length(
+        [len(addresses) for addresses in answer_lists.values()])
+    contributions = {
+        name: list(addresses[:truncate_length])
+        for name, addresses in answer_lists.items()
+    }
+    pool: List[IPAddress] = []
+    for name in answer_lists:  # preserve resolver order
+        pool.extend(contributions[name])
+    return pool, truncate_length, contributions
+
+
+# ----------------------------------------------------------------------
+# Network-facing generator.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PoolGeneratorConfig:
+    """Behavioural knobs for :class:`SecurePoolGenerator`.
+
+    :param truncation: list-truncation policy (§II fn. 2).
+    :param dual_stack: None for single-family lookups, or a
+        :class:`DualStackPolicy` to query both A and AAAA (§II fn. 1).
+    :param min_answers: minimum resolvers that must answer successfully.
+        The paper's strict reading requires *all* (an empty or missing
+        answer is a DoS); setting this below N is the documented
+        availability extension measured in E6.
+    :param ignore_empty_answers: treat a zero-record answer as a failed
+        resolver instead of letting it truncate the pool to nothing.
+        Off by default (the paper's semantics, §II fn. 2); pairs with
+        ``min_answers`` for the E6 availability extension. The cost:
+        with e of N resolvers excluded as empty, a remaining corrupted
+        resolver's share grows from 1/N to 1/(N-e).
+    :param qtype: address family for single-family operation.
+    """
+
+    truncation: TruncationPolicy = TruncationPolicy.SHORTEST
+    dual_stack: Optional[DualStackPolicy] = None
+    min_answers: Optional[int] = None
+    ignore_empty_answers: bool = False
+    qtype: RRType = RRType.A
+
+    def __post_init__(self) -> None:
+        if self.qtype not in (RRType.A, RRType.AAAA):
+            raise ConfigurationError(
+                f"pool lookups are address lookups; got {self.qtype.name}")
+
+
+@dataclass
+class ResolverAnswer:
+    """One resolver's contribution to a lookup."""
+
+    resolver: ResolverRef
+    outcome: DoHQueryOutcome
+    addresses: List[IPAddress] = field(default_factory=list)
+    addresses_by_family: Dict[int, List[IPAddress]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome.ok and self.outcome.message is not None
+
+
+@dataclass
+class GeneratedPool:
+    """The result of one secure pool generation."""
+
+    addresses: List[IPAddress]
+    truncate_length: int
+    contributions: Dict[str, List[IPAddress]]
+    answers: List[ResolverAnswer]
+    failed_resolvers: List[str]
+    elapsed: float
+    degraded: bool = False   # True when min_answers < N allowed gaps
+
+    @property
+    def ok(self) -> bool:
+        """Whether a non-empty pool was produced."""
+        return bool(self.addresses)
+
+    @property
+    def resolver_count(self) -> int:
+        return len(self.answers)
+
+    def max_contribution_fraction(self) -> float:
+        """Largest share of the pool contributed by any one resolver —
+        the quantity Algorithm 1 bounds to 1/(answering resolvers)."""
+        if not self.addresses:
+            raise ValueError("empty pool has no contributions")
+        largest = max(len(part) for part in self.contributions.values())
+        return largest / len(self.addresses)
+
+
+PoolCallback = Callable[[GeneratedPool], None]
+
+
+class SecurePoolGenerator:
+    """Algorithm 1 over live DoH resolvers.
+
+    :param doh_client: transport for the secure per-resolver queries.
+    :param resolver_set: the trusted resolvers and assumption ``x``.
+    :param simulator: virtual clock for elapsed-time accounting.
+    :param config: policy knobs.
+    """
+
+    def __init__(self, doh_client: DoHClient, resolver_set: ResolverSet,
+                 simulator: Simulator,
+                 config: Optional[PoolGeneratorConfig] = None) -> None:
+        self._doh = doh_client
+        self._resolvers = resolver_set
+        self._simulator = simulator
+        self._config = config or PoolGeneratorConfig()
+        min_answers = self._config.min_answers
+        if min_answers is not None and not 1 <= min_answers <= len(resolver_set):
+            raise ConfigurationError(
+                f"min_answers must be in [1, {len(resolver_set)}], "
+                f"got {min_answers}")
+
+    @property
+    def resolver_set(self) -> ResolverSet:
+        return self._resolvers
+
+    @property
+    def config(self) -> PoolGeneratorConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Lookup.
+    # ------------------------------------------------------------------
+
+    def generate(self, domain: str, callback: PoolCallback) -> None:
+        """Run Algorithm 1 for ``domain``; ``callback`` fires once."""
+        if self._config.dual_stack is None:
+            qtypes = [self._config.qtype]
+        else:
+            qtypes = [RRType.A, RRType.AAAA]
+        _Generation(self, domain, qtypes, callback).start()
+
+    # ------------------------------------------------------------------
+    # Combination step (shared with _Generation).
+    # ------------------------------------------------------------------
+
+    def _combine(self, answers: List[ResolverAnswer],
+                 started_at: float) -> GeneratedPool:
+        def usable(answer: ResolverAnswer) -> bool:
+            if not answer.ok:
+                return False
+            if self._config.ignore_empty_answers and not answer.addresses:
+                return False
+            return True
+
+        succeeded = [answer for answer in answers if usable(answer)]
+        failed = [answer.resolver.name for answer in answers
+                  if not usable(answer)]
+        required = (self._config.min_answers
+                    if self._config.min_answers is not None
+                    else len(self._resolvers))
+        elapsed = self._simulator.now - started_at
+        if len(succeeded) < required:
+            return GeneratedPool(addresses=[], truncate_length=0,
+                                 contributions={}, answers=answers,
+                                 failed_resolvers=failed, elapsed=elapsed)
+        degraded = len(succeeded) < len(self._resolvers)
+
+        if self._config.dual_stack is DualStackPolicy.PER_FAMILY:
+            pool: List[IPAddress] = []
+            contributions: Dict[str, List[IPAddress]] = {
+                answer.resolver.name: [] for answer in succeeded}
+            lengths = []
+            for family in (4, 6):
+                family_lists = {
+                    answer.resolver.name:
+                        answer.addresses_by_family.get(family, [])
+                    for answer in succeeded
+                }
+                family_pool, family_length, family_parts = combine_answer_lists(
+                    family_lists, self._config.truncation)
+                pool.extend(family_pool)
+                lengths.append(family_length)
+                for name, part in family_parts.items():
+                    contributions[name].extend(part)
+            truncate_length = min(lengths) if lengths else 0
+        else:
+            # Single family, or dual-stack UNION (per-resolver lists
+            # already hold the concatenated A+AAAA answers).
+            answer_lists = {answer.resolver.name: answer.addresses
+                            for answer in succeeded}
+            pool, truncate_length, contributions = combine_answer_lists(
+                answer_lists, self._config.truncation)
+
+        return GeneratedPool(addresses=pool, truncate_length=truncate_length,
+                             contributions=contributions, answers=answers,
+                             failed_resolvers=failed, elapsed=elapsed,
+                             degraded=degraded)
+
+
+class _Generation:
+    """One in-flight pool generation: fan out, join, combine."""
+
+    def __init__(self, generator: SecurePoolGenerator, domain: str,
+                 qtypes: List[RRType], callback: PoolCallback) -> None:
+        self._generator = generator
+        self._domain = domain
+        self._qtypes = qtypes
+        self._callback = callback
+        self._started_at = generator._simulator.now
+        self._answers: Dict[str, ResolverAnswer] = {}
+        self._pending = 0
+
+    def start(self) -> None:
+        resolvers = self._generator._resolvers.resolvers
+        self._pending = len(resolvers) * len(self._qtypes)
+        for resolver in resolvers:
+            self._answers[resolver.name] = ResolverAnswer(
+                resolver=resolver,
+                outcome=DoHQueryOutcome(status=None),  # placeholder
+            )
+            for qtype in self._qtypes:
+                self._query_one(resolver, qtype)
+
+    def _query_one(self, resolver: ResolverRef, qtype: RRType) -> None:
+        def on_outcome(outcome: DoHQueryOutcome) -> None:
+            self._record(resolver, qtype, outcome)
+
+        self._generator._doh.query(resolver.endpoint, resolver.name,
+                                   self._domain, qtype, on_outcome)
+
+    def _record(self, resolver: ResolverRef, qtype: RRType,
+                outcome: DoHQueryOutcome) -> None:
+        answer = self._answers[resolver.name]
+        family = 4 if qtype is RRType.A else 6
+        if outcome.ok and outcome.message is not None:
+            addresses = [
+                record.rdata.address  # type: ignore[attr-defined]
+                for record in outcome.message.answers
+                if record.rrtype is qtype
+            ]
+            answer.addresses_by_family[family] = addresses
+        else:
+            answer.addresses_by_family[family] = []
+        # Rebuild the flat list in family order so results do not depend
+        # on which family's response arrived first.
+        answer.addresses = [
+            address
+            for fam in (4, 6)
+            for address in answer.addresses_by_family.get(fam, [])
+        ]
+        # The per-resolver outcome reflects the *worst* qtype result so
+        # a resolver failing either family counts as failed.
+        if answer.outcome.status is None or not outcome.ok:
+            answer.outcome = outcome
+        self._pending -= 1
+        if self._pending == 0:
+            ordered = [self._answers[ref.name]
+                       for ref in self._generator._resolvers]
+            self._callback(self._generator._combine(ordered,
+                                                    self._started_at))

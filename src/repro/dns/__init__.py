@@ -1,0 +1,82 @@
+"""A from-scratch DNS substrate for the simulated Internet.
+
+Implements the subset of the DNS the paper's system depends on, at
+wire-format fidelity:
+
+* :mod:`repro.dns.name` — domain names (RFC 1035 labels, case-insensitive
+  comparison, compression-aware wire codec);
+* :mod:`repro.dns.message` — headers, questions, resource records and
+  full message encode/decode, including name compression;
+* :mod:`repro.dns.rdata` — A, AAAA, NS, CNAME, SOA, MX, TXT, PTR and
+  opaque RDATA types;
+* :mod:`repro.dns.zone` — authoritative zone data with delegations,
+  wildcards-free lookup semantics (exact match, NODATA vs NXDOMAIN) and
+  rotating record sets (pool.ntp.org-style);
+* :mod:`repro.dns.server` — an authoritative nameserver bound to a
+  simulated host;
+* :mod:`repro.dns.cache` — a TTL/LRU cache driven by virtual time;
+* :mod:`repro.dns.resolver` — a caching recursive resolver performing
+  iterative resolution with bailiwick filtering, TXID and source-port
+  randomisation — the attack surface the paper's off-path adversary
+  targets;
+* :mod:`repro.dns.client` — a stub resolver for client hosts.
+"""
+
+from repro.dns.cache import DnsCache
+from repro.dns.client import StubResolver
+from repro.dns.message import (
+    Flags,
+    Message,
+    Question,
+    ResourceRecord,
+    make_query,
+    make_response,
+)
+from repro.dns.name import Name
+from repro.dns.rcode import RCode
+from repro.dns.rdata import (
+    AAAARdata,
+    ARdata,
+    CNAMERdata,
+    MXRdata,
+    NSRdata,
+    OpaqueRdata,
+    PTRRdata,
+    Rdata,
+    SOARdata,
+    TXTRdata,
+)
+from repro.dns.resolver import RecursiveResolver, ResolverConfig
+from repro.dns.rrtype import RRClass, RRType
+from repro.dns.server import AuthoritativeServer
+from repro.dns.zone import Zone, ZoneError
+
+__all__ = [
+    "DnsCache",
+    "StubResolver",
+    "Flags",
+    "Message",
+    "Question",
+    "ResourceRecord",
+    "make_query",
+    "make_response",
+    "Name",
+    "RCode",
+    "Rdata",
+    "ARdata",
+    "AAAARdata",
+    "NSRdata",
+    "CNAMERdata",
+    "SOARdata",
+    "MXRdata",
+    "TXTRdata",
+    "PTRRdata",
+    "OpaqueRdata",
+    "RecursiveResolver",
+    "ResolverConfig",
+    "RRClass",
+    "RRType",
+    "AuthoritativeServer",
+    "Zone",
+    "ZoneError",
+]

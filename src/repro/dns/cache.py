@@ -1,0 +1,147 @@
+"""TTL + LRU cache for the recursive resolver.
+
+Keys are (name, type); values are either positive record sets or
+negative results (NXDOMAIN / NODATA) with the SOA-derived negative TTL.
+Time comes from a clock callable so virtual simulator time drives
+expiry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.dns.message import ResourceRecord
+from repro.dns.name import Name
+from repro.dns.rcode import RCode
+from repro.dns.rrtype import RRType
+
+Clock = Callable[[], float]
+
+
+@dataclass
+class CacheEntry:
+    """One cached result (positive or negative)."""
+
+    records: List[ResourceRecord]
+    rcode: RCode
+    stored_at: float
+    expires_at: float
+
+    @property
+    def is_negative(self) -> bool:
+        return self.rcode is not RCode.NOERROR or not self.records
+
+    def remaining_ttl(self, now: float) -> int:
+        return max(0, int(self.expires_at - now))
+
+
+class DnsCache:
+    """A bounded TTL cache.
+
+    >>> cache = DnsCache(clock=lambda: 0.0)
+    >>> cache.size
+    0
+    """
+
+    def __init__(self, clock: Clock, max_entries: int = 10_000,
+                 min_ttl: int = 0, max_ttl: int = 86_400) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._clock = clock
+        self._max_entries = max_entries
+        self._min_ttl = min_ttl
+        self._max_ttl = max_ttl
+        self._entries: "OrderedDict[Tuple[Name, RRType], CacheEntry]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    # ------------------------------------------------------------------
+    # Operations.
+    # ------------------------------------------------------------------
+
+    def put_positive(self, name: Name, rrtype: RRType,
+                     records: List[ResourceRecord]) -> None:
+        """Cache a positive answer; TTL is the minimum record TTL."""
+        if not records:
+            raise ValueError("positive cache entry needs records")
+        ttl = min(record.ttl for record in records)
+        self._store(name, rrtype, list(records), RCode.NOERROR, ttl)
+
+    def put_negative(self, name: Name, rrtype: RRType, rcode: RCode,
+                     negative_ttl: int) -> None:
+        """Cache an NXDOMAIN or NODATA result."""
+        self._store(name, rrtype, [], rcode, negative_ttl)
+
+    def _store(self, name: Name, rrtype: RRType,
+               records: List[ResourceRecord], rcode: RCode, ttl: int) -> None:
+        now = self._clock()
+        clamped = min(max(ttl, self._min_ttl), self._max_ttl)
+        key = (Name(name), rrtype)
+        if key in self._entries:
+            del self._entries[key]
+        self._entries[key] = CacheEntry(
+            records=records, rcode=rcode,
+            stored_at=now, expires_at=now + clamped,
+        )
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def get(self, name: Name, rrtype: RRType) -> Optional[CacheEntry]:
+        """Fetch a live entry, decaying record TTLs; None on miss/expiry.
+
+        Returned records carry their *remaining* TTL, the way a real
+        resolver answers from cache.
+        """
+        key = (Name(name), rrtype)
+        entry = self._entries.get(key)
+        now = self._clock()
+        if entry is None or entry.expires_at <= now:
+            if entry is not None:
+                del self._entries[key]
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        remaining = entry.remaining_ttl(now)
+        decayed = [record.with_ttl(min(record.ttl, remaining))
+                   for record in entry.records]
+        return CacheEntry(records=decayed, rcode=entry.rcode,
+                          stored_at=entry.stored_at,
+                          expires_at=entry.expires_at)
+
+    def flush(self) -> None:
+        """Drop every entry (used to model cache-flush operations)."""
+        self._entries.clear()
+
+    def purge_expired(self) -> int:
+        """Remove expired entries eagerly; returns the count removed."""
+        now = self._clock()
+        stale = [key for key, entry in self._entries.items()
+                 if entry.expires_at <= now]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)

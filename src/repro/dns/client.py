@@ -1,0 +1,172 @@
+"""Stub resolver: the client side of plain DNS.
+
+Sends recursive (RD=1) queries to a configured resolver address over
+UDP, with timeout and retry. This is the *insecure baseline* the paper
+starts from: one resolver, one path, spoofable transport.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.dns.message import Message, make_query
+from repro.dns.name import Name
+from repro.dns.rcode import RCode
+from repro.dns.rrtype import RRType
+from repro.dns.wire import WireFormatError
+from repro.netsim.address import Endpoint, IPAddress
+from repro.netsim.host import Host
+from repro.netsim.packet import Datagram
+from repro.netsim.simulator import Simulator, Timer
+
+DNS_PORT = 53
+
+
+@dataclass
+class StubOutcome:
+    """Result of one stub query."""
+
+    response: Optional[Message]
+    timed_out: bool = False
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (self.response is not None
+                and self.response.rcode is RCode.NOERROR)
+
+    @property
+    def addresses(self) -> List[IPAddress]:
+        """Convenience: all A/AAAA addresses in the answer section."""
+        if self.response is None:
+            return []
+        return [record.rdata.address  # type: ignore[attr-defined]
+                for record in self.response.answers
+                if record.rrtype in (RRType.A, RRType.AAAA)]
+
+
+StubCallback = Callable[[StubOutcome], None]
+
+
+@dataclass
+class StubStats:
+    queries: int = 0
+    responses: int = 0
+    spoofs_rejected: int = 0
+    poisoned_acceptances: int = 0
+    timeouts: int = 0
+
+
+class StubResolver:
+    """Client-side resolver speaking plain DNS to one recursive server.
+
+    :param host: the client machine.
+    :param simulator: for timeouts.
+    :param server: recursive resolver address (port 53 assumed).
+    :param timeout: per-attempt timeout in seconds.
+    :param retries: additional attempts after the first.
+    """
+
+    def __init__(self, host: Host, simulator: Simulator,
+                 server: IPAddress, timeout: float = 3.0,
+                 retries: int = 1,
+                 rng: Optional[random.Random] = None) -> None:
+        self._host = host
+        self._simulator = simulator
+        self._server = Endpoint(IPAddress(server), DNS_PORT)
+        self._timeout = timeout
+        self._retries = retries
+        self._rng = rng or random.Random(0)
+        self._stats = StubStats()
+
+    @property
+    def stats(self) -> StubStats:
+        return self._stats
+
+    @property
+    def server(self) -> Endpoint:
+        return self._server
+
+    def query(self, qname: "Name | str", qtype: RRType,
+              callback: StubCallback) -> None:
+        """Send an RD=1 query; invoke ``callback`` exactly once."""
+        _StubQuery(self, Name(qname), qtype, callback).start()
+
+
+class _StubQuery:
+    """One in-flight stub query with retry."""
+
+    def __init__(self, stub: StubResolver, qname: Name, qtype: RRType,
+                 callback: StubCallback) -> None:
+        self._stub = stub
+        self._qname = qname
+        self._qtype = qtype
+        self._callback = callback
+        self._attempts = 0
+        self._finished = False
+        self._socket = None
+        self._timer: Optional[Timer] = None
+        self._txid = 0
+
+    def start(self) -> None:
+        self._attempt()
+
+    def _attempt(self) -> None:
+        if self._finished:
+            return
+        if self._attempts > self._stub._retries:
+            self._stub._stats.timeouts += 1
+            self._finish(StubOutcome(response=None, timed_out=True,
+                                     attempts=self._attempts))
+            return
+        self._attempts += 1
+        self._stub._stats.queries += 1
+        self._txid = self._stub._rng.randrange(1 << 16)
+        query = make_query(self._txid, self._qname, self._qtype,
+                           recursion_desired=True)
+        self._close_socket()
+        self._socket = self._stub._host.ephemeral_socket(self._on_datagram)
+        self._socket.sendto(self._stub._server, query.encode())
+        self._timer = Timer(self._stub._simulator, self._on_timeout,
+                            label="stub-query")
+        self._timer.start(self._stub._timeout)
+
+    def _on_timeout(self) -> None:
+        self._attempt()
+
+    def _on_datagram(self, datagram: Datagram) -> None:
+        if self._finished:
+            return
+        try:
+            response = Message.decode(datagram.payload)
+        except WireFormatError:
+            self._stub._stats.spoofs_rejected += 1
+            return
+        if (not response.is_response
+                or response.txid != self._txid
+                or datagram.src != self._stub._server
+                or len(response.questions) != 1
+                or response.questions[0].qname != self._qname
+                or response.questions[0].qtype != self._qtype):
+            self._stub._stats.spoofs_rejected += 1
+            return
+        self._stub._stats.responses += 1
+        if datagram.spoofed:
+            self._stub._stats.poisoned_acceptances += 1
+        self._finish(StubOutcome(response=response, attempts=self._attempts))
+
+    def _finish(self, outcome: StubOutcome) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        if self._timer is not None:
+            self._timer.cancel()
+        self._close_socket()
+        self._callback(outcome)
+
+    def _close_socket(self) -> None:
+        if self._socket is not None:
+            self._socket.close()
+            self._socket = None

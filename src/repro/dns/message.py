@@ -1,0 +1,286 @@
+"""DNS messages (RFC 1035 §4).
+
+The :class:`Message` codec is wire-accurate for the feature subset the
+simulation uses: 12-byte header with flags, question section, and three
+record sections with name compression on encode and full pointer
+chasing on decode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+from repro.dns.name import Name
+from repro.dns.rcode import RCode
+from repro.dns.rdata import Rdata, decode_rdata
+from repro.dns.rrtype import RRClass, RRType
+from repro.dns.wire import WireFormatError, WireReader, WireWriter
+
+MAX_TXID = 0xFFFF
+
+
+@dataclass(frozen=True)
+class Flags:
+    """Header flag bits (QR, OPCODE, AA, TC, RD, RA, and RCODE)."""
+
+    qr: bool = False       # response?
+    opcode: int = 0        # QUERY
+    aa: bool = False       # authoritative answer
+    tc: bool = False       # truncated
+    rd: bool = True        # recursion desired
+    ra: bool = False       # recursion available
+    rcode: RCode = RCode.NOERROR
+
+    def to_wire(self) -> int:
+        value = 0
+        if self.qr:
+            value |= 0x8000
+        value |= (self.opcode & 0xF) << 11
+        if self.aa:
+            value |= 0x0400
+        if self.tc:
+            value |= 0x0200
+        if self.rd:
+            value |= 0x0100
+        if self.ra:
+            value |= 0x0080
+        value |= int(self.rcode) & 0xF
+        return value
+
+    @classmethod
+    def from_wire(cls, value: int) -> "Flags":
+        rcode_value = value & 0xF
+        try:
+            rcode = RCode(rcode_value)
+        except ValueError:
+            # Unknown RCODEs are treated as SERVFAIL-equivalent failures.
+            rcode = RCode.SERVFAIL
+        return cls(
+            qr=bool(value & 0x8000),
+            opcode=(value >> 11) & 0xF,
+            aa=bool(value & 0x0400),
+            tc=bool(value & 0x0200),
+            rd=bool(value & 0x0100),
+            ra=bool(value & 0x0080),
+            rcode=rcode,
+        )
+
+
+@dataclass(frozen=True)
+class Question:
+    """A question-section entry."""
+
+    qname: Name
+    qtype: RRType
+    qclass: RRClass = RRClass.IN
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qname", Name(self.qname))
+        object.__setattr__(self, "qtype", RRType(self.qtype))
+        object.__setattr__(self, "qclass", RRClass(self.qclass))
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_name(self.qname)
+        writer.write_u16(int(self.qtype))
+        writer.write_u16(int(self.qclass))
+
+    @classmethod
+    def from_wire(cls, reader: WireReader) -> "Question":
+        qname = reader.read_name()
+        qtype_value = reader.read_u16()
+        qclass_value = reader.read_u16()
+        try:
+            qtype = RRType(qtype_value)
+        except ValueError:
+            raise WireFormatError(f"unsupported QTYPE {qtype_value}") from None
+        try:
+            qclass = RRClass(qclass_value)
+        except ValueError:
+            raise WireFormatError(f"unsupported QCLASS {qclass_value}") from None
+        return cls(qname, qtype, qclass)
+
+    def __str__(self) -> str:
+        return f"{self.qname} {self.qclass.name} {self.qtype.name}"
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """A resource record in the answer/authority/additional sections."""
+
+    name: Name
+    rrtype: RRType
+    ttl: int
+    rdata: Rdata
+    rrclass: RRClass = RRClass.IN
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", Name(self.name))
+        object.__setattr__(self, "rrtype", RRType(self.rrtype))
+        object.__setattr__(self, "rrclass", RRClass(self.rrclass))
+        if not 0 <= self.ttl <= 0x7FFFFFFF:
+            raise ValueError(f"TTL out of range: {self.ttl}")
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_name(self.name)
+        writer.write_u16(int(self.rrtype))
+        writer.write_u16(int(self.rrclass))
+        writer.write_u32(self.ttl)
+        # RDLENGTH is written after RDATA is rendered; render into a
+        # sub-writer without compression to keep lengths self-contained.
+        sub = WireWriter(compress=False)
+        self.rdata.to_wire(sub)
+        rendered = sub.getvalue()
+        writer.write_u16(len(rendered))
+        writer.write_bytes(rendered)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader) -> "ResourceRecord":
+        name = reader.read_name()
+        type_code = reader.read_u16()
+        class_code = reader.read_u16()
+        ttl = reader.read_u32()
+        rdlength = reader.read_u16()
+        rdata = decode_rdata(type_code, reader, rdlength)
+        try:
+            rrtype = RRType(type_code)
+        except ValueError:
+            rrtype = RRType.OPT  # opaque carrier; rdata keeps the real code
+        try:
+            rrclass = RRClass(class_code)
+        except ValueError:
+            rrclass = RRClass.IN
+        return cls(name, rrtype, ttl, rdata, rrclass)
+
+    def with_ttl(self, ttl: int) -> "ResourceRecord":
+        return replace(self, ttl=ttl)
+
+    def __str__(self) -> str:
+        return (f"{self.name} {self.ttl} {self.rrclass.name} "
+                f"{self.rrtype.name} {self.rdata.to_text()}")
+
+
+@dataclass
+class Message:
+    """A full DNS message."""
+
+    txid: int
+    flags: Flags = field(default_factory=Flags)
+    questions: List[Question] = field(default_factory=list)
+    answers: List[ResourceRecord] = field(default_factory=list)
+    authority: List[ResourceRecord] = field(default_factory=list)
+    additional: List[ResourceRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.txid <= MAX_TXID:
+            raise ValueError(f"TXID out of range: {self.txid}")
+
+    # ------------------------------------------------------------------
+    # Convenience accessors.
+    # ------------------------------------------------------------------
+
+    @property
+    def question(self) -> Question:
+        """The single question (raises if the count differs from one)."""
+        if len(self.questions) != 1:
+            raise ValueError(
+                f"expected exactly one question, found {len(self.questions)}"
+            )
+        return self.questions[0]
+
+    @property
+    def is_response(self) -> bool:
+        return self.flags.qr
+
+    @property
+    def rcode(self) -> RCode:
+        return self.flags.rcode
+
+    def answers_for(self, name: Name, rrtype: RRType) -> List[ResourceRecord]:
+        """Answer-section records matching a (name, type) pair."""
+        return [record for record in self.answers
+                if record.name == name and record.rrtype == rrtype]
+
+    def section_records(self) -> Sequence[ResourceRecord]:
+        """All records across the three record sections."""
+        return [*self.answers, *self.authority, *self.additional]
+
+    # ------------------------------------------------------------------
+    # Wire codec.
+    # ------------------------------------------------------------------
+
+    def encode(self, compress: bool = True) -> bytes:
+        writer = WireWriter(compress=compress)
+        writer.write_u16(self.txid)
+        writer.write_u16(self.flags.to_wire())
+        writer.write_u16(len(self.questions))
+        writer.write_u16(len(self.answers))
+        writer.write_u16(len(self.authority))
+        writer.write_u16(len(self.additional))
+        for question in self.questions:
+            question.to_wire(writer)
+        for record in self.answers:
+            record.to_wire(writer)
+        for record in self.authority:
+            record.to_wire(writer)
+        for record in self.additional:
+            record.to_wire(writer)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Message":
+        reader = WireReader(data)
+        txid = reader.read_u16()
+        flags = Flags.from_wire(reader.read_u16())
+        qdcount = reader.read_u16()
+        ancount = reader.read_u16()
+        nscount = reader.read_u16()
+        arcount = reader.read_u16()
+        questions = [Question.from_wire(reader) for _ in range(qdcount)]
+        answers = [ResourceRecord.from_wire(reader) for _ in range(ancount)]
+        authority = [ResourceRecord.from_wire(reader) for _ in range(nscount)]
+        additional = [ResourceRecord.from_wire(reader) for _ in range(arcount)]
+        return cls(txid=txid, flags=flags, questions=questions,
+                   answers=answers, authority=authority,
+                   additional=additional)
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        parts = [f"txid={self.txid:#06x} rcode={self.rcode.name}"
+                 f" {'response' if self.is_response else 'query'}"]
+        for question in self.questions:
+            parts.append(f"  ? {question}")
+        for record in self.answers:
+            parts.append(f"  = {record}")
+        for record in self.authority:
+            parts.append(f"  @ {record}")
+        for record in self.additional:
+            parts.append(f"  + {record}")
+        return "\n".join(parts)
+
+
+def make_query(txid: int, qname: "Name | str", qtype: RRType,
+               recursion_desired: bool = True) -> Message:
+    """Build a standard query message."""
+    return Message(
+        txid=txid,
+        flags=Flags(qr=False, rd=recursion_desired),
+        questions=[Question(Name(qname), qtype)],
+    )
+
+
+def make_response(query: Message, rcode: RCode = RCode.NOERROR,
+                  answers: Optional[List[ResourceRecord]] = None,
+                  authority: Optional[List[ResourceRecord]] = None,
+                  additional: Optional[List[ResourceRecord]] = None,
+                  authoritative: bool = False,
+                  recursion_available: bool = False) -> Message:
+    """Build a response echoing the query's TXID and question."""
+    return Message(
+        txid=query.txid,
+        flags=Flags(qr=True, aa=authoritative, rd=query.flags.rd,
+                    ra=recursion_available, rcode=rcode),
+        questions=list(query.questions),
+        answers=list(answers or []),
+        authority=list(authority or []),
+        additional=list(additional or []),
+    )

@@ -1,0 +1,27 @@
+"""DNS response codes (RFC 1035 §4.1.1, RFC 2136)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class RCode(enum.IntEnum):
+    """Response codes the simulation produces and handles."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+    @property
+    def is_error(self) -> bool:
+        return self is not RCode.NOERROR
+
+    @classmethod
+    def from_text(cls, text: str) -> "RCode":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(f"unknown RCODE {text!r}") from None

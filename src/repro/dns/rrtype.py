@@ -1,0 +1,66 @@
+"""Resource-record type and class registries (RFC 1035 §3.2)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class RRType(enum.IntEnum):
+    """DNS RR TYPE codes (the subset this reproduction uses)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    OPT = 41
+    ANY = 255
+
+    @classmethod
+    def from_text(cls, text: str) -> "RRType":
+        """Parse a type mnemonic, e.g. ``"AAAA"``."""
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(f"unknown RR type {text!r}") from None
+
+    @property
+    def is_address(self) -> bool:
+        """True for the address types (A / AAAA) the paper pools."""
+        return self in (RRType.A, RRType.AAAA)
+
+
+class RRClass(enum.IntEnum):
+    """DNS CLASS codes; effectively always IN here."""
+
+    IN = 1
+    CH = 3
+    ANY = 255
+
+    @classmethod
+    def from_text(cls, text: str) -> "RRClass":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(f"unknown RR class {text!r}") from None
+
+
+def address_family_for_type(rrtype: RRType) -> int:
+    """IP family (4 or 6) carried by an address RR type."""
+    if rrtype is RRType.A:
+        return 4
+    if rrtype is RRType.AAAA:
+        return 6
+    raise ValueError(f"{rrtype!r} is not an address type")
+
+
+def type_for_address_family(family: int) -> RRType:
+    """Address RR type for an IP family (4 or 6)."""
+    if family == 4:
+        return RRType.A
+    if family == 6:
+        return RRType.AAAA
+    raise ValueError(f"family must be 4 or 6, got {family}")

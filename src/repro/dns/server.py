@@ -1,0 +1,101 @@
+"""Authoritative DNS server bound to a simulated host.
+
+Serves one or more zones over UDP port 53 (non-recursive). Queries for
+names in no hosted zone get REFUSED, matching common authoritative
+configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dns.message import Message, make_response
+from repro.dns.name import Name
+from repro.dns.rcode import RCode
+from repro.dns.wire import WireFormatError
+from repro.dns.zone import LookupStatus, Zone
+from repro.netsim.host import Host
+from repro.netsim.packet import Datagram
+
+DNS_PORT = 53
+
+
+class AuthoritativeServer:
+    """A non-recursive nameserver for a set of zones.
+
+    :param host: the simulated machine to bind on.
+    :param zones: zones served authoritatively; longest-origin match wins.
+    :param port: UDP port (53 unless a test says otherwise).
+    """
+
+    def __init__(self, host: Host, zones: Optional[List[Zone]] = None,
+                 port: int = DNS_PORT) -> None:
+        self._host = host
+        self._zones: Dict[Name, Zone] = {}
+        self._queries_served = 0
+        self._socket = host.bind(port, self._handle_datagram)
+        for zone in zones or []:
+            self.add_zone(zone)
+
+    @property
+    def host(self) -> Host:
+        return self._host
+
+    @property
+    def queries_served(self) -> int:
+        return self._queries_served
+
+    @property
+    def zones(self) -> List[Zone]:
+        return list(self._zones.values())
+
+    def add_zone(self, zone: Zone) -> None:
+        if zone.origin in self._zones:
+            raise ValueError(f"zone {zone.origin} already hosted")
+        self._zones[zone.origin] = zone
+
+    def zone_for(self, qname: Name) -> Optional[Zone]:
+        """The hosted zone with the longest origin enclosing ``qname``."""
+        best: Optional[Zone] = None
+        for origin, zone in self._zones.items():
+            if qname.is_subdomain_of(origin):
+                if best is None or len(origin) > len(best.origin):
+                    best = zone
+        return best
+
+    # ------------------------------------------------------------------
+    # Query handling.
+    # ------------------------------------------------------------------
+
+    def _handle_datagram(self, datagram: Datagram) -> None:
+        try:
+            query = Message.decode(datagram.payload)
+        except WireFormatError:
+            return  # garbage in, silence out (no FORMERR for unparseable)
+        if query.is_response or len(query.questions) != 1:
+            return
+        self._queries_served += 1
+        response = self.build_response(query)
+        self._socket.reply(datagram, response.encode())
+
+    def build_response(self, query: Message) -> Message:
+        """Pure response construction (reused by tests and DoH backends)."""
+        question = query.question
+        zone = self.zone_for(question.qname)
+        if zone is None:
+            return make_response(query, rcode=RCode.REFUSED)
+        result = zone.lookup(question.qname, question.qtype)
+        if result.status is LookupStatus.ANSWER:
+            return make_response(query, answers=result.answers,
+                                 authoritative=True)
+        if result.status is LookupStatus.DELEGATION:
+            return make_response(query, authority=result.authority,
+                                 additional=result.additional)
+        if result.status is LookupStatus.NODATA:
+            return make_response(query, authority=result.authority,
+                                 authoritative=True)
+        if result.status is LookupStatus.NXDOMAIN:
+            return make_response(query, rcode=RCode.NXDOMAIN,
+                                 authority=result.authority,
+                                 authoritative=True)
+        return make_response(query, rcode=RCode.REFUSED)

@@ -1,0 +1,161 @@
+"""Low-level DNS wire-format reader/writer with name compression.
+
+``WireWriter`` tracks the offset of every name it emits and replaces
+later occurrences with compression pointers (RFC 1035 §4.1.4).
+``WireReader`` follows pointers with loop protection.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Tuple
+
+from repro.dns.name import Name
+
+_POINTER_FLAG = 0xC0
+_MAX_POINTER_HOPS = 128
+
+
+class WireFormatError(ValueError):
+    """Raised when decoding malformed wire data."""
+
+
+class WireWriter:
+    """Accumulates a DNS message's wire bytes.
+
+    >>> writer = WireWriter()
+    >>> writer.write_u16(0x1234)
+    >>> writer.getvalue().hex()
+    '1234'
+    """
+
+    def __init__(self, compress: bool = True) -> None:
+        self._chunks: list[bytes] = []
+        self._length = 0
+        self._compress = compress
+        # Maps folded label suffix tuples to their first wire offset.
+        self._name_offsets: Dict[Tuple[bytes, ...], int] = {}
+
+    @property
+    def offset(self) -> int:
+        """Current length of the accumulated output."""
+        return self._length
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+    def write_bytes(self, data: bytes) -> None:
+        self._chunks.append(data)
+        self._length += len(data)
+
+    def write_u8(self, value: int) -> None:
+        self.write_bytes(struct.pack("!B", value))
+
+    def write_u16(self, value: int) -> None:
+        self.write_bytes(struct.pack("!H", value))
+
+    def write_u32(self, value: int) -> None:
+        self.write_bytes(struct.pack("!I", value))
+
+    def write_name(self, name: Name) -> None:
+        """Emit a (possibly compressed) domain name."""
+        labels = name.labels
+        folded = tuple(label.lower() for label in labels)
+        for index in range(len(labels)):
+            suffix = folded[index:]
+            known_offset = self._name_offsets.get(suffix) if self._compress else None
+            if known_offset is not None and known_offset < 0x4000:
+                self.write_u16(_POINTER_FLAG << 8 | known_offset)
+                return
+            if self._compress and self._length < 0x4000:
+                self._name_offsets[suffix] = self._length
+            label = labels[index]
+            self.write_u8(len(label))
+            self.write_bytes(label)
+        self.write_u8(0)
+
+    def write_character_string(self, data: bytes) -> None:
+        """Emit a <character-string> (length-prefixed, max 255)."""
+        if len(data) > 255:
+            raise WireFormatError("character-string exceeds 255 bytes")
+        self.write_u8(len(data))
+        self.write_bytes(data)
+
+
+class WireReader:
+    """Cursor over a DNS message's wire bytes."""
+
+    def __init__(self, data: bytes, offset: int = 0) -> None:
+        self._data = data
+        self._offset = offset
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._offset
+
+    def seek(self, offset: int) -> None:
+        if not 0 <= offset <= len(self._data):
+            raise WireFormatError(f"seek out of range: {offset}")
+        self._offset = offset
+
+    def read_bytes(self, count: int) -> bytes:
+        if count < 0 or self._offset + count > len(self._data):
+            raise WireFormatError(
+                f"truncated message: wanted {count} bytes at {self._offset}"
+            )
+        chunk = self._data[self._offset:self._offset + count]
+        self._offset += count
+        return chunk
+
+    def read_u8(self) -> int:
+        return self.read_bytes(1)[0]
+
+    def read_u16(self) -> int:
+        return struct.unpack("!H", self.read_bytes(2))[0]
+
+    def read_u32(self) -> int:
+        return struct.unpack("!I", self.read_bytes(4))[0]
+
+    def read_name(self) -> Name:
+        """Decode a domain name, following compression pointers."""
+        labels: list[bytes] = []
+        hops = 0
+        cursor = self._offset
+        jumped = False
+        while True:
+            if cursor >= len(self._data):
+                raise WireFormatError("name runs past end of message")
+            length = self._data[cursor]
+            if length & _POINTER_FLAG == _POINTER_FLAG:
+                if cursor + 1 >= len(self._data):
+                    raise WireFormatError("truncated compression pointer")
+                pointer = ((length & 0x3F) << 8) | self._data[cursor + 1]
+                if not jumped:
+                    self._offset = cursor + 2
+                    jumped = True
+                if pointer >= cursor:
+                    raise WireFormatError("forward compression pointer")
+                cursor = pointer
+                hops += 1
+                if hops > _MAX_POINTER_HOPS:
+                    raise WireFormatError("compression pointer loop")
+                continue
+            if length & _POINTER_FLAG:
+                raise WireFormatError(f"reserved label type 0x{length:02x}")
+            cursor += 1
+            if length == 0:
+                if not jumped:
+                    self._offset = cursor
+                return Name.from_labels(labels)
+            if cursor + length > len(self._data):
+                raise WireFormatError("label runs past end of message")
+            labels.append(self._data[cursor:cursor + length])
+            cursor += length
+
+    def read_character_string(self) -> bytes:
+        length = self.read_u8()
+        return self.read_bytes(length)

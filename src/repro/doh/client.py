@@ -1,0 +1,233 @@
+"""DoH client: one secure query to one provider.
+
+Each query opens a fresh TLS connection (handshake is one round trip in
+the simulation), sends the RFC 8484 request, and reports a structured
+:class:`DoHQueryOutcome`. Validation mirrors a careful client: the
+response must parse, be a response, and echo the question — plus all the
+TLS-layer guarantees (certificate verification, record MACs) enforced by
+:mod:`repro.doh.tls`.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.dns.message import Message, make_query
+from repro.dns.name import Name
+from repro.dns.rrtype import RRType
+from repro.dns.wire import WireFormatError
+from repro.doh.encoding import b64url_encode
+from repro.doh.http import HttpRequest, HttpResponse
+from repro.doh.server import DNS_MESSAGE_TYPE, DOH_PATH
+from repro.doh.tls import TlsClientConnection, TrustStore
+from repro.netsim.address import Endpoint
+from repro.netsim.host import Host
+from repro.netsim.simulator import Simulator, Timer
+
+
+class DoHStatus(enum.Enum):
+    """Terminal states of a DoH query."""
+
+    OK = "ok"
+    TLS_FAILURE = "tls-failure"
+    HTTP_ERROR = "http-error"
+    BAD_RESPONSE = "bad-response"
+    TIMEOUT = "timeout"
+
+
+@dataclass
+class DoHQueryOutcome:
+    """Result of one DoH query."""
+
+    status: DoHStatus
+    message: Optional[Message] = None
+    http_status: Optional[int] = None
+    failure_reason: Optional[str] = None
+    latency: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is DoHStatus.OK
+
+
+DoHCallback = Callable[[DoHQueryOutcome], None]
+
+
+@dataclass
+class DoHClientStats:
+    queries: int = 0
+    successes: int = 0
+    tls_failures: int = 0
+    timeouts: int = 0
+    bad_responses: int = 0
+
+
+class DoHClient:
+    """Client for RFC 8484 queries from a simulated host.
+
+    :param host: the client machine.
+    :param simulator: virtual-time engine (timeouts, latency metrics).
+    :param trust_store: CAs trusted for provider certificates.
+    :param rng: randomness for TXIDs and ephemeral DH keys.
+    :param method: "GET" (base64url) or "POST" (binary body).
+    :param timeout: per-attempt timeout in seconds.
+    :param retries: additional attempts after a timeout, each over a
+        fresh connection. Real DoH rides on TCP/QUIC whose transport
+        retransmits lost segments; our datagram-framed channel models
+        that recovery at the query level instead.
+    """
+
+    def __init__(self, host: Host, simulator: Simulator,
+                 trust_store: TrustStore, rng: Optional[random.Random] = None,
+                 method: str = "GET", timeout: float = 4.0,
+                 retries: int = 2) -> None:
+        if method not in ("GET", "POST"):
+            raise ValueError(f"method must be GET or POST, got {method!r}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self._host = host
+        self._simulator = simulator
+        self._trust_store = trust_store
+        self._rng = rng or random.Random(0)
+        self._method = method
+        self._timeout = timeout
+        self._retries = retries
+        self._stats = DoHClientStats()
+
+    @property
+    def stats(self) -> DoHClientStats:
+        return self._stats
+
+    def query(self, server: Endpoint, server_name: str,
+              qname: "Name | str", qtype: RRType,
+              callback: DoHCallback) -> None:
+        """Issue one DoH query; ``callback`` fires exactly once."""
+        txid = self._rng.randrange(1 << 16)
+        message = make_query(txid, Name(qname), qtype)
+        _DoHQuery(self, server, server_name, message, callback).start()
+
+
+class _DoHQuery:
+    """One in-flight DoH query over a fresh TLS connection."""
+
+    def __init__(self, client: DoHClient, server: Endpoint, server_name: str,
+                 query: Message, callback: DoHCallback) -> None:
+        self._client = client
+        self._server = server
+        self._server_name = server_name
+        self._query = query
+        self._callback = callback
+        self._started_at = client._simulator.now
+        self._finished = False
+        self._attempts_left = client._retries
+        self._connection: TlsClientConnection = None  # set in _open
+        self._timer = Timer(client._simulator, self._on_timeout,
+                            label="doh-query")
+
+    def start(self) -> None:
+        self._client._stats.queries += 1
+        self._open_connection()
+
+    def _open_connection(self) -> None:
+        """Open (or reopen, on retry) a fresh TLS connection."""
+        if self._connection is not None:
+            self._connection.close()
+        self._connection = TlsClientConnection(
+            self._client._host, self._server, self._server_name,
+            self._client._trust_store, self._client._rng)
+        self._connection.on_established(self._send_request)
+        self._connection.on_data(self._on_response_bytes)
+        self._connection.on_failure(self._on_tls_failure)
+        self._timer.start(self._client._timeout)
+        self._connection.connect()
+
+    def _send_request(self) -> None:
+        wire = self._query.encode()
+        if self._client._method == "GET":
+            request = HttpRequest(
+                method="GET",
+                target=f"{DOH_PATH}?dns={b64url_encode(wire)}",
+                headers={"Accept": DNS_MESSAGE_TYPE},
+            )
+        else:
+            request = HttpRequest(
+                method="POST",
+                target=DOH_PATH,
+                headers={"Accept": DNS_MESSAGE_TYPE,
+                         "Content-Type": DNS_MESSAGE_TYPE},
+                body=wire,
+            )
+        self._connection.send(request.encode())
+
+    def _on_response_bytes(self, data: bytes) -> None:
+        if self._finished:
+            return
+        try:
+            response = HttpResponse.decode(data)
+        except ValueError:
+            self._client._stats.bad_responses += 1
+            self._finish(DoHQueryOutcome(DoHStatus.BAD_RESPONSE,
+                                         failure_reason="unparseable HTTP"))
+            return
+        if not response.ok:
+            self._finish(DoHQueryOutcome(DoHStatus.HTTP_ERROR,
+                                         http_status=response.status))
+            return
+        if response.header("content-type") != DNS_MESSAGE_TYPE:
+            self._client._stats.bad_responses += 1
+            self._finish(DoHQueryOutcome(DoHStatus.BAD_RESPONSE,
+                                         http_status=response.status,
+                                         failure_reason="wrong content type"))
+            return
+        try:
+            message = Message.decode(response.body)
+        except WireFormatError:
+            self._client._stats.bad_responses += 1
+            self._finish(DoHQueryOutcome(DoHStatus.BAD_RESPONSE,
+                                         http_status=response.status,
+                                         failure_reason="unparseable DNS"))
+            return
+        question_ok = (
+            message.is_response
+            and len(message.questions) == 1
+            and message.questions[0].qname == self._query.question.qname
+            and message.questions[0].qtype == self._query.question.qtype
+        )
+        if not question_ok:
+            self._client._stats.bad_responses += 1
+            self._finish(DoHQueryOutcome(DoHStatus.BAD_RESPONSE,
+                                         http_status=response.status,
+                                         failure_reason="question mismatch"))
+            return
+        self._client._stats.successes += 1
+        self._finish(DoHQueryOutcome(DoHStatus.OK, message=message,
+                                     http_status=response.status))
+
+    def _on_tls_failure(self, reason: str) -> None:
+        if self._finished:
+            return
+        self._client._stats.tls_failures += 1
+        self._finish(DoHQueryOutcome(DoHStatus.TLS_FAILURE,
+                                     failure_reason=reason))
+
+    def _on_timeout(self) -> None:
+        if self._finished:
+            return
+        if self._attempts_left > 0:
+            self._attempts_left -= 1
+            self._open_connection()
+            return
+        self._client._stats.timeouts += 1
+        self._finish(DoHQueryOutcome(DoHStatus.TIMEOUT))
+
+    def _finish(self, outcome: DoHQueryOutcome) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        outcome.latency = self._client._simulator.now - self._started_at
+        self._timer.cancel()
+        self._connection.close()
+        self._callback(outcome)

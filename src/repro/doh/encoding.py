@@ -1,0 +1,26 @@
+"""Base64url without padding, as RFC 8484 §4.1 requires for GET."""
+
+from __future__ import annotations
+
+import base64
+import binascii
+
+
+class EncodingError(ValueError):
+    """Raised for malformed base64url input."""
+
+
+def b64url_encode(data: bytes) -> str:
+    """Encode bytes as unpadded base64url text."""
+    return base64.urlsafe_b64encode(data).decode("ascii").rstrip("=")
+
+
+def b64url_decode(text: str) -> bytes:
+    """Decode unpadded base64url text; raises :class:`EncodingError`."""
+    padding = (-len(text)) % 4
+    if padding == 3:
+        raise EncodingError(f"invalid base64url length {len(text)}")
+    try:
+        return base64.urlsafe_b64decode(text + "=" * padding)
+    except (binascii.Error, ValueError) as exc:
+        raise EncodingError(f"invalid base64url payload: {exc}") from exc

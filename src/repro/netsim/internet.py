@@ -1,0 +1,316 @@
+"""The assembled simulated Internet.
+
+Combines the :class:`~repro.netsim.simulator.Simulator`, a routed
+:class:`~repro.netsim.topology.Topology` and a set of
+:class:`~repro.netsim.host.Host` machines into a packet-delivery fabric
+with the two interposition points the paper's threat model needs:
+
+* **on-path taps** (:meth:`Internet.add_tap`) — an attacker controlling
+  a link can observe, drop, delay or rewrite every packet crossing it;
+* **off-path injection** (:meth:`Internet.inject`) — an attacker that is
+  *not* on the path can still blindly send datagrams with spoofed source
+  addresses, which is the capability behind classic DNS poisoning.
+
+Every delivery attempt produces a :class:`DeliveryReceipt`, giving the
+benchmarks byte/latency accounting for free.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.netsim.address import Endpoint, IPAddress
+from repro.netsim.host import Host
+from repro.netsim.link import Link
+from repro.netsim.packet import Datagram
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import RoutingError, Topology
+from repro.util.rng import RngRegistry
+
+
+class TapVerdict(enum.Enum):
+    """What an on-path tap decides to do with a packet on its link."""
+
+    PASS = "pass"
+    DROP = "drop"
+    REWRITE = "rewrite"
+
+
+@dataclass
+class TapAction:
+    """Result of a tap callback.
+
+    :param verdict: pass, drop or rewrite the packet.
+    :param payload: replacement payload (required for REWRITE).
+    :param extra_delay: additional seconds of delay imposed by the tap
+        (models an attacker holding packets back).
+    """
+
+    verdict: TapVerdict = TapVerdict.PASS
+    payload: Optional[bytes] = None
+    extra_delay: float = 0.0
+
+    @classmethod
+    def passthrough(cls) -> "TapAction":
+        return cls(TapVerdict.PASS)
+
+    @classmethod
+    def drop(cls) -> "TapAction":
+        return cls(TapVerdict.DROP)
+
+    @classmethod
+    def rewrite(cls, payload: bytes, extra_delay: float = 0.0) -> "TapAction":
+        return cls(TapVerdict.REWRITE, payload=payload, extra_delay=extra_delay)
+
+
+# A tap sees (link, datagram) and returns what to do with it.
+LinkTap = Callable[[Link, Datagram], TapAction]
+
+# A passive observer of every delivery attempt (for tracing/benchmarks).
+DeliveryObserver = Callable[["DeliveryReceipt"], None]
+
+
+@dataclass
+class DeliveryReceipt:
+    """Accounting record for one datagram's trip through the network."""
+
+    datagram: Datagram
+    delivered: bool
+    send_time: float
+    arrival_time: Optional[float] = None
+    hops: int = 0
+    dropped_by: Optional[str] = None  # link name, "tap:<link>", "no-route",
+    # "no-host", or "no-socket"
+    rewritten: bool = False
+    route_nodes: List[str] = field(default_factory=list)
+
+    @property
+    def latency(self) -> Optional[float]:
+        """One-way delay, or None if the packet never arrived."""
+        if self.arrival_time is None:
+            return None
+        return self.arrival_time - self.send_time
+
+
+class Internet:
+    """Packet-delivery fabric over a routed topology.
+
+    :param simulator: the virtual-time event engine.
+    :param topology: routed node graph; hosts attach to its nodes.
+    :param rng_registry: seed universe; link loss/jitter streams and
+        host port randomisation derive from it.
+    """
+
+    def __init__(self, simulator: Simulator, topology: Topology,
+                 rng_registry: Optional[RngRegistry] = None) -> None:
+        self._simulator = simulator
+        self._topology = topology
+        self._rng = rng_registry or RngRegistry(0)
+        self._hosts_by_name: Dict[str, Host] = {}
+        self._hosts_by_address: Dict[IPAddress, Host] = {}
+        self._taps: Dict[str, List[LinkTap]] = {}
+        self._observers: List[DeliveryObserver] = []
+        self._receipts: List[DeliveryReceipt] = []
+        self._keep_receipts = False
+        self._datagrams_sent = 0
+        self._datagrams_delivered = 0
+        self._bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Wiring.
+    # ------------------------------------------------------------------
+
+    @property
+    def simulator(self) -> Simulator:
+        return self._simulator
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def rng_registry(self) -> RngRegistry:
+        return self._rng
+
+    def add_host(self, host: Host) -> Host:
+        """Register a host; its addresses become routable."""
+        if host.name in self._hosts_by_name:
+            raise ValueError(f"duplicate host name {host.name!r}")
+        if not self._topology.has_node(host.node):
+            raise ValueError(
+                f"host {host.name!r} attaches to unknown node {host.node!r}"
+            )
+        for address in host.addresses:
+            if address in self._hosts_by_address:
+                owner = self._hosts_by_address[address].name
+                raise ValueError(
+                    f"address {address} already owned by host {owner!r}"
+                )
+        self._hosts_by_name[host.name] = host
+        for address in host.addresses:
+            self._hosts_by_address[address] = host
+        host.attach(self)
+        return host
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        return self._hosts_by_name[name]
+
+    def host_for_address(self, address: IPAddress) -> Optional[Host]:
+        """The host owning ``address``, if registered."""
+        return self._hosts_by_address.get(IPAddress(address))
+
+    @property
+    def hosts(self) -> List[Host]:
+        return [self._hosts_by_name[name] for name in sorted(self._hosts_by_name)]
+
+    # ------------------------------------------------------------------
+    # Attacker interposition.
+    # ------------------------------------------------------------------
+
+    def add_tap(self, link_name: str, tap: LinkTap) -> None:
+        """Install an on-path tap on the named link.
+
+        ``link_name`` is the canonical link name (``"a--b"`` with the
+        ends sorted); taps run in installation order and the first
+        non-PASS verdict wins.
+        """
+        self._taps.setdefault(link_name, []).append(tap)
+
+    def remove_tap(self, link_name: str, tap: LinkTap) -> None:
+        """Uninstall a previously installed tap."""
+        taps = self._taps.get(link_name, [])
+        taps.remove(tap)
+
+    def inject(self, datagram: Datagram, at_node: str,
+               spoofed: bool = True) -> DeliveryReceipt:
+        """Off-path injection: route a (usually spoofed) datagram from
+        ``at_node`` toward its destination.
+
+        The injected packet traverses links (and other attackers' taps)
+        from the injection point like any other traffic.
+        """
+        tagged = Datagram(src=datagram.src, dst=datagram.dst,
+                          payload=datagram.payload, spoofed=spoofed,
+                          channel=datagram.channel)
+        return self._route_and_schedule(tagged, origin_node=at_node)
+
+    # ------------------------------------------------------------------
+    # Tracing.
+    # ------------------------------------------------------------------
+
+    def add_observer(self, observer: DeliveryObserver) -> None:
+        """Register a passive per-delivery observer."""
+        self._observers.append(observer)
+
+    def enable_receipt_log(self, enabled: bool = True) -> None:
+        """Keep every :class:`DeliveryReceipt` in memory for inspection."""
+        self._keep_receipts = enabled
+
+    @property
+    def receipts(self) -> List[DeliveryReceipt]:
+        return list(self._receipts)
+
+    @property
+    def datagrams_sent(self) -> int:
+        return self._datagrams_sent
+
+    @property
+    def datagrams_delivered(self) -> int:
+        return self._datagrams_delivered
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._bytes_sent
+
+    # ------------------------------------------------------------------
+    # Delivery.
+    # ------------------------------------------------------------------
+
+    def send(self, datagram: Datagram, origin_host: Host) -> DeliveryReceipt:
+        """Entry point used by :meth:`Host.transmit`."""
+        return self._route_and_schedule(datagram, origin_node=origin_host.node)
+
+    def _route_and_schedule(self, datagram: Datagram,
+                            origin_node: str) -> DeliveryReceipt:
+        self._datagrams_sent += 1
+        self._bytes_sent += datagram.size
+        receipt = DeliveryReceipt(datagram=datagram, delivered=False,
+                                  send_time=self._simulator.now)
+
+        destination_host = self._hosts_by_address.get(datagram.dst.address)
+        if destination_host is None:
+            receipt.dropped_by = "no-host"
+            self._finish(receipt)
+            return receipt
+
+        try:
+            links = self._topology.route(origin_node, destination_host.node)
+            receipt.route_nodes = self._topology.route_nodes(
+                origin_node, destination_host.node
+            )
+        except RoutingError:
+            receipt.dropped_by = "no-route"
+            self._finish(receipt)
+            return receipt
+
+        total_delay = 0.0
+        current = datagram
+        for link in links:
+            receipt.hops += 1
+            # Natural loss first, then attacker taps: a dropped packet
+            # never reaches the tap further down the same hop.
+            dropped = link.sample_drop()
+            link.account(current.size, dropped)
+            if dropped:
+                receipt.dropped_by = link.name
+                self._finish(receipt)
+                return receipt
+            total_delay += link.sample_delay()
+            action = self._run_taps(link, current)
+            if action.verdict is TapVerdict.DROP:
+                receipt.dropped_by = f"tap:{link.name}"
+                self._finish(receipt)
+                return receipt
+            if action.verdict is TapVerdict.REWRITE:
+                if action.payload is None:
+                    raise ValueError("REWRITE verdict requires a payload")
+                current = current.with_payload(action.payload)
+                receipt.rewritten = True
+            total_delay += action.extra_delay
+
+        final = current
+        arrival = self._simulator.now + total_delay
+
+        def deliver() -> None:
+            accepted = destination_host.deliver(final)
+            receipt.arrival_time = self._simulator.now
+            receipt.delivered = accepted
+            if accepted:
+                self._datagrams_delivered += 1
+            else:
+                receipt.dropped_by = "no-socket"
+            self._finish(receipt, schedule=False)
+
+        self._simulator.schedule_at(arrival, deliver,
+                                    label=f"deliver#{final.packet_id}")
+        return receipt
+
+    def _run_taps(self, link: Link, datagram: Datagram) -> TapAction:
+        for tap in self._taps.get(link.name, []):
+            action = tap(link, datagram)
+            if action.verdict is not TapVerdict.PASS:
+                return action
+        return TapAction.passthrough()
+
+    def _finish(self, receipt: DeliveryReceipt, schedule: bool = True) -> None:
+        """Record a receipt; dropped packets finish immediately."""
+        if schedule and receipt.arrival_time is None:
+            # Dropped in-flight: notify observers right away.
+            pass
+        if self._keep_receipts:
+            self._receipts.append(receipt)
+        for observer in self._observers:
+            observer(receipt)

@@ -1,0 +1,127 @@
+"""Network links with latency, jitter and loss.
+
+A :class:`Link` joins two topology nodes. Its :class:`LinkProfile`
+captures the performance characteristics; per-packet latency and loss
+are drawn from a named random stream so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.util.validation import check_non_negative, check_probability
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Performance characteristics of a link.
+
+    :param latency: one-way propagation delay in seconds.
+    :param jitter: maximum uniform jitter added per packet, in seconds.
+    :param loss: independent per-packet drop probability.
+    """
+
+    latency: float = 0.010
+    jitter: float = 0.0
+    loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.latency, "latency")
+        check_non_negative(self.jitter, "jitter")
+        check_probability(self.loss, "loss")
+
+    @classmethod
+    def lan(cls) -> "LinkProfile":
+        """A sub-millisecond local link."""
+        return cls(latency=0.0005, jitter=0.0001, loss=0.0)
+
+    @classmethod
+    def metro(cls) -> "LinkProfile":
+        """A same-metro link (a few milliseconds)."""
+        return cls(latency=0.003, jitter=0.001, loss=0.0)
+
+    @classmethod
+    def continental(cls) -> "LinkProfile":
+        """A same-continent backbone hop."""
+        return cls(latency=0.020, jitter=0.004, loss=0.0)
+
+    @classmethod
+    def transoceanic(cls) -> "LinkProfile":
+        """A trans-oceanic backbone hop."""
+        return cls(latency=0.070, jitter=0.010, loss=0.0)
+
+    @classmethod
+    def lossy(cls, loss: float, latency: float = 0.030) -> "LinkProfile":
+        """A degraded link with the given drop probability."""
+        return cls(latency=latency, jitter=latency / 4.0, loss=loss)
+
+
+class Link:
+    """A bidirectional link between two topology node names.
+
+    The link itself is passive; the :class:`repro.netsim.internet.Internet`
+    walks a packet along its route's links, asking each link for a delay
+    sample and a drop decision.
+    """
+
+    def __init__(self, a: str, b: str, profile: LinkProfile,
+                 rng: random.Random) -> None:
+        if a == b:
+            raise ValueError(f"link endpoints must differ, got {a!r} twice")
+        self._a = a
+        self._b = b
+        self._profile = profile
+        self._rng = rng
+        self._packets_carried = 0
+        self._packets_dropped = 0
+        self._bytes_carried = 0
+
+    @property
+    def ends(self) -> Tuple[str, str]:
+        """The two node names this link joins (in construction order)."""
+        return (self._a, self._b)
+
+    @property
+    def name(self) -> str:
+        """Canonical (sorted) name, stable regardless of direction."""
+        return "--".join(sorted((self._a, self._b)))
+
+    @property
+    def profile(self) -> LinkProfile:
+        return self._profile
+
+    @property
+    def packets_carried(self) -> int:
+        return self._packets_carried
+
+    @property
+    def packets_dropped(self) -> int:
+        return self._packets_dropped
+
+    @property
+    def bytes_carried(self) -> int:
+        return self._bytes_carried
+
+    def sample_delay(self) -> float:
+        """Draw the per-packet one-way delay for this hop."""
+        jitter = self._rng.uniform(0.0, self._profile.jitter) if self._profile.jitter else 0.0
+        return self._profile.latency + jitter
+
+    def sample_drop(self) -> bool:
+        """Decide whether this hop drops the packet."""
+        if self._profile.loss == 0.0:
+            return False
+        return self._rng.random() < self._profile.loss
+
+    def account(self, size: int, dropped: bool) -> None:
+        """Record traffic statistics for this hop."""
+        self._packets_carried += 1
+        self._bytes_carried += size
+        if dropped:
+            self._packets_dropped += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Link({self._a}--{self._b}, {self._profile.latency * 1000:.1f}ms"
+                f", loss={self._profile.loss})")

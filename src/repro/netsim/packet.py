@@ -1,0 +1,59 @@
+"""Packet models for the simulated network.
+
+The simulation is datagram-oriented: DNS-over-UDP sends raw
+:class:`Datagram` payloads, while the DoH stack layers a simulated
+secure stream (see :mod:`repro.doh.tls`) on top of datagrams.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.netsim.address import Endpoint
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """A UDP-style datagram.
+
+    ``src`` is whatever the sender *claims* — the simulated network, like
+    the real one, does not authenticate source addresses, which is what
+    makes off-path spoofing attacks possible.
+
+    ``packet_id`` is a simulation-unique identifier used for tracing and
+    by attacker taps to deduplicate observations.
+    """
+
+    src: Endpoint
+    dst: Endpoint
+    payload: bytes
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    # Marks packets injected by an attacker (for accounting only; no
+    # protocol code may branch on it — that would be cheating).
+    spoofed: bool = False
+    # Optional logical channel label, e.g. "tls:<session>" for stream
+    # segments carried over the datagram layer.
+    channel: Optional[str] = None
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes (headers are not modelled)."""
+        return len(self.payload)
+
+    def reply_template(self, payload: bytes) -> "Datagram":
+        """Build a response datagram with src/dst swapped."""
+        return Datagram(src=self.dst, dst=self.src, payload=payload,
+                        channel=self.channel)
+
+    def with_payload(self, payload: bytes) -> "Datagram":
+        """Copy with a different payload (used by tampering attackers)."""
+        return replace(self, payload=payload, packet_id=next(_packet_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tag = " spoofed" if self.spoofed else ""
+        return (f"Datagram(#{self.packet_id} {self.src} -> {self.dst}, "
+                f"{len(self.payload)}B{tag})")

@@ -1,0 +1,197 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine keeps a priority queue of timestamped events and executes them
+in ``(time, sequence)`` order, so two events scheduled for the same
+virtual instant fire in scheduling order. Virtual time is a float in
+seconds and only advances when the queue is drained up to an event.
+
+The engine is intentionally callback-based (no coroutines): callbacks
+keep execution order explicit and make attack races reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+Callback = Callable[[], None]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduler usage (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Comparable by ``(time, sequence)``.
+
+    Instances are returned from :meth:`Simulator.schedule` as handles;
+    call :meth:`cancel` to prevent a pending event from firing.
+    """
+
+    time: float
+    sequence: int
+    callback: Callback = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing; safe to call repeatedly."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, #{self.sequence}, {self.label or 'anon'}, {state})"
+
+
+class Simulator:
+    """A single-threaded discrete-event scheduler with virtual time.
+
+    >>> sim = Simulator()
+    >>> order = []
+    >>> _ = sim.schedule_at(2.0, lambda: order.append("b"))
+    >>> _ = sim.schedule_at(1.0, lambda: order.append("a"))
+    >>> sim.run()
+    >>> order
+    ['a', 'b']
+    >>> sim.now
+    2.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self._executed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        """Count of callbacks executed so far (cancelled ones excluded)."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-fired, not-cancelled events in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule_at(self, when: float, callback: Callback, label: str = "") -> Event:
+        """Schedule ``callback`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when} before now={self._now}"
+            )
+        event = Event(time=float(when), sequence=next(self._sequence),
+                      callback=callback, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay: float, callback: Callback, label: str = "") -> Event:
+        """Schedule ``callback`` after a relative ``delay`` in seconds."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, callback, label=label)
+
+    def call_soon(self, callback: Callback, label: str = "") -> Event:
+        """Schedule ``callback`` at the current instant (after current event)."""
+        return self.schedule_after(0.0, callback, label=label)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the event queue.
+
+        :param until: stop once virtual time would exceed this bound;
+            time is left at ``until`` if the queue outlives it.
+        :param max_events: safety valve — stop after this many callbacks.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            executed_this_run = 0
+            while self._queue:
+                if max_events is not None and executed_this_run >= max_events:
+                    break
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if until is not None and event.time > until:
+                    # Put it back; the caller may resume later.
+                    heapq.heappush(self._queue, event)
+                    self._now = max(self._now, until)
+                    return
+                self._now = event.time
+                event.callback()
+                self._executed += 1
+                executed_this_run += 1
+            if until is not None:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        """Run until no events remain (bounded by ``max_events``)."""
+        self.run(max_events=max_events)
+
+    def step(self) -> bool:
+        """Execute exactly one pending event. Returns False when idle."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._executed += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Drop all pending events without running them."""
+        self._queue.clear()
+
+
+class Timer:
+    """A restartable one-shot timer bound to a :class:`Simulator`.
+
+    Commonly used for retransmission/timeout logic in protocol code.
+    """
+
+    def __init__(self, simulator: Simulator, callback: Callback, label: str = "timer") -> None:
+        self._simulator = simulator
+        self._callback = callback
+        self._label = label
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether the timer currently has a pending expiry."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer to fire after ``delay`` seconds."""
+        self.cancel()
+        self._event = self._simulator.schedule_after(
+            delay, self._fire, label=self._label
+        )
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+def run_all(simulator: Simulator, *, max_events: int = 1_000_000) -> Any:
+    """Convenience: drain ``simulator`` and return it (for chaining)."""
+    simulator.run_until_idle(max_events=max_events)
+    return simulator

@@ -1,0 +1,38 @@
+"""NTP substrate and the Chronos watchdog.
+
+The paper's motivating application: Chronos (Deutsch et al., NDSS'18)
+protects NTP clients from malicious *servers* — provided the server pool
+it samples from contains an honest majority. The pool comes from DNS,
+which is the weak link [1] this paper closes.
+
+* :mod:`repro.ntp.clock` — simulated clocks with offset and drift;
+* :mod:`repro.ntp.packet` — NTP timestamps and offset/delay arithmetic;
+* :mod:`repro.ntp.server` — honest and lying NTP servers on port 123;
+* :mod:`repro.ntp.client` — an SNTP-style sampling client;
+* :mod:`repro.ntp.pool` — deployment of a fleet of pool servers behind
+  the DNS directory;
+* :mod:`repro.ntp.chronos` — the Chronos sampling/cropping watchdog.
+"""
+
+from repro.ntp.chronos import ChronosClient, ChronosConfig, ChronosOutcome, ChronosStatus
+from repro.ntp.clock import SimClock
+from repro.ntp.client import NtpClient, NtpSample
+from repro.ntp.packet import NTP_PORT, NtpPacket, offset_and_delay
+from repro.ntp.pool import NtpFleet, deploy_ntp_fleet
+from repro.ntp.server import NtpServer
+
+__all__ = [
+    "ChronosClient",
+    "ChronosConfig",
+    "ChronosOutcome",
+    "ChronosStatus",
+    "SimClock",
+    "NtpClient",
+    "NtpSample",
+    "NTP_PORT",
+    "NtpPacket",
+    "offset_and_delay",
+    "NtpFleet",
+    "deploy_ntp_fleet",
+    "NtpServer",
+]

@@ -1,0 +1,213 @@
+"""The Chronos watchdog (Deutsch, Rotenberg Schiff, Dolev, Schapira —
+NDSS 2018), as the paper's downstream consumer of the server pool.
+
+Chronos hardens an NTP client against malicious *servers*:
+
+1. sample ``m`` servers uniformly from the pool;
+2. discard the ``d`` lowest and ``d`` highest offsets (cropping);
+3. if the surviving offsets agree (span ≤ ``agreement_window``) and
+   their average is within ``panic_threshold`` of the local clock,
+   apply the average;
+4. otherwise retry with a fresh sample; after ``max_retries`` failures
+   enter **panic mode**: query *every* server in the pool, crop a third
+   from each end, and apply the average of the middle third.
+
+Its guarantee assumes the pool holds a honest majority (in fact ≥ 2/3
+honest for panic mode). [1] broke that assumption upstream by poisoning
+the DNS step that builds the pool; this paper's Algorithm 1 restores it.
+The implementation follows the NDSS'18 description at the level of
+detail the security argument needs; NTP-layer crypto is out of scope.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.netsim.address import IPAddress
+from repro.ntp.client import NtpClient, NtpSample
+from repro.util.validation import check_positive
+
+
+class ChronosStatus(enum.Enum):
+    """How a synchronisation round concluded."""
+
+    UPDATED = "updated"              # normal round succeeded
+    PANIC_UPDATED = "panic-updated"  # panic mode applied a correction
+    FAILED = "failed"                # not enough responsive servers
+
+
+@dataclass(frozen=True)
+class ChronosConfig:
+    """Chronos parameters (NDSS'18 §4, simulation-scaled defaults).
+
+    :param sample_size: ``m``, servers sampled per round.
+    :param crop: ``d``, samples cropped from each end of the sorted
+        offsets. Chronos uses m/3 so that up to a third of sampled
+        servers may lie without moving the surviving set.
+    :param agreement_window: ``w``, max allowed span of surviving
+        offsets in seconds.
+    :param panic_threshold: ``ERR``, max |average offset| accepted
+        without panicking, in seconds.
+    :param max_retries: resamples before panic mode.
+    :param min_responses: samples that must answer for a round to count.
+    """
+
+    sample_size: int = 9
+    crop: Optional[int] = None
+    agreement_window: float = 0.050
+    panic_threshold: float = 0.200
+    max_retries: int = 2
+    min_responses: int = 5
+
+    def __post_init__(self) -> None:
+        check_positive(self.sample_size, "sample_size")
+        check_positive(self.agreement_window, "agreement_window")
+        check_positive(self.panic_threshold, "panic_threshold")
+        if self.crop is not None and self.crop < 0:
+            raise ValueError(f"crop must be >= 0, got {self.crop}")
+
+    @property
+    def effective_crop(self) -> int:
+        """``d``; defaults to a third of the sample size."""
+        if self.crop is not None:
+            return self.crop
+        return self.sample_size // 3
+
+
+@dataclass
+class ChronosOutcome:
+    """Result of one synchronisation round."""
+
+    status: ChronosStatus
+    offset_applied: Optional[float] = None
+    samples: List[NtpSample] = field(default_factory=list)
+    rounds_used: int = 0
+    panicked: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status is not ChronosStatus.FAILED
+
+
+SyncCallback = Callable[[ChronosOutcome], None]
+
+
+class ChronosClient:
+    """A Chronos-protected NTP client.
+
+    :param ntp_client: transport + local clock.
+    :param pool: the server pool (addresses, possibly with duplicates —
+        duplicates are sampled as distinct entries, matching §IV of the
+        DoH paper).
+    :param config: Chronos parameters.
+    :param rng: sampling randomness.
+    """
+
+    def __init__(self, ntp_client: NtpClient,
+                 pool: Sequence["IPAddress | str"],
+                 config: Optional[ChronosConfig] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        if not pool:
+            raise ValueError("Chronos needs a non-empty server pool")
+        self._ntp = ntp_client
+        self._pool = [IPAddress(address) for address in pool]
+        self._config = config or ChronosConfig()
+        self._rng = rng or random.Random(0)
+        self._syncs = 0
+        self._panics = 0
+
+    @property
+    def pool(self) -> List[IPAddress]:
+        return list(self._pool)
+
+    @property
+    def config(self) -> ChronosConfig:
+        return self._config
+
+    @property
+    def panics(self) -> int:
+        return self._panics
+
+    def set_pool(self, pool: Sequence["IPAddress | str"]) -> None:
+        """Replace the pool (e.g. after a fresh DNS generation)."""
+        if not pool:
+            raise ValueError("Chronos needs a non-empty server pool")
+        self._pool = [IPAddress(address) for address in pool]
+
+    # ------------------------------------------------------------------
+    # Synchronisation.
+    # ------------------------------------------------------------------
+
+    def sync(self, callback: SyncCallback) -> None:
+        """Run one Chronos round (with retries/panic); fires once."""
+        self._syncs += 1
+        self._round(attempt=0, callback=callback)
+
+    def _round(self, attempt: int, callback: SyncCallback) -> None:
+        count = min(self._config.sample_size, len(self._pool))
+        chosen = self._rng.sample(range(len(self._pool)), count)
+        servers = [self._pool[i] for i in chosen]
+        self._collect(servers, lambda samples: self._evaluate(
+            samples, attempt, callback))
+
+    def _collect(self, servers: List[IPAddress],
+                 done: Callable[[List[NtpSample]], None]) -> None:
+        samples: List[NtpSample] = []
+        expected = len(servers)
+
+        def on_sample(sample: NtpSample) -> None:
+            samples.append(sample)
+            if len(samples) == expected:
+                done(samples)
+
+        for server in servers:
+            self._ntp.sample(server, on_sample)
+
+    def _evaluate(self, samples: List[NtpSample], attempt: int,
+                  callback: SyncCallback) -> None:
+        offsets = sorted(s.offset for s in samples if s.ok)
+        config = self._config
+        if len(offsets) >= config.min_responses:
+            d = min(config.effective_crop, (len(offsets) - 1) // 2)
+            surviving = offsets[d:len(offsets) - d] if d else offsets
+            span = surviving[-1] - surviving[0]
+            average = sum(surviving) / len(surviving)
+            if (span <= config.agreement_window
+                    and abs(average) <= config.panic_threshold):
+                self._ntp.clock.step(average)
+                callback(ChronosOutcome(status=ChronosStatus.UPDATED,
+                                        offset_applied=average,
+                                        samples=samples,
+                                        rounds_used=attempt + 1))
+                return
+        if attempt < config.max_retries:
+            self._round(attempt + 1, callback)
+            return
+        self._panic(attempt + 1, callback)
+
+    def _panic(self, rounds_used: int, callback: SyncCallback) -> None:
+        """Panic mode: query the whole pool, trim a third per side."""
+        self._panics += 1
+
+        def on_all(samples: List[NtpSample]) -> None:
+            offsets = sorted(s.offset for s in samples if s.ok)
+            if not offsets:
+                callback(ChronosOutcome(status=ChronosStatus.FAILED,
+                                        samples=samples,
+                                        rounds_used=rounds_used,
+                                        panicked=True))
+                return
+            third = len(offsets) // 3
+            middle = offsets[third:len(offsets) - third] or offsets
+            average = sum(middle) / len(middle)
+            self._ntp.clock.step(average)
+            callback(ChronosOutcome(status=ChronosStatus.PANIC_UPDATED,
+                                    offset_applied=average,
+                                    samples=samples,
+                                    rounds_used=rounds_used + 1,
+                                    panicked=True))
+
+        self._collect(list(self._pool), on_all)

@@ -1,0 +1,112 @@
+"""SNTP-style sampling client: one query, one offset sample."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.netsim.address import Endpoint, IPAddress
+from repro.netsim.host import Host
+from repro.netsim.packet import Datagram
+from repro.netsim.simulator import Simulator, Timer
+from repro.ntp.clock import SimClock
+from repro.ntp.packet import (
+    MODE_SERVER,
+    NTP_PORT,
+    NtpFormatError,
+    NtpPacket,
+    offset_and_delay,
+)
+
+
+@dataclass
+class NtpSample:
+    """One measured (offset, delay) pair from one server."""
+
+    server: IPAddress
+    offset: Optional[float]
+    delay: Optional[float]
+    timed_out: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.timed_out and self.offset is not None
+
+
+SampleCallback = Callable[[NtpSample], None]
+
+
+class NtpClient:
+    """Issues NTP queries from a host and reads offsets against a clock.
+
+    :param host: the client machine.
+    :param simulator: for timeouts.
+    :param clock: the local clock being disciplined; all four
+        timestamps are taken from it (t1/t4) and the server (t2/t3).
+    :param timeout: per-query timeout in seconds.
+    """
+
+    def __init__(self, host: Host, simulator: Simulator, clock: SimClock,
+                 timeout: float = 1.0) -> None:
+        self._host = host
+        self._simulator = simulator
+        self._clock = clock
+        self._timeout = timeout
+        self._queries = 0
+        self._timeouts = 0
+
+    @property
+    def clock(self) -> SimClock:
+        return self._clock
+
+    @property
+    def queries(self) -> int:
+        return self._queries
+
+    @property
+    def timeouts(self) -> int:
+        return self._timeouts
+
+    def sample(self, server: "IPAddress | str",
+               callback: SampleCallback) -> None:
+        """Measure offset/delay against one server; fires once."""
+        address = IPAddress(server)
+        self._queries += 1
+        state = {"done": False}
+        socket = self._host.ephemeral_socket()
+        t1 = self._clock.now()
+        request = NtpPacket(origin=t1)
+
+        def finish(sample: NtpSample) -> None:
+            if state["done"]:
+                return
+            state["done"] = True
+            timer.cancel()
+            socket.close()
+            callback(sample)
+
+        def on_datagram(datagram: Datagram) -> None:
+            if state["done"]:
+                return
+            try:
+                reply = NtpPacket.decode(datagram.payload)
+            except NtpFormatError:
+                return
+            if reply.mode != MODE_SERVER or reply.origin != t1:
+                return  # not our transaction
+            if datagram.src != Endpoint(address, NTP_PORT):
+                return
+            t4 = self._clock.now()
+            offset, delay = offset_and_delay(t1, reply.receive,
+                                             reply.transmit, t4)
+            finish(NtpSample(server=address, offset=offset, delay=delay))
+
+        def on_timeout() -> None:
+            self._timeouts += 1
+            finish(NtpSample(server=address, offset=None, delay=None,
+                             timed_out=True))
+
+        socket.on_datagram(on_datagram)
+        timer = Timer(self._simulator, on_timeout, label="ntp-sample")
+        timer.start(self._timeout)
+        socket.sendto(Endpoint(address, NTP_PORT), request.encode())

@@ -1,0 +1,78 @@
+"""NTP packets and offset/delay arithmetic (RFC 5905 §8).
+
+The wire format is reduced to the four timestamps the offset computation
+needs plus mode/version/stratum bookkeeping; 64-bit NTP-era encoding is
+replaced by float seconds (the arithmetic, which is what attacks target,
+is exact).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+NTP_PORT = 123
+
+MODE_CLIENT = 3
+MODE_SERVER = 4
+
+_FORMAT = "!BBBdddd"  # version, mode, stratum, t1..t4 (origin, rx, tx, dst)
+_SIZE = struct.calcsize(_FORMAT)
+
+
+class NtpFormatError(ValueError):
+    """Raised when decoding malformed NTP bytes."""
+
+
+@dataclass(frozen=True)
+class NtpPacket:
+    """An NTP packet carrying the timestamp handshake.
+
+    * ``origin``   (t1): client's clock when the request left.
+    * ``receive``  (t2): server's clock when the request arrived.
+    * ``transmit`` (t3): server's clock when the reply left.
+
+    The client's arrival reading (t4) never travels on the wire; it is
+    taken locally and passed to :func:`offset_and_delay`.
+    """
+
+    mode: int = MODE_CLIENT
+    version: int = 4
+    stratum: int = 0
+    origin: float = 0.0
+    receive: float = 0.0
+    transmit: float = 0.0
+
+    def encode(self) -> bytes:
+        return struct.pack(_FORMAT, self.version, self.mode, self.stratum,
+                           self.origin, self.receive, self.transmit, 0.0)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "NtpPacket":
+        if len(data) != _SIZE:
+            raise NtpFormatError(
+                f"NTP packet must be {_SIZE} bytes, got {len(data)}")
+        version, mode, stratum, origin, receive, transmit, _ = struct.unpack(
+            _FORMAT, data)
+        return cls(mode=mode, version=version, stratum=stratum,
+                   origin=origin, receive=receive, transmit=transmit)
+
+    def reply(self, receive: float, transmit: float,
+              stratum: int = 2) -> "NtpPacket":
+        """Build the server reply for this client request."""
+        return replace(self, mode=MODE_SERVER, stratum=stratum,
+                       receive=receive, transmit=transmit)
+
+
+def offset_and_delay(t1: float, t2: float, t3: float,
+                     t4: float) -> Tuple[float, float]:
+    """RFC 5905 offset/delay from the four timestamps.
+
+    :returns: ``(offset, delay)`` where *offset* is how far the client
+        clock lags the server clock (positive = client is behind) and
+        *delay* is the round-trip time net of server processing.
+    """
+    offset = ((t2 - t1) + (t3 - t4)) / 2.0
+    delay = (t4 - t1) - (t3 - t2)
+    return offset, delay

@@ -1,0 +1,74 @@
+"""NTP servers: honest ones read their clock; malicious ones lie.
+
+A lying server shifts every timestamp it reports by ``lie_offset``,
+which is the time-shifting attack NTP security work (and Chronos)
+defends against. The lie is applied consistently to t2 and t3 so the
+delay computation stays plausible — a naive lie that inflates delay
+would be trivially filtered.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.host import Host
+from repro.netsim.packet import Datagram
+from repro.ntp.clock import SimClock
+from repro.ntp.packet import MODE_CLIENT, NTP_PORT, NtpFormatError, NtpPacket
+
+
+class NtpServer:
+    """An NTP responder bound to host:123.
+
+    :param host: simulated machine.
+    :param clock: the clock whose readings are served.
+    :param lie_offset: seconds added to reported timestamps; non-zero
+        makes this a malicious (time-shifting) server.
+    :param stratum: advertised stratum.
+    """
+
+    def __init__(self, host: Host, clock: SimClock, lie_offset: float = 0.0,
+                 stratum: int = 2, port: int = NTP_PORT) -> None:
+        self._host = host
+        self._clock = clock
+        self._lie_offset = lie_offset
+        self._stratum = stratum
+        self._socket = host.bind(port, self._handle_datagram)
+        self._requests_served = 0
+
+    @property
+    def host(self) -> Host:
+        return self._host
+
+    @property
+    def is_malicious(self) -> bool:
+        return self._lie_offset != 0.0
+
+    @property
+    def lie_offset(self) -> float:
+        return self._lie_offset
+
+    @property
+    def requests_served(self) -> int:
+        return self._requests_served
+
+    def set_lie_offset(self, lie_offset: float) -> None:
+        """Reconfigure the lie (used by adaptive attack experiments)."""
+        self._lie_offset = lie_offset
+
+    def _reading(self) -> float:
+        return self._clock.now() + self._lie_offset
+
+    def _handle_datagram(self, datagram: Datagram) -> None:
+        try:
+            request = NtpPacket.decode(datagram.payload)
+        except NtpFormatError:
+            return
+        if request.mode != MODE_CLIENT:
+            return
+        self._requests_served += 1
+        arrival = self._reading()
+        # Server processing is instantaneous in simulation; departure
+        # equals arrival. (Processing delay would cancel in the delay
+        # formula anyway.)
+        reply = request.reply(receive=arrival, transmit=self._reading(),
+                              stratum=self._stratum)
+        self._socket.reply(datagram, reply.encode())

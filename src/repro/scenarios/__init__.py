@@ -1,0 +1,25 @@
+"""Scenario builders: assembled simulated worlds for experiments.
+
+A *scenario* wires together the substrates — topology, DNS tree, DoH
+providers, NTP pool, client — into the system of the paper's Figure 1,
+parameterised by provider count, pool size, attacker placement, and so
+on. Tests, examples and benchmarks all build their worlds here so that
+experiment code stays declarative.
+"""
+
+from repro.scenarios.builders import PoolScenario, build_pool_scenario
+from repro.scenarios.workload import PoolDirectory
+from repro.scenarios.presets import (
+    figure1_scenario,
+    large_scale_scenario,
+    lossy_network_scenario,
+)
+
+__all__ = [
+    "PoolScenario",
+    "build_pool_scenario",
+    "PoolDirectory",
+    "figure1_scenario",
+    "large_scale_scenario",
+    "lossy_network_scenario",
+]

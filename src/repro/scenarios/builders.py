@@ -1,0 +1,240 @@
+"""Assembly of the paper's Figure 1 world.
+
+``build_pool_scenario`` constructs, inside one deterministic simulation:
+
+* the global backbone topology;
+* the DNS tree: root → org → ntp.org, with the pool zone served by
+  three nameservers (``c/d/e.ntpns.org``, as in Figure 1);
+* N DoH providers (dns.google / cloudflare-dns.com / dns.quad9.net for
+  N ≤ 3, synthetic ones beyond), each a host running a recursive
+  resolver plus a DoH front-end with a CA-issued certificate;
+* the NTP pool membership (:class:`repro.scenarios.workload.PoolDirectory`)
+  behind ``pool.ntp.org`` with per-query rotation;
+* a client host with the CA in its trust store.
+
+Everything derives from one root seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dns.name import Name
+from repro.dns.rdata import ARdata, NSRdata
+from repro.dns.resolver import ResolverConfig
+from repro.dns.rrtype import RRType
+from repro.dns.server import AuthoritativeServer
+from repro.dns.zone import Zone
+from repro.doh.providers import (
+    FIGURE1_PROVIDERS,
+    DoHProviderProfile,
+    ProviderDeployment,
+    deploy_provider,
+    synthetic_profiles,
+)
+from repro.doh.tls import CertificateAuthority, TrustStore
+from repro.netsim.address import IPAddress, ip
+from repro.netsim.host import Host
+from repro.netsim.internet import Internet
+from repro.netsim.link import LinkProfile
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import Topology
+from repro.scenarios.workload import PoolDirectory
+from repro.util.rng import RngRegistry
+
+POOL_DOMAIN = Name("pool.ntp.org")
+
+# Infrastructure addresses (stable across scenarios for debuggability).
+ROOT_NS_ADDRESS = "10.0.0.1"
+ORG_NS_ADDRESS = "10.0.0.2"
+NTP_NS_ADDRESSES = {
+    "c.ntpns.org": "10.0.0.11",
+    "d.ntpns.org": "10.0.0.12",
+    "e.ntpns.org": "10.0.0.13",
+}
+CLIENT_ADDRESS = "10.99.0.1"
+
+
+@dataclass
+class PoolScenario:
+    """A fully wired Figure 1 world."""
+
+    seed: int
+    simulator: Simulator
+    internet: Internet
+    rng: RngRegistry
+    client: Host
+    providers: List[ProviderDeployment]
+    authority: CertificateAuthority
+    trust_store: TrustStore
+    directory: PoolDirectory
+    pool_domain: Name = POOL_DOMAIN
+    pool_zone: Zone = None
+    dns_servers: Dict[str, AuthoritativeServer] = field(default_factory=dict)
+    root_hints: List = field(default_factory=list)
+
+    @property
+    def provider_endpoints(self) -> List:
+        return [deployment.endpoint for deployment in self.providers]
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Drain the simulation (convenience passthrough)."""
+        self.simulator.run(until=until)
+
+    # ------------------------------------------------------------------
+    # Core-layer conveniences (import locally to avoid layering cycles).
+    # ------------------------------------------------------------------
+
+    def make_resolver_set(self, assumed_secure_fraction: float = 0.5):
+        """A :class:`repro.core.ResolverSet` over this scenario's
+        providers."""
+        from repro.core.resolverset import ResolverRef, ResolverSet
+        refs = [ResolverRef(name=deployment.name,
+                            endpoint=deployment.endpoint)
+                for deployment in self.providers]
+        return ResolverSet(refs, assumed_secure_fraction)
+
+    def make_doh_client(self, stream: str = "doh-client", method: str = "GET",
+                        timeout: float = 4.0, retries: int = 2):
+        """A :class:`repro.doh.DoHClient` on this scenario's client."""
+        from repro.doh.client import DoHClient
+        return DoHClient(self.client, self.simulator, self.trust_store,
+                         rng=self.rng.stream(stream), method=method,
+                         timeout=timeout, retries=retries)
+
+    def make_generator(self, config=None, assumed_secure_fraction: float = 0.5,
+                       method: str = "GET", timeout: float = 4.0,
+                       retries: int = 2):
+        """A ready-to-use :class:`repro.core.SecurePoolGenerator`."""
+        from repro.core.pool import SecurePoolGenerator
+        return SecurePoolGenerator(
+            self.make_doh_client(method=method, timeout=timeout,
+                                 retries=retries),
+            self.make_resolver_set(assumed_secure_fraction),
+            self.simulator, config)
+
+    def generate_pool_sync(self, generator=None, domain: Optional[str] = None):
+        """Run one Algorithm 1 generation to completion and return it."""
+        engine = generator or self.make_generator()
+        results: List = []
+        engine.generate(domain or self.pool_domain.to_text(), results.append)
+        self.simulator.run()
+        if len(results) != 1:
+            raise RuntimeError("pool generation did not complete")
+        return results[0]
+
+
+def _make_benign_pool(pool_size: int, dual_stack: bool) -> List[str]:
+    addresses = [f"172.16.{index // 250}.{index % 250 + 1}"
+                 for index in range(pool_size)]
+    if dual_stack:
+        addresses += [f"fd00:a17e::{index + 1:x}" for index in range(pool_size)]
+    return addresses
+
+
+def build_pool_scenario(
+    seed: int = 1,
+    num_providers: int = 3,
+    pool_size: int = 20,
+    answers_per_query: int = 4,
+    dual_stack: bool = False,
+    profiles: Optional[List[DoHProviderProfile]] = None,
+    resolver_config: Optional[ResolverConfig] = None,
+    access_link: Optional[LinkProfile] = None,
+    pool_ttl: int = 60,
+) -> PoolScenario:
+    """Build the Figure 1 world. See module docstring for contents."""
+    if num_providers < 1:
+        raise ValueError("need at least one provider")
+    registry = RngRegistry(seed)
+    simulator = Simulator()
+    topology = Topology.global_backbone(rng_registry=registry)
+
+    # Attach infrastructure edges.
+    edge = access_link or LinkProfile.metro()
+    topology.add_link("client-edge", "eu-central", edge)
+    topology.add_link("dns-root-edge", "us-east", LinkProfile.metro())
+    topology.add_link("dns-org-edge", "eu-west", LinkProfile.metro())
+    topology.add_link("ntpns-edge", "us-west", LinkProfile.metro())
+    internet = Internet(simulator, topology, registry)
+
+    # --- DNS tree -----------------------------------------------------
+    root_host = internet.add_host(
+        Host("a.root-servers.net", "dns-root-edge", [ip(ROOT_NS_ADDRESS)]))
+    org_host = internet.add_host(
+        Host("a0.org.afilias-nst.info", "dns-org-edge", [ip(ORG_NS_ADDRESS)]))
+
+    root_zone = Zone(".", soa_mname="a.root-servers.net")
+    root_zone.add_delegation("org", "a0.org.afilias-nst.info")
+    # Out-of-zone NS target needs glue at the root (it lives under
+    # .info in reality; here the root carries the A record directly).
+    root_zone.add_record("a0.org.afilias-nst.info", ARdata(ORG_NS_ADDRESS))
+
+    org_zone = Zone("org", soa_mname="a0.org.afilias-nst.info")
+    ntpns_hosts = {}
+    for ns_name, address in NTP_NS_ADDRESSES.items():
+        org_zone.add_delegation("ntp.org", ns_name, glue=[ARdata(address)])
+        ntpns_hosts[ns_name] = internet.add_host(
+            Host(ns_name, "ntpns-edge", [ip(address)]))
+    # ntpns.org itself is a real zone too (its servers' names live there).
+    org_zone.add_delegation("ntpns.org", "c.ntpns.org",
+                            glue=[ARdata(NTP_NS_ADDRESSES["c.ntpns.org"])])
+
+    directory = PoolDirectory(
+        benign=_make_benign_pool(pool_size, dual_stack=dual_stack),
+        answers_per_query=answers_per_query,
+        rng=registry.stream("pool-rotation"),
+    )
+    pool_zone = Zone("ntp.org", soa_mname="c.ntpns.org", default_ttl=pool_ttl)
+    for ns_name in NTP_NS_ADDRESSES:
+        pool_zone.add_record("ntp.org", NSRdata(Name(ns_name)))
+    pool_zone.add_provider(POOL_DOMAIN, RRType.A,
+                           directory.record_provider(family=4), ttl=pool_ttl)
+    if dual_stack:
+        pool_zone.add_provider(POOL_DOMAIN, RRType.AAAA,
+                               directory.record_provider(family=6),
+                               ttl=pool_ttl)
+
+    ntpns_zone = Zone("ntpns.org", soa_mname="c.ntpns.org")
+    for ns_name, address in NTP_NS_ADDRESSES.items():
+        ntpns_zone.add_record(ns_name, ARdata(address))
+
+    dns_servers = {
+        "root": AuthoritativeServer(root_host, [root_zone]),
+        "org": AuthoritativeServer(org_host, [org_zone]),
+    }
+    for ns_name, host in ntpns_hosts.items():
+        dns_servers[ns_name] = AuthoritativeServer(host, [pool_zone, ntpns_zone])
+
+    root_hints = [(Name("a.root-servers.net"), IPAddress(ROOT_NS_ADDRESS))]
+
+    # --- DoH providers -------------------------------------------------
+    authority = CertificateAuthority("SimRoot CA", registry.stream("ca"))
+    if profiles is None:
+        if num_providers <= len(FIGURE1_PROVIDERS):
+            profiles = FIGURE1_PROVIDERS[:num_providers]
+        else:
+            profiles = list(FIGURE1_PROVIDERS) + synthetic_profiles(
+                num_providers - len(FIGURE1_PROVIDERS),
+                regions=["us-west", "us-east", "eu-west", "eu-central",
+                         "asia-east", "asia-south"])
+    elif len(profiles) != num_providers:
+        raise ValueError("profiles length must equal num_providers")
+    providers = [
+        deploy_provider(internet, profile, authority, root_hints, registry,
+                        resolver_config=resolver_config)
+        for profile in profiles
+    ]
+
+    trust_store = TrustStore([authority])
+    client = internet.add_host(
+        Host("client", "client-edge", [ip(CLIENT_ADDRESS)],
+             rng=registry.stream("client-ports")))
+
+    return PoolScenario(
+        seed=seed, simulator=simulator, internet=internet, rng=registry,
+        client=client, providers=providers, authority=authority,
+        trust_store=trust_store, directory=directory, pool_zone=pool_zone,
+        dns_servers=dns_servers, root_hints=root_hints,
+    )

@@ -1,0 +1,32 @@
+"""Named scenario presets used across examples and benchmarks."""
+
+from __future__ import annotations
+
+from repro.dns.resolver import ResolverConfig
+from repro.netsim.link import LinkProfile
+from repro.scenarios.builders import PoolScenario, build_pool_scenario
+
+
+def figure1_scenario(seed: int = 1) -> PoolScenario:
+    """Exactly the paper's Figure 1: three named DoH providers,
+    pool.ntp.org served by c/d/e.ntpns.org."""
+    return build_pool_scenario(seed=seed, num_providers=3, pool_size=20,
+                               answers_per_query=4)
+
+
+def large_scale_scenario(num_providers: int, seed: int = 1,
+                         pool_size: int = 100) -> PoolScenario:
+    """A larger deployment for the N-sweeps of §III."""
+    return build_pool_scenario(seed=seed, num_providers=num_providers,
+                               pool_size=pool_size, answers_per_query=4)
+
+
+def lossy_network_scenario(loss: float, seed: int = 1) -> PoolScenario:
+    """Figure 1 with a degraded client access link, for robustness and
+    DoS-cost experiments (E6)."""
+    return build_pool_scenario(
+        seed=seed, num_providers=3, pool_size=20,
+        access_link=LinkProfile.lossy(loss),
+        resolver_config=ResolverConfig(query_timeout=1.0,
+                                       max_retries_per_server=3),
+    )

@@ -1,0 +1,114 @@
+"""Workload definitions: the NTP server pool behind the DNS name.
+
+:class:`PoolDirectory` models pool.ntp.org's behaviour: a large
+population of volunteer servers from which each DNS query draws a small
+rotating sample. The directory tracks which members are benign and which
+were enrolled by an attacker (§IV of the paper: "attackers can try to
+join the NTP pool themselves"), so experiments can measure the benign
+fraction of any generated pool.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence
+
+from repro.dns.rdata import Rdata, address_rdata
+from repro.netsim.address import IPAddress
+from repro.util.validation import check_positive
+
+
+class PoolDirectory:
+    """The population of pool servers behind one DNS name.
+
+    :param benign: addresses of honestly operated servers.
+    :param malicious: addresses of attacker-enrolled servers (often
+        empty; the paper's DNS-layer guarantee is about resolver-side
+        poisoning, but §IV's pool-joining attack needs these).
+    :param answers_per_query: how many addresses one DNS answer carries
+        (pool.ntp.org returns 4 by default).
+    :param rng: drives the per-query rotation.
+    """
+
+    def __init__(self, benign: Sequence["IPAddress | str"],
+                 malicious: Sequence["IPAddress | str"] = (),
+                 answers_per_query: int = 4,
+                 rng: "random.Random | None" = None) -> None:
+        check_positive(answers_per_query, "answers_per_query")
+        self._benign = [IPAddress(a) for a in benign]
+        self._malicious = [IPAddress(a) for a in malicious]
+        if not self._benign and not self._malicious:
+            raise ValueError("pool directory cannot be empty")
+        self._answers_per_query = answers_per_query
+        self._rng = rng or random.Random(0)
+        self._queries_answered = 0
+
+    # ------------------------------------------------------------------
+    # Membership.
+    # ------------------------------------------------------------------
+
+    @property
+    def benign(self) -> List[IPAddress]:
+        return list(self._benign)
+
+    @property
+    def malicious(self) -> List[IPAddress]:
+        return list(self._malicious)
+
+    @property
+    def members(self) -> List[IPAddress]:
+        return self._benign + self._malicious
+
+    @property
+    def answers_per_query(self) -> int:
+        return self._answers_per_query
+
+    @property
+    def queries_answered(self) -> int:
+        return self._queries_answered
+
+    def is_benign(self, address: "IPAddress | str") -> bool:
+        return IPAddress(address) in self._benign
+
+    def benign_fraction(self, addresses: Sequence["IPAddress | str"]) -> float:
+        """Fraction of ``addresses`` that are benign members.
+
+        Duplicates count individually — the paper (§IV) requires the
+        application to treat repeated addresses as distinct servers.
+        """
+        if not addresses:
+            raise ValueError("cannot score an empty address pool")
+        benign_count = sum(1 for a in addresses if self.is_benign(a))
+        return benign_count / len(addresses)
+
+    def enroll_malicious(self, address: "IPAddress | str") -> None:
+        """Model §IV's attack: a malicious server joins the pool."""
+        self._malicious.append(IPAddress(address))
+
+    # ------------------------------------------------------------------
+    # DNS integration.
+    # ------------------------------------------------------------------
+
+    def sample(self, family: "int | None" = None) -> List[IPAddress]:
+        """One rotation: a uniform sample of the membership.
+
+        :param family: restrict to IPv4 (4) or IPv6 (6) members; None
+            samples across both (dual-stack pools keep per-family zones,
+            so the DNS integration always passes a family).
+        """
+        population = self.members
+        if family is not None:
+            population = [a for a in population if a.family == family]
+        if not population:
+            return []
+        count = min(self._answers_per_query, len(population))
+        return self._rng.sample(population, count)
+
+    def record_provider(self, family: int = 4) -> Callable[[], List[Rdata]]:
+        """A zone record provider serving one fresh rotation per query."""
+
+        def provide() -> List[Rdata]:
+            self._queries_answered += 1
+            return [address_rdata(address) for address in self.sample(family)]
+
+        return provide

@@ -1,0 +1,40 @@
+"""Shared utilities: seeded randomness, statistics helpers, validation.
+
+These helpers are deliberately small and dependency-free so that every
+other subpackage (``repro.netsim``, ``repro.dns``, ``repro.core``, ...)
+can rely on them without import cycles.
+"""
+
+from repro.util.rng import RngRegistry, derive_seed, make_rng
+from repro.util.stats import (
+    RunningStats,
+    confidence_interval,
+    mean,
+    median,
+    percentile,
+    stddev,
+)
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "RngRegistry",
+    "derive_seed",
+    "make_rng",
+    "RunningStats",
+    "confidence_interval",
+    "mean",
+    "median",
+    "percentile",
+    "stddev",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+]

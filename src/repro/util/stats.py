@@ -1,0 +1,200 @@
+"""Small statistics helpers used by the analysis and benchmark code.
+
+These wrap the tiny amount of statistics the reproduction needs (means,
+percentiles, normal-approximation confidence intervals, Welford running
+moments) so that benchmark harnesses don't each reimplement them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean. Raises ``ValueError`` on an empty sequence."""
+    if not values:
+        raise ValueError("mean() of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (ddof=1); 0.0 for singleton input."""
+    n = len(values)
+    if n == 0:
+        raise ValueError("stddev() of empty sequence")
+    if n == 1:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (n - 1))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of a sequence (average of middle two for even length)."""
+    return percentile(values, 50.0)
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile, ``pct`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile() of empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    interpolated = ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+    # Clamp: float rounding in the interpolation must never push the
+    # result outside the data range.
+    return min(max(interpolated, ordered[0]), ordered[-1])
+
+
+def confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Normal-approximation confidence interval for the mean.
+
+    Returns ``(low, high)``. For a singleton sample the interval
+    degenerates to the point itself.
+    """
+    if not values:
+        raise ValueError("confidence_interval() of empty sequence")
+    mu = mean(values)
+    if len(values) == 1:
+        return (mu, mu)
+    # Two-sided z for the requested confidence via the probit function.
+    z = _probit(0.5 + confidence / 2.0)
+    half_width = z * stddev(values) / math.sqrt(len(values))
+    return (mu - half_width, mu + half_width)
+
+
+def _probit(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"probit argument must be in (0, 1), got {p}")
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    if p > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                 + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+            + a[5]) * q / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
+                            + b[4]) * r + 1)
+
+
+class RunningStats:
+    """Welford online mean/variance accumulator.
+
+    >>> rs = RunningStats()
+    >>> for v in (1.0, 2.0, 3.0):
+    ...     rs.add(v)
+    >>> rs.count, rs.mean
+    (3, 2.0)
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many observations into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("no observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0.0 with fewer than two samples."""
+        if self._count == 0:
+            raise ValueError("no observations")
+        if self._count == 1:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._count == 0:
+            raise ValueError("no observations")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._count == 0:
+            raise ValueError("no observations")
+        return self._max
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new accumulator equivalent to seeing both streams."""
+        merged = RunningStats()
+        if self._count == 0 and other._count == 0:
+            return merged
+        merged._count = self._count + other._count
+        if self._count == 0:
+            merged._mean, merged._m2 = other._mean, other._m2
+        elif other._count == 0:
+            merged._mean, merged._m2 = self._mean, self._m2
+        else:
+            delta = other._mean - self._mean
+            merged._mean = (self._mean * self._count
+                            + other._mean * other._count) / merged._count
+            merged._m2 = (self._m2 + other._m2
+                          + delta * delta * self._count * other._count
+                          / merged._count)
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self._count == 0:
+            return "RunningStats(empty)"
+        return (f"RunningStats(n={self._count}, mean={self._mean:.6g}, "
+                f"sd={self.stddev:.6g})")

@@ -1,0 +1,94 @@
+"""Shared fixtures: a small simulated DNS hierarchy.
+
+Layout (all attached to a star topology around "core"):
+
+* root-ns   10.0.0.1 — serves "."            (delegates org)
+* org-ns    10.0.0.2 — serves "org"          (delegates ntppool.org)
+* ntp-ns    10.0.0.3 — serves "ntppool.org"  (pool A records)
+* resolver  10.0.1.1 — recursive resolver
+* client    10.0.2.1 — stub client
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.rdata import ARdata
+from repro.dns.resolver import RecursiveResolver, ResolverConfig
+from repro.dns.server import AuthoritativeServer
+from repro.dns.zone import Zone
+from repro.netsim.address import IPAddress, ip
+from repro.netsim.host import Host
+from repro.netsim.internet import Internet
+from repro.netsim.link import LinkProfile
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import Topology
+from repro.util.rng import RngRegistry
+
+POOL_ADDRESSES = [f"172.16.0.{index}" for index in range(1, 9)]
+
+
+@dataclass
+class DnsWorld:
+    simulator: Simulator
+    internet: Internet
+    resolver: RecursiveResolver
+    client: Host
+    root_server: AuthoritativeServer
+    org_server: AuthoritativeServer
+    ntp_server: AuthoritativeServer
+    pool_zone: Zone
+    pool_addresses: List[str] = field(default_factory=lambda: list(POOL_ADDRESSES))
+
+
+def build_dns_world(seed: int = 7, resolver_config: ResolverConfig = None,
+                    link_profile: LinkProfile = None) -> DnsWorld:
+    registry = RngRegistry(seed)
+    simulator = Simulator()
+    topology = Topology(registry)
+    profile = link_profile or LinkProfile(latency=0.01)
+    for leaf in ["client-net", "resolver-net", "root-net", "tld-net", "auth-net"]:
+        topology.add_link("core", leaf, profile)
+    internet = Internet(simulator, topology, registry)
+
+    root_host = internet.add_host(Host("root-ns", "root-net", [ip("10.0.0.1")]))
+    org_host = internet.add_host(Host("org-ns", "tld-net", [ip("10.0.0.2")]))
+    ntp_host = internet.add_host(Host("ntp-ns", "auth-net", [ip("10.0.0.3")]))
+    resolver_host = internet.add_host(
+        Host("resolver", "resolver-net", [ip("10.0.1.1")],
+             rng=registry.stream("resolver-ports")))
+    client_host = internet.add_host(Host("client", "client-net", [ip("10.0.2.1")]))
+
+    root_zone = Zone(".", soa_mname="a.root-servers.net")
+    root_zone.add_delegation("org", "ns.org", glue=[ARdata("10.0.0.2")])
+
+    org_zone = Zone("org", soa_mname="ns.org")
+    org_zone.add_delegation("ntppool.org", "ns1.ntppool.org",
+                            glue=[ARdata("10.0.0.3")])
+
+    pool_zone = Zone("ntppool.org", soa_mname="ns1.ntppool.org")
+    pool_zone.add_record("ns1.ntppool.org", ARdata("10.0.0.3"))
+    for address in POOL_ADDRESSES:
+        pool_zone.add_record("pool.ntppool.org", ARdata(address), ttl=60)
+
+    root_server = AuthoritativeServer(root_host, [root_zone])
+    org_server = AuthoritativeServer(org_host, [org_zone])
+    ntp_server = AuthoritativeServer(ntp_host, [pool_zone])
+
+    resolver = RecursiveResolver(
+        resolver_host, simulator,
+        root_hints=[(Name("a.root-servers.net"), IPAddress("10.0.0.1"))],
+        config=resolver_config or ResolverConfig(),
+        rng=registry.stream("resolver-txid"),
+    )
+    return DnsWorld(simulator=simulator, internet=internet, resolver=resolver,
+                    client=client_host, root_server=root_server,
+                    org_server=org_server, ntp_server=ntp_server,
+                    pool_zone=pool_zone)
+
+
+@pytest.fixture
+def dns_world() -> DnsWorld:
+    return build_dns_world()

@@ -1,0 +1,154 @@
+"""Tests for the TTL/LRU DNS cache."""
+
+import pytest
+
+from repro.dns.cache import DnsCache
+from repro.dns.message import ResourceRecord
+from repro.dns.name import Name
+from repro.dns.rcode import RCode
+from repro.dns.rdata import ARdata
+from repro.dns.rrtype import RRType
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def record(name="www.example.com", address="192.0.2.1", ttl=300):
+    return ResourceRecord(Name(name), RRType.A, ttl, ARdata(address))
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def cache(clock):
+    return DnsCache(clock=clock, max_entries=4)
+
+
+class TestPositiveEntries:
+    def test_hit_before_expiry(self, cache, clock):
+        cache.put_positive(Name("www.example.com"), RRType.A, [record()])
+        entry = cache.get(Name("www.example.com"), RRType.A)
+        assert entry is not None
+        assert not entry.is_negative
+        assert len(entry.records) == 1
+
+    def test_miss_after_expiry(self, cache, clock):
+        cache.put_positive(Name("www.example.com"), RRType.A, [record(ttl=10)])
+        clock.now = 10.0
+        assert cache.get(Name("www.example.com"), RRType.A) is None
+
+    def test_ttl_decays(self, cache, clock):
+        cache.put_positive(Name("www.example.com"), RRType.A, [record(ttl=100)])
+        clock.now = 40.0
+        entry = cache.get(Name("www.example.com"), RRType.A)
+        assert entry.records[0].ttl == 60
+
+    def test_min_record_ttl_governs(self, cache, clock):
+        cache.put_positive(Name("www.example.com"), RRType.A,
+                           [record(ttl=100), record(address="192.0.2.2", ttl=10)])
+        clock.now = 11.0
+        assert cache.get(Name("www.example.com"), RRType.A) is None
+
+    def test_name_case_insensitive(self, cache):
+        cache.put_positive(Name("WWW.example.com"), RRType.A, [record()])
+        assert cache.get(Name("www.EXAMPLE.com"), RRType.A) is not None
+
+    def test_empty_positive_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.put_positive(Name("x.com"), RRType.A, [])
+
+    def test_replacement(self, cache):
+        cache.put_positive(Name("x.com"), RRType.A, [record("x.com", "10.0.0.1")])
+        cache.put_positive(Name("x.com"), RRType.A, [record("x.com", "10.0.0.2")])
+        entry = cache.get(Name("x.com"), RRType.A)
+        assert str(entry.records[0].rdata.address) == "10.0.0.2"
+        assert cache.size == 1
+
+
+class TestNegativeEntries:
+    def test_nxdomain_cached(self, cache, clock):
+        cache.put_negative(Name("gone.example.com"), RRType.A,
+                           RCode.NXDOMAIN, 60)
+        entry = cache.get(Name("gone.example.com"), RRType.A)
+        assert entry.is_negative
+        assert entry.rcode is RCode.NXDOMAIN
+
+    def test_nodata_cached(self, cache):
+        cache.put_negative(Name("www.example.com"), RRType.TXT,
+                           RCode.NOERROR, 60)
+        entry = cache.get(Name("www.example.com"), RRType.TXT)
+        assert entry.is_negative
+        assert entry.rcode is RCode.NOERROR
+
+    def test_negative_expiry(self, cache, clock):
+        cache.put_negative(Name("gone.example.com"), RRType.A,
+                           RCode.NXDOMAIN, 30)
+        clock.now = 31.0
+        assert cache.get(Name("gone.example.com"), RRType.A) is None
+
+
+class TestEviction:
+    def test_lru_eviction(self, cache):
+        for index in range(5):
+            cache.put_positive(Name(f"h{index}.example.com"), RRType.A,
+                               [record(f"h{index}.example.com")])
+        assert cache.size == 4
+        assert cache.get(Name("h0.example.com"), RRType.A) is None
+        assert cache.evictions == 1
+
+    def test_get_refreshes_lru_position(self, cache):
+        for index in range(4):
+            cache.put_positive(Name(f"h{index}.example.com"), RRType.A,
+                               [record(f"h{index}.example.com")])
+        cache.get(Name("h0.example.com"), RRType.A)  # refresh h0
+        cache.put_positive(Name("h9.example.com"), RRType.A,
+                           [record("h9.example.com")])
+        assert cache.get(Name("h0.example.com"), RRType.A) is not None
+        assert cache.get(Name("h1.example.com"), RRType.A) is None
+
+    def test_max_entries_validation(self, clock):
+        with pytest.raises(ValueError):
+            DnsCache(clock=clock, max_entries=0)
+
+
+class TestHousekeeping:
+    def test_flush(self, cache):
+        cache.put_positive(Name("x.com"), RRType.A, [record("x.com")])
+        cache.flush()
+        assert cache.size == 0
+
+    def test_purge_expired(self, cache, clock):
+        cache.put_positive(Name("short.com"), RRType.A,
+                           [record("short.com", ttl=5)])
+        cache.put_positive(Name("long.com"), RRType.A,
+                           [record("long.com", ttl=500)])
+        clock.now = 10.0
+        assert cache.purge_expired() == 1
+        assert cache.size == 1
+
+    def test_hit_miss_counters(self, cache):
+        cache.put_positive(Name("x.com"), RRType.A, [record("x.com")])
+        cache.get(Name("x.com"), RRType.A)
+        cache.get(Name("y.com"), RRType.A)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_ttl_clamping(self, clock):
+        clamped = DnsCache(clock=clock, max_entries=10, min_ttl=30,
+                           max_ttl=60)
+        clamped.put_positive(Name("tiny.com"), RRType.A,
+                             [record("tiny.com", ttl=1)])
+        clamped.put_positive(Name("huge.com"), RRType.A,
+                             [record("huge.com", ttl=999999)])
+        clock.now = 29.0
+        assert clamped.get(Name("tiny.com"), RRType.A) is not None
+        clock.now = 61.0
+        assert clamped.get(Name("huge.com"), RRType.A) is None

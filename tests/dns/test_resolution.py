@@ -1,0 +1,198 @@
+"""Integration tests: iterative resolution through the simulated tree."""
+
+import pytest
+
+from repro.dns.client import StubResolver
+from repro.dns.message import make_query
+from repro.dns.name import Name
+from repro.dns.rcode import RCode
+from repro.dns.rdata import ARdata, CNAMERdata
+from repro.dns.resolver import ResolveOutcome, ResolveStatus, ResolverConfig
+from repro.dns.rrtype import RRType
+from repro.netsim.address import IPAddress
+
+from tests.dns.conftest import POOL_ADDRESSES, build_dns_world
+
+
+def resolve_sync(world, qname, qtype=RRType.A) -> ResolveOutcome:
+    """Run one resolution to completion and return the outcome."""
+    results = []
+    world.resolver.resolve(qname, qtype, results.append)
+    world.simulator.run()
+    assert len(results) == 1, "callback must fire exactly once"
+    return results[0]
+
+
+class TestIterativeResolution:
+    def test_resolves_through_hierarchy(self, dns_world):
+        outcome = resolve_sync(dns_world, "pool.ntppool.org")
+        assert outcome.ok
+        addresses = {str(record.rdata.address) for record in outcome.records}
+        assert addresses == set(POOL_ADDRESSES)
+
+    def test_walks_root_then_tld_then_auth(self, dns_world):
+        resolve_sync(dns_world, "pool.ntppool.org")
+        assert dns_world.root_server.queries_served == 1
+        assert dns_world.org_server.queries_served == 1
+        assert dns_world.ntp_server.queries_served == 1
+
+    def test_nxdomain(self, dns_world):
+        outcome = resolve_sync(dns_world, "missing.ntppool.org")
+        assert outcome.status is ResolveStatus.NXDOMAIN
+
+    def test_nodata(self, dns_world):
+        outcome = resolve_sync(dns_world, "pool.ntppool.org", RRType.TXT)
+        assert outcome.status is ResolveStatus.NODATA
+
+    def test_cache_hit_on_second_lookup(self, dns_world):
+        first = resolve_sync(dns_world, "pool.ntppool.org")
+        queries_before = dns_world.resolver.stats.upstream_queries
+        second = resolve_sync(dns_world, "pool.ntppool.org")
+        assert second.ok
+        assert second.from_cache
+        assert dns_world.resolver.stats.upstream_queries == queries_before
+
+    def test_cache_expires_with_virtual_time(self, dns_world):
+        resolve_sync(dns_world, "pool.ntppool.org")
+        # Pool records have ttl=60; jump past expiry.
+        dns_world.simulator.run(until=dns_world.simulator.now + 61)
+        outcome = resolve_sync(dns_world, "pool.ntppool.org")
+        assert outcome.ok
+        assert not outcome.from_cache
+
+    def test_negative_cache(self, dns_world):
+        resolve_sync(dns_world, "missing.ntppool.org")
+        queries_before = dns_world.resolver.stats.upstream_queries
+        outcome = resolve_sync(dns_world, "missing.ntppool.org")
+        assert outcome.status is ResolveStatus.NXDOMAIN
+        assert outcome.from_cache
+        assert dns_world.resolver.stats.upstream_queries == queries_before
+
+    def test_cname_chase(self, dns_world):
+        dns_world.pool_zone.add_record(
+            "best.ntppool.org", CNAMERdata(Name("pool.ntppool.org")))
+        outcome = resolve_sync(dns_world, "best.ntppool.org")
+        assert outcome.ok
+        assert outcome.records[0].rrtype is RRType.CNAME
+        tail = [record for record in outcome.records
+                if record.rrtype is RRType.A]
+        assert len(tail) == len(POOL_ADDRESSES)
+
+    def test_cname_loop_servfails(self, dns_world):
+        dns_world.pool_zone.add_record(
+            "l1.ntppool.org", CNAMERdata(Name("l2.ntppool.org")))
+        dns_world.pool_zone.add_record(
+            "l2.ntppool.org", CNAMERdata(Name("l1.ntppool.org")))
+        outcome = resolve_sync(dns_world, "l1.ntppool.org")
+        assert outcome.status is ResolveStatus.SERVFAIL
+
+    def test_upstream_queries_counted(self, dns_world):
+        outcome = resolve_sync(dns_world, "pool.ntppool.org")
+        assert outcome.upstream_queries == 3  # root, org, auth
+
+
+class TestFailureHandling:
+    def test_unreachable_root_times_out_to_servfail(self):
+        world = build_dns_world(
+            resolver_config=ResolverConfig(query_timeout=0.5,
+                                           max_retries_per_server=1))
+        # Point the resolver at a black-hole address by removing the host.
+        world.internet.topology.remove_link("core", "root-net")
+        outcome = resolve_sync(world, "pool.ntppool.org")
+        assert outcome.status is ResolveStatus.SERVFAIL
+        assert world.resolver.stats.timeouts > 0
+
+    def test_lossy_network_retries_and_succeeds(self):
+        from repro.netsim.link import LinkProfile
+        world = build_dns_world(
+            seed=11,
+            resolver_config=ResolverConfig(query_timeout=0.3,
+                                           max_retries_per_server=8),
+            link_profile=LinkProfile(latency=0.01, loss=0.2))
+        outcome = resolve_sync(world, "pool.ntppool.org")
+        assert outcome.ok
+
+    def test_refused_for_unhosted_zone_servfails(self, dns_world):
+        outcome = resolve_sync(dns_world, "www.example.net")
+        # Root has no delegation for "net": authoritative NXDOMAIN.
+        assert outcome.status is ResolveStatus.NXDOMAIN
+
+
+class TestServingClients:
+    def test_stub_query_through_resolver(self, dns_world):
+        stub = StubResolver(dns_world.client, dns_world.simulator,
+                            IPAddress("10.0.1.1"))
+        outcomes = []
+        stub.query("pool.ntppool.org", RRType.A, outcomes.append)
+        dns_world.simulator.run()
+        assert len(outcomes) == 1
+        assert outcomes[0].ok
+        assert {str(a) for a in outcomes[0].addresses} == set(POOL_ADDRESSES)
+
+    def test_stub_sees_nxdomain(self, dns_world):
+        stub = StubResolver(dns_world.client, dns_world.simulator,
+                            IPAddress("10.0.1.1"))
+        outcomes = []
+        stub.query("nope.ntppool.org", RRType.A, outcomes.append)
+        dns_world.simulator.run()
+        assert outcomes[0].response.rcode is RCode.NXDOMAIN
+
+    def test_stub_timeout_when_resolver_gone(self, dns_world):
+        stub = StubResolver(dns_world.client, dns_world.simulator,
+                            IPAddress("10.9.9.9"), timeout=0.5, retries=1)
+        outcomes = []
+        stub.query("pool.ntppool.org", RRType.A, outcomes.append)
+        dns_world.simulator.run()
+        assert outcomes[0].timed_out
+        assert outcomes[0].attempts == 2
+
+    def test_stub_rejects_wrong_txid_response(self, dns_world):
+        """A forged response with the wrong TXID must be ignored."""
+        from repro.netsim.packet import Datagram
+        from repro.netsim.address import Endpoint
+
+        stub = StubResolver(dns_world.client, dns_world.simulator,
+                            IPAddress("10.0.1.1"), timeout=5.0)
+        outcomes = []
+        stub.query("pool.ntppool.org", RRType.A, outcomes.append)
+
+        # Inject a forged response to every plausible client port with a
+        # wrong TXID before the real answer arrives.
+        client_sockets = dns_world.client.open_sockets
+        assert len(client_sockets) == 1
+        target = client_sockets[0].endpoint
+        forged_reply = make_query(0xDEAD, "pool.ntppool.org", RRType.A)
+        forged_reply.flags = type(forged_reply.flags)(qr=True)
+        forged = Datagram(
+            src=Endpoint(IPAddress("10.0.1.1"), 53),
+            dst=target,
+            payload=forged_reply.encode())
+        dns_world.internet.inject(forged, at_node="client-net")
+        dns_world.simulator.run()
+        assert stub.stats.spoofs_rejected >= 1
+        assert outcomes[0].ok
+        assert outcomes[0].response.txid != 0xDEAD
+
+
+class TestAuthoritativeServer:
+    def test_refuses_foreign_zone(self, dns_world):
+        query = make_query(1, "www.google.com", RRType.A)
+        response = dns_world.ntp_server.build_response(query)
+        assert response.rcode is RCode.REFUSED
+
+    def test_referral_includes_glue(self, dns_world):
+        query = make_query(2, "pool.ntppool.org", RRType.A,
+                           recursion_desired=False)
+        response = dns_world.org_server.build_response(query)
+        assert response.rcode is RCode.NOERROR
+        assert response.authority[0].rrtype is RRType.NS
+        assert any(record.rdata.address == "10.0.0.3"
+                   for record in response.additional)
+
+    def test_zone_for_longest_match(self, dns_world):
+        from repro.dns.zone import Zone
+        sub_zone = Zone("deep.ntppool.org")
+        sub_zone.add_record("x.deep.ntppool.org", ARdata("172.16.9.1"))
+        dns_world.ntp_server.add_zone(sub_zone)
+        assert dns_world.ntp_server.zone_for(
+            Name("x.deep.ntppool.org")) is sub_zone

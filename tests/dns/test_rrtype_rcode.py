@@ -1,0 +1,78 @@
+"""Tests for RR type / class / RCODE registries."""
+
+import pytest
+
+from repro.dns.rcode import RCode
+from repro.dns.rrtype import (
+    RRClass,
+    RRType,
+    address_family_for_type,
+    type_for_address_family,
+)
+
+
+class TestRRType:
+    def test_wire_values_match_rfc(self):
+        assert RRType.A == 1
+        assert RRType.NS == 2
+        assert RRType.CNAME == 5
+        assert RRType.SOA == 6
+        assert RRType.PTR == 12
+        assert RRType.MX == 15
+        assert RRType.TXT == 16
+        assert RRType.AAAA == 28
+        assert RRType.ANY == 255
+
+    def test_from_text(self):
+        assert RRType.from_text("aaaa") is RRType.AAAA
+        assert RRType.from_text(" A ") is RRType.A
+
+    def test_from_text_unknown(self):
+        with pytest.raises(ValueError):
+            RRType.from_text("BOGUS")
+
+    def test_is_address(self):
+        assert RRType.A.is_address
+        assert RRType.AAAA.is_address
+        assert not RRType.NS.is_address
+
+    def test_family_mapping_roundtrip(self):
+        for family in (4, 6):
+            assert address_family_for_type(
+                type_for_address_family(family)) == family
+
+    def test_family_for_non_address_type(self):
+        with pytest.raises(ValueError):
+            address_family_for_type(RRType.TXT)
+
+    def test_type_for_bad_family(self):
+        with pytest.raises(ValueError):
+            type_for_address_family(5)
+
+
+class TestRRClass:
+    def test_in_is_one(self):
+        assert RRClass.IN == 1
+
+    def test_from_text(self):
+        assert RRClass.from_text("in") is RRClass.IN
+        with pytest.raises(ValueError):
+            RRClass.from_text("XX")
+
+
+class TestRCode:
+    def test_wire_values(self):
+        assert RCode.NOERROR == 0
+        assert RCode.FORMERR == 1
+        assert RCode.SERVFAIL == 2
+        assert RCode.NXDOMAIN == 3
+        assert RCode.REFUSED == 5
+
+    def test_is_error(self):
+        assert not RCode.NOERROR.is_error
+        assert RCode.NXDOMAIN.is_error
+
+    def test_from_text(self):
+        assert RCode.from_text("nxdomain") is RCode.NXDOMAIN
+        with pytest.raises(ValueError):
+            RCode.from_text("NOPE")

@@ -1,0 +1,288 @@
+"""Tests for the wire codec and full messages, including round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.message import (
+    Flags,
+    Message,
+    Question,
+    ResourceRecord,
+    make_query,
+    make_response,
+)
+from repro.dns.name import Name
+from repro.dns.rcode import RCode
+from repro.dns.rdata import (
+    AAAARdata,
+    ARdata,
+    CNAMERdata,
+    MXRdata,
+    NSRdata,
+    PTRRdata,
+    SOARdata,
+    TXTRdata,
+)
+from repro.dns.rrtype import RRClass, RRType
+from repro.dns.wire import WireFormatError, WireReader, WireWriter
+from repro.netsim.address import IPAddress
+
+
+class TestWirePrimitives:
+    def test_u16_roundtrip(self):
+        writer = WireWriter()
+        writer.write_u16(0xBEEF)
+        assert WireReader(writer.getvalue()).read_u16() == 0xBEEF
+
+    def test_u32_roundtrip(self):
+        writer = WireWriter()
+        writer.write_u32(0xDEADBEEF)
+        assert WireReader(writer.getvalue()).read_u32() == 0xDEADBEEF
+
+    def test_truncated_read_raises(self):
+        with pytest.raises(WireFormatError):
+            WireReader(b"\x01").read_u16()
+
+    def test_character_string_roundtrip(self):
+        writer = WireWriter()
+        writer.write_character_string(b"hello")
+        assert WireReader(writer.getvalue()).read_character_string() == b"hello"
+
+    def test_character_string_too_long(self):
+        with pytest.raises(WireFormatError):
+            WireWriter().write_character_string(b"x" * 256)
+
+
+class TestNameWire:
+    def test_simple_roundtrip(self):
+        writer = WireWriter()
+        writer.write_name(Name("www.example.com"))
+        assert WireReader(writer.getvalue()).read_name() == Name("www.example.com")
+
+    def test_root_roundtrip(self):
+        writer = WireWriter()
+        writer.write_name(Name.root())
+        data = writer.getvalue()
+        assert data == b"\x00"
+        assert WireReader(data).read_name().is_root
+
+    def test_compression_shrinks_output(self):
+        compressed = WireWriter(compress=True)
+        compressed.write_name(Name("www.example.com"))
+        compressed.write_name(Name("mail.example.com"))
+        plain = WireWriter(compress=False)
+        plain.write_name(Name("www.example.com"))
+        plain.write_name(Name("mail.example.com"))
+        assert len(compressed.getvalue()) < len(plain.getvalue())
+
+    def test_compressed_names_decode(self):
+        writer = WireWriter(compress=True)
+        names = [Name("www.example.com"), Name("mail.example.com"),
+                 Name("example.com"), Name("www.example.com")]
+        for name in names:
+            writer.write_name(name)
+        reader = WireReader(writer.getvalue())
+        decoded = [reader.read_name() for _ in range(len(names))]
+        assert decoded == names
+
+    def test_identical_name_becomes_pointer(self):
+        writer = WireWriter(compress=True)
+        writer.write_name(Name("a.example.com"))
+        before = writer.offset
+        writer.write_name(Name("a.example.com"))
+        assert writer.offset - before == 2  # a single pointer
+
+    def test_pointer_loop_rejected(self):
+        # A pointer at offset 0 pointing to itself.
+        with pytest.raises(WireFormatError):
+            WireReader(b"\xc0\x00").read_name()
+
+    def test_forward_pointer_rejected(self):
+        # Pointer to offset 4 from offset 0 (forward).
+        with pytest.raises(WireFormatError):
+            WireReader(b"\xc0\x04\x00\x00\x01a\x00").read_name()
+
+    def test_label_runs_past_end(self):
+        with pytest.raises(WireFormatError):
+            WireReader(b"\x05ab").read_name()
+
+    @given(st.lists(
+        st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+                min_size=1, max_size=15),
+        min_size=0, max_size=6))
+    def test_roundtrip_property(self, labels):
+        try:
+            name = Name(".".join(labels) if labels else ".")
+        except ValueError:
+            return
+        writer = WireWriter()
+        writer.write_name(name)
+        assert WireReader(writer.getvalue()).read_name() == name
+
+
+RDATAS = [
+    ARdata("192.0.2.33"),
+    AAAARdata("2001:db8::33"),
+    NSRdata(Name("ns1.example.com")),
+    CNAMERdata(Name("real.example.com")),
+    PTRRdata(Name("host.example.com")),
+    SOARdata(Name("ns1.example.com"), Name("admin.example.com"),
+             serial=2024, refresh=1, retry=2, expire=3, minimum=4),
+    MXRdata(10, Name("mx.example.com")),
+    TXTRdata(("hello", "world")),
+]
+
+
+class TestRdata:
+    @pytest.mark.parametrize("rdata", RDATAS, ids=lambda r: type(r).__name__)
+    def test_roundtrip_via_record(self, rdata):
+        record = ResourceRecord(Name("x.example.com"), rdata.rrtype, 300, rdata)
+        writer = WireWriter()
+        record.to_wire(writer)
+        decoded = ResourceRecord.from_wire(WireReader(writer.getvalue()))
+        assert decoded.rdata == rdata
+        assert decoded.name == record.name
+        assert decoded.ttl == 300
+
+    def test_a_rejects_ipv6(self):
+        with pytest.raises(ValueError):
+            ARdata("2001:db8::1")
+
+    def test_aaaa_rejects_ipv4(self):
+        with pytest.raises(ValueError):
+            AAAARdata("192.0.2.1")
+
+    def test_txt_accepts_single_string(self):
+        assert TXTRdata("solo").strings == (b"solo",)
+
+    def test_txt_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TXTRdata(())
+
+    def test_txt_rejects_oversized_chunk(self):
+        with pytest.raises(ValueError):
+            TXTRdata(("x" * 256,))
+
+    def test_mx_preference_range(self):
+        with pytest.raises(ValueError):
+            MXRdata(70000, Name("mx.example.com"))
+
+    def test_text_forms(self):
+        assert ARdata("192.0.2.1").to_text() == "192.0.2.1"
+        assert NSRdata(Name("ns.x.com")).to_text() == "ns.x.com"
+        assert "2024" in SOARdata(Name("a.com"), Name("b.com"),
+                                  serial=2024).to_text()
+
+
+class TestFlags:
+    def test_roundtrip_default(self):
+        flags = Flags()
+        assert Flags.from_wire(flags.to_wire()) == flags
+
+    def test_roundtrip_all_set(self):
+        flags = Flags(qr=True, opcode=2, aa=True, tc=True, rd=True,
+                      ra=True, rcode=RCode.NXDOMAIN)
+        assert Flags.from_wire(flags.to_wire()) == flags
+
+    def test_unknown_rcode_becomes_servfail(self):
+        decoded = Flags.from_wire(0x000F)
+        assert decoded.rcode is RCode.SERVFAIL
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_decode_never_crashes(self, raw):
+        Flags.from_wire(raw)
+
+
+class TestMessage:
+    def make_message(self) -> Message:
+        query = make_query(0x1234, "pool.ntp.org", RRType.A)
+        return make_response(
+            query,
+            answers=[
+                ResourceRecord(Name("pool.ntp.org"), RRType.A, 60,
+                               ARdata("192.0.2.1")),
+                ResourceRecord(Name("pool.ntp.org"), RRType.A, 60,
+                               ARdata("192.0.2.2")),
+            ],
+            authority=[
+                ResourceRecord(Name("ntp.org"), RRType.NS, 3600,
+                               NSRdata(Name("ns1.ntp.org"))),
+            ],
+            additional=[
+                ResourceRecord(Name("ns1.ntp.org"), RRType.A, 3600,
+                               ARdata("192.0.2.53")),
+            ],
+            authoritative=True,
+        )
+
+    def test_full_roundtrip(self):
+        message = self.make_message()
+        decoded = Message.decode(message.encode())
+        assert decoded.txid == message.txid
+        assert decoded.flags == message.flags
+        assert decoded.questions == message.questions
+        assert decoded.answers == message.answers
+        assert decoded.authority == message.authority
+        assert decoded.additional == message.additional
+
+    def test_roundtrip_without_compression(self):
+        message = self.make_message()
+        decoded = Message.decode(message.encode(compress=False))
+        assert decoded.answers == message.answers
+
+    def test_compression_reduces_size(self):
+        message = self.make_message()
+        assert len(message.encode(compress=True)) < len(
+            message.encode(compress=False))
+
+    def test_query_construction(self):
+        query = make_query(7, "example.com", RRType.AAAA)
+        assert not query.is_response
+        assert query.flags.rd
+        assert query.question.qtype is RRType.AAAA
+
+    def test_response_echoes_txid_and_question(self):
+        query = make_query(99, "example.com", RRType.A)
+        response = make_response(query, rcode=RCode.NXDOMAIN)
+        assert response.txid == 99
+        assert response.is_response
+        assert response.rcode is RCode.NXDOMAIN
+        assert response.question == query.question
+
+    def test_question_property_requires_exactly_one(self):
+        message = Message(txid=1)
+        with pytest.raises(ValueError):
+            _ = message.question
+
+    def test_txid_range_validated(self):
+        with pytest.raises(ValueError):
+            Message(txid=0x10000)
+
+    def test_answers_for(self):
+        message = self.make_message()
+        matches = message.answers_for(Name("pool.ntp.org"), RRType.A)
+        assert len(matches) == 2
+
+    def test_decode_garbage_raises(self):
+        with pytest.raises(WireFormatError):
+            Message.decode(b"\x00\x01")
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError):
+            ResourceRecord(Name("a.com"), RRType.A, -1, ARdata("192.0.2.1"))
+
+    @settings(max_examples=50)
+    @given(st.integers(min_value=0, max_value=0xFFFF),
+           st.lists(st.integers(min_value=0, max_value=255), max_size=8))
+    def test_address_lists_roundtrip(self, txid, octets):
+        answers = [
+            ResourceRecord(Name("pool.example.org"), RRType.A, 60,
+                           ARdata(IPAddress(f"10.1.2.{value}")))
+            for value in octets
+        ]
+        message = Message(txid=txid, flags=Flags(qr=True),
+                          questions=[Question(Name("pool.example.org"),
+                                              RRType.A)],
+                          answers=answers)
+        decoded = Message.decode(message.encode())
+        assert decoded.answers == answers

@@ -1,0 +1,153 @@
+"""Tests for authoritative zone semantics."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.rdata import AAAARdata, ARdata, CNAMERdata, NSRdata, TXTRdata
+from repro.dns.rrtype import RRType
+from repro.dns.zone import LookupStatus, Zone, ZoneError
+
+
+@pytest.fixture
+def zone() -> Zone:
+    z = Zone("example.com")
+    z.add_record("example.com", NSRdata(Name("ns1.example.com")))
+    z.add_record("ns1.example.com", ARdata("192.0.2.53"))
+    z.add_record("www.example.com", ARdata("192.0.2.80"))
+    z.add_record("www.example.com", ARdata("192.0.2.81"))
+    z.add_record("www.example.com", AAAARdata("2001:db8::80"))
+    z.add_record("alias.example.com", CNAMERdata(Name("www.example.com")))
+    z.add_delegation("sub.example.com", "ns1.sub.example.com",
+                     glue=[ARdata("192.0.2.99")])
+    return z
+
+
+class TestBasicLookup:
+    def test_answer(self, zone):
+        result = zone.lookup(Name("www.example.com"), RRType.A)
+        assert result.status is LookupStatus.ANSWER
+        assert len(result.answers) == 2
+
+    def test_answer_other_family(self, zone):
+        result = zone.lookup(Name("www.example.com"), RRType.AAAA)
+        assert result.status is LookupStatus.ANSWER
+        assert len(result.answers) == 1
+
+    def test_nxdomain(self, zone):
+        result = zone.lookup(Name("missing.example.com"), RRType.A)
+        assert result.status is LookupStatus.NXDOMAIN
+        assert result.authority[0].rrtype is RRType.SOA
+
+    def test_nodata(self, zone):
+        result = zone.lookup(Name("www.example.com"), RRType.TXT)
+        assert result.status is LookupStatus.NODATA
+        assert result.authority[0].rrtype is RRType.SOA
+
+    def test_empty_non_terminal_is_nodata_not_nxdomain(self):
+        z = Zone("example.com")
+        z.add_record("a.b.example.com", ARdata("192.0.2.1"))
+        result = z.lookup(Name("b.example.com"), RRType.A)
+        assert result.status is LookupStatus.NODATA
+
+    def test_not_in_zone(self, zone):
+        result = zone.lookup(Name("other.org"), RRType.A)
+        assert result.status is LookupStatus.NOT_IN_ZONE
+
+    def test_apex_ns_is_answer(self, zone):
+        result = zone.lookup(Name("example.com"), RRType.NS)
+        assert result.status is LookupStatus.ANSWER
+
+    def test_any_query_collects_types(self, zone):
+        result = zone.lookup(Name("www.example.com"), RRType.ANY)
+        assert result.status is LookupStatus.ANSWER
+        types = {record.rrtype for record in result.answers}
+        assert types == {RRType.A, RRType.AAAA}
+
+
+class TestCName:
+    def test_cname_returned_for_address_query(self, zone):
+        result = zone.lookup(Name("alias.example.com"), RRType.A)
+        assert result.status is LookupStatus.ANSWER
+        assert result.answers[0].rrtype is RRType.CNAME
+
+    def test_cname_query_returns_cname(self, zone):
+        result = zone.lookup(Name("alias.example.com"), RRType.CNAME)
+        assert result.status is LookupStatus.ANSWER
+        assert result.answers[0].rrtype is RRType.CNAME
+
+
+class TestDelegation:
+    def test_referral_below_cut(self, zone):
+        result = zone.lookup(Name("host.sub.example.com"), RRType.A)
+        assert result.status is LookupStatus.DELEGATION
+        assert result.authority[0].rrtype is RRType.NS
+        assert result.additional[0].rdata.address == "192.0.2.99"
+
+    def test_referral_at_cut(self, zone):
+        result = zone.lookup(Name("sub.example.com"), RRType.A)
+        assert result.status is LookupStatus.DELEGATION
+
+    def test_delegating_apex_rejected(self, zone):
+        with pytest.raises(ZoneError):
+            zone.add_delegation("example.com", "ns.elsewhere.com")
+
+    def test_delegation_outside_zone_rejected(self, zone):
+        with pytest.raises(ZoneError):
+            zone.add_delegation("other.org", "ns.other.org")
+
+
+class TestProviders:
+    def test_provider_called_per_lookup(self):
+        z = Zone("pool.example.org")
+        calls = []
+
+        def provider():
+            calls.append(1)
+            return [ARdata(f"10.0.0.{len(calls)}")]
+
+        z.add_provider("pool.example.org", RRType.A, provider)
+        first = z.lookup(Name("pool.example.org"), RRType.A)
+        second = z.lookup(Name("pool.example.org"), RRType.A)
+        assert first.answers[0].rdata.address == "10.0.0.1"
+        assert second.answers[0].rdata.address == "10.0.0.2"
+
+    def test_provider_type_mismatch_raises(self):
+        z = Zone("pool.example.org")
+        z.add_provider("pool.example.org", RRType.AAAA,
+                       lambda: [ARdata("10.0.0.1")])
+        with pytest.raises(ZoneError):
+            z.lookup(Name("pool.example.org"), RRType.AAAA)
+
+    def test_provider_plus_static_records(self):
+        z = Zone("pool.example.org")
+        z.add_record("pool.example.org", ARdata("10.0.0.100"))
+        z.add_provider("pool.example.org", RRType.A,
+                       lambda: [ARdata("10.0.0.1")])
+        result = z.lookup(Name("pool.example.org"), RRType.A)
+        addresses = {str(record.rdata.address) for record in result.answers}
+        assert addresses == {"10.0.0.1", "10.0.0.100"}
+
+    def test_provider_outside_zone_rejected(self):
+        z = Zone("pool.example.org")
+        with pytest.raises(ZoneError):
+            z.add_provider("other.org", RRType.A, lambda: [])
+
+
+class TestZoneValidation:
+    def test_record_outside_zone_rejected(self, zone):
+        with pytest.raises(ZoneError):
+            zone.add_record("www.other.org", ARdata("192.0.2.1"))
+
+    def test_soa_present(self, zone):
+        assert zone.soa.rrtype is RRType.SOA
+        assert zone.soa.name == Name("example.com")
+
+    def test_records_accessor(self, zone):
+        assert len(zone.records("www.example.com", RRType.A)) == 2
+        assert zone.records("www.example.com", RRType.TXT) == []
+
+    def test_txt_record(self):
+        z = Zone("example.com")
+        z.add_record("info.example.com", TXTRdata("v=test1"))
+        result = z.lookup(Name("info.example.com"), RRType.TXT)
+        assert result.status is LookupStatus.ANSWER

@@ -1,0 +1,46 @@
+"""Tests for base64url encoding (RFC 8484 §4.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.doh.encoding import EncodingError, b64url_decode, b64url_encode
+
+
+class TestEncode:
+    def test_no_padding_characters(self):
+        # 4 bytes would normally produce "==" padding.
+        assert "=" not in b64url_encode(b"\x00\x01\x02\x03")
+
+    def test_url_safe_alphabet(self):
+        encoded = b64url_encode(bytes(range(256)))
+        assert "+" not in encoded
+        assert "/" not in encoded
+
+    def test_rfc8484_example(self):
+        # RFC 8484 §4.1.1 example query for www.example.com.
+        wire = bytes.fromhex(
+            "00000100000100000000000003777777076578616d706c6503636f6d00000"
+            "10001")
+        assert b64url_encode(wire) == (
+            "AAABAAABAAAAAAAAA3d3dwdleGFtcGxlA2NvbQAAAQAB")
+
+
+class TestDecode:
+    def test_roundtrip(self):
+        data = b"hello doh"
+        assert b64url_decode(b64url_encode(data)) == data
+
+    def test_empty(self):
+        assert b64url_decode("") == b""
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(EncodingError):
+            b64url_decode("abcde")
+
+    def test_invalid_characters_rejected(self):
+        with pytest.raises(EncodingError):
+            b64url_decode("ab!d")
+
+    @given(st.binary(max_size=200))
+    def test_roundtrip_property(self, data):
+        assert b64url_decode(b64url_encode(data)) == data

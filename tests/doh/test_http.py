@@ -1,0 +1,95 @@
+"""Tests for the minimal HTTP codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.doh.http import HttpError, HttpRequest, HttpResponse
+
+
+class TestRequest:
+    def test_roundtrip_get(self):
+        request = HttpRequest(method="GET", target="/dns-query?dns=AAAA",
+                              headers={"Accept": "application/dns-message"})
+        decoded = HttpRequest.decode(request.encode())
+        assert decoded.method == "GET"
+        assert decoded.target == "/dns-query?dns=AAAA"
+        assert decoded.header("accept") == "application/dns-message"
+        assert decoded.body == b""
+
+    def test_roundtrip_post_with_body(self):
+        request = HttpRequest(method="POST", target="/dns-query",
+                              headers={"Content-Type": "application/dns-message"},
+                              body=b"\x00\x01binary\xff")
+        decoded = HttpRequest.decode(request.encode())
+        assert decoded.body == b"\x00\x01binary\xff"
+
+    def test_path_and_query_params(self):
+        request = HttpRequest(method="GET", target="/dns-query?dns=abc&x=1")
+        assert request.path == "/dns-query"
+        assert request.query_params == {"dns": "abc", "x": "1"}
+
+    def test_no_query_string(self):
+        request = HttpRequest(method="GET", target="/dns-query")
+        assert request.query_params == {}
+
+    def test_header_lookup_case_insensitive(self):
+        request = HttpRequest(method="GET", target="/",
+                              headers={"X-Thing": "v"})
+        assert request.header("x-thing") == "v"
+        assert request.header("missing", "dflt") == "dflt"
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError):
+            HttpRequest.decode(b"GARBAGE\r\n\r\n")
+
+    def test_missing_terminator(self):
+        with pytest.raises(HttpError):
+            HttpRequest.decode(b"GET / HTTP/1.1\r\nHost: x\r\n")
+
+    def test_body_shorter_than_content_length(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"
+        with pytest.raises(HttpError):
+            HttpRequest.decode(raw)
+
+    def test_bad_content_length(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n"
+        with pytest.raises(HttpError):
+            HttpRequest.decode(raw)
+
+    def test_method_uppercased(self):
+        raw = b"get / HTTP/1.1\r\n\r\n"
+        assert HttpRequest.decode(raw).method == "GET"
+
+
+class TestResponse:
+    def test_roundtrip(self):
+        response = HttpResponse(status=200,
+                                headers={"Content-Type": "application/dns-message"},
+                                body=b"\x00\x10")
+        decoded = HttpResponse.decode(response.encode())
+        assert decoded.status == 200
+        assert decoded.ok
+        assert decoded.body == b"\x00\x10"
+
+    def test_error_statuses(self):
+        for status in (400, 404, 415, 500):
+            decoded = HttpResponse.decode(HttpResponse(status=status).encode())
+            assert decoded.status == status
+            assert not decoded.ok
+
+    def test_unknown_status_reason(self):
+        encoded = HttpResponse(status=299).encode()
+        assert b"299" in encoded
+
+    def test_malformed_status_line(self):
+        with pytest.raises(HttpError):
+            HttpResponse.decode(b"NOPE\r\n\r\n")
+
+    def test_non_numeric_status(self):
+        with pytest.raises(HttpError):
+            HttpResponse.decode(b"HTTP/1.1 abc OK\r\n\r\n")
+
+    @given(st.binary(max_size=300))
+    def test_binary_body_roundtrip(self, body):
+        decoded = HttpResponse.decode(HttpResponse(status=200, body=body).encode())
+        assert decoded.body == body

@@ -1,0 +1,49 @@
+"""Tests for the datagram model."""
+
+from repro.netsim.address import Endpoint, ip
+from repro.netsim.packet import Datagram
+
+
+def make(payload=b"x", src_port=1000, dst_port=53):
+    return Datagram(src=Endpoint(ip("10.0.0.1"), src_port),
+                    dst=Endpoint(ip("10.0.0.2"), dst_port),
+                    payload=payload)
+
+
+class TestDatagram:
+    def test_unique_packet_ids(self):
+        ids = {make().packet_id for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_size(self):
+        assert make(payload=b"12345").size == 5
+
+    def test_not_spoofed_by_default(self):
+        assert make().spoofed is False
+
+    def test_reply_template_swaps_endpoints(self):
+        request = make()
+        reply = request.reply_template(b"pong")
+        assert reply.src == request.dst
+        assert reply.dst == request.src
+        assert reply.payload == b"pong"
+
+    def test_with_payload_changes_id(self):
+        original = make()
+        rewritten = original.with_payload(b"tampered")
+        assert rewritten.payload == b"tampered"
+        assert rewritten.packet_id != original.packet_id
+        assert rewritten.src == original.src
+        assert rewritten.dst == original.dst
+
+    def test_with_payload_preserves_spoofed_flag(self):
+        spoofed = Datagram(src=Endpoint(ip("10.0.0.1"), 1),
+                           dst=Endpoint(ip("10.0.0.2"), 53),
+                           payload=b"x", spoofed=True)
+        assert spoofed.with_payload(b"y").spoofed is True
+
+    def test_frozen(self):
+        import dataclasses
+        import pytest
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            make().payload = b"nope"

@@ -1,0 +1,131 @@
+"""Tests for the Chronos watchdog, including its honesty assumption."""
+
+import pytest
+
+from repro.ntp.chronos import ChronosClient, ChronosConfig, ChronosStatus
+from tests.ntp.conftest import build_ntp_world
+
+CONFIG = ChronosConfig(sample_size=9, agreement_window=0.060,
+                       panic_threshold=0.200, max_retries=2,
+                       min_responses=5)
+
+
+def chronos_sync(world, pool=None, config=CONFIG, stream="chronos"):
+    client = ChronosClient(world.ntp_client, pool or world.scenario.directory.benign,
+                           config=config,
+                           rng=world.scenario.rng.stream(stream))
+    outcomes = []
+    client.sync(outcomes.append)
+    world.scenario.simulator.run()
+    assert len(outcomes) == 1
+    return client, outcomes[0]
+
+
+class TestHonestPool:
+    def test_sync_updates_clock(self):
+        world = build_ntp_world(seed=61, client_offset=0.1)
+        _, outcome = chronos_sync(world)
+        assert outcome.status is ChronosStatus.UPDATED
+        # Clock error corrected from 100ms to a few ms.
+        assert abs(world.client_clock.error()) < 0.03
+
+    def test_sync_with_accurate_clock_is_stable(self):
+        world = build_ntp_world(seed=62, client_offset=0.0)
+        _, outcome = chronos_sync(world)
+        assert outcome.ok
+        assert abs(world.client_clock.error()) < 0.03
+
+    def test_rounds_counted(self):
+        world = build_ntp_world(seed=63)
+        _, outcome = chronos_sync(world)
+        assert outcome.rounds_used >= 1
+
+
+class TestMinorityMalicious:
+    def test_cropping_defeats_minority(self):
+        """≤ d of m sampled servers lying cannot shift the clock."""
+        world = build_ntp_world(seed=64, malicious_count=4, malicious_lie=10.0)
+        # 4 of 20 malicious; sample 9, crop 3 per side.
+        _, outcome = chronos_sync(world)
+        assert outcome.ok
+        assert abs(world.client_clock.error()) < 0.05
+
+    def test_repeated_syncs_stay_accurate(self):
+        world = build_ntp_world(seed=65, malicious_count=4)
+        client = ChronosClient(world.ntp_client,
+                               world.scenario.directory.benign,
+                               config=CONFIG,
+                               rng=world.scenario.rng.stream("rep"))
+        for _ in range(5):
+            outcomes = []
+            client.sync(outcomes.append)
+            world.scenario.simulator.run()
+            assert outcomes[0].ok
+        assert abs(world.client_clock.error()) < 0.05
+
+
+class TestMajorityMalicious:
+    def test_poisoned_pool_shifts_clock(self):
+        """If the *pool itself* is majority-malicious (what DNS
+        poisoning achieves), Chronos cannot save the client — the
+        paper's premise."""
+        world = build_ntp_world(seed=66, malicious_count=18,
+                                malicious_lie=10.0)
+        _, outcome = chronos_sync(world)
+        # Whether via agreement or panic, the applied offset is the lie.
+        assert outcome.offset_applied is not None
+        assert world.client_clock.error() > 5.0
+
+    def test_panic_mode_triggers_on_disagreement(self):
+        """Half the pool lying forces retries into panic mode."""
+        world = build_ntp_world(seed=67, malicious_count=10,
+                                malicious_lie=10.0)
+        client, outcome = chronos_sync(world)
+        assert client.panics >= 1 or outcome.panicked
+
+
+class TestAvailability:
+    def test_failed_when_pool_unresponsive(self):
+        world = build_ntp_world(seed=68)
+        dead_pool = [f"10.201.0.{i}" for i in range(1, 10)]
+        _, outcome = chronos_sync(world, pool=dead_pool)
+        assert outcome.status is ChronosStatus.FAILED
+        assert world.client_clock.steps_applied == 0
+
+    def test_duplicate_pool_entries_sampled_individually(self):
+        world = build_ntp_world(seed=69)
+        address = world.scenario.directory.benign[0]
+        pool = [address] * 12
+        client, outcome = chronos_sync(world, pool=pool)
+        assert outcome.ok
+        assert world.fleet.server_for(address).requests_served >= 9
+
+
+class TestConfig:
+    def test_default_crop_is_third(self):
+        assert ChronosConfig(sample_size=9).effective_crop == 3
+        assert ChronosConfig(sample_size=15).effective_crop == 5
+
+    def test_explicit_crop(self):
+        assert ChronosConfig(sample_size=9, crop=1).effective_crop == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChronosConfig(sample_size=0)
+        with pytest.raises(ValueError):
+            ChronosConfig(agreement_window=-1)
+        with pytest.raises(ValueError):
+            ChronosConfig(crop=-1)
+
+    def test_empty_pool_rejected(self):
+        world = build_ntp_world(seed=70)
+        with pytest.raises(ValueError):
+            ChronosClient(world.ntp_client, [])
+
+    def test_set_pool_replaces(self):
+        world = build_ntp_world(seed=71)
+        client = ChronosClient(world.ntp_client, ["10.0.0.1"])
+        client.set_pool(["10.0.0.2", "10.0.0.3"])
+        assert len(client.pool) == 2
+        with pytest.raises(ValueError):
+            client.set_pool([])

@@ -1,0 +1,52 @@
+"""Integration tests: NTP sampling over the simulated network."""
+
+import pytest
+
+from tests.ntp.conftest import build_ntp_world
+
+
+def sample_sync(world, address):
+    samples = []
+    world.ntp_client.sample(address, samples.append)
+    world.scenario.simulator.run()
+    assert len(samples) == 1
+    return samples[0]
+
+
+class TestSampling:
+    def test_honest_server_small_offset(self, ntp_world):
+        address = ntp_world.scenario.directory.benign[0]
+        sample = sample_sync(ntp_world, address)
+        assert sample.ok
+        # Honest servers have ≤10ms error; path asymmetry adds a few ms.
+        assert abs(sample.offset) < 0.05
+        assert sample.delay > 0
+
+    def test_client_offset_measured(self):
+        world = build_ntp_world(seed=51, client_offset=-0.5)
+        address = world.scenario.directory.benign[0]
+        sample = sample_sync(world, address)
+        # Client is 0.5s slow; measured offset ~ +0.5.
+        assert sample.offset == pytest.approx(0.5, abs=0.05)
+
+    def test_malicious_server_lies(self):
+        world = build_ntp_world(seed=52, malicious_count=1, malicious_lie=7.0)
+        address = world.scenario.directory.benign[0]  # now corrupted
+        sample = sample_sync(world, address)
+        assert sample.offset == pytest.approx(7.0, abs=0.1)
+
+    def test_unreachable_server_times_out(self, ntp_world):
+        sample = sample_sync(ntp_world, "10.200.200.200")
+        assert sample.timed_out
+        assert not sample.ok
+        assert ntp_world.ntp_client.timeouts == 1
+
+    def test_server_counts_requests(self, ntp_world):
+        address = ntp_world.scenario.directory.benign[3]
+        sample_sync(ntp_world, address)
+        assert ntp_world.fleet.server_for(address).requests_served == 1
+
+    def test_fleet_classification(self):
+        world = build_ntp_world(seed=53, malicious_count=3)
+        assert len(world.fleet.malicious_servers) == 3
+        assert len(world.fleet.honest_servers) == 17

@@ -1,0 +1,125 @@
+"""Tests for the pool directory workload model."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.rrtype import RRType
+from repro.scenarios.workload import PoolDirectory
+
+
+def make_directory(benign=8, malicious=0, per_query=4, seed=1):
+    return PoolDirectory(
+        benign=[f"172.16.0.{i + 1}" for i in range(benign)],
+        malicious=[f"203.0.113.{i + 1}" for i in range(malicious)],
+        answers_per_query=per_query,
+        rng=random.Random(seed))
+
+
+class TestMembership:
+    def test_counts(self):
+        directory = make_directory(benign=5, malicious=2)
+        assert len(directory.benign) == 5
+        assert len(directory.malicious) == 2
+        assert len(directory.members) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PoolDirectory(benign=[], malicious=[])
+
+    def test_is_benign(self):
+        directory = make_directory(benign=2, malicious=1)
+        assert directory.is_benign("172.16.0.1")
+        assert not directory.is_benign("203.0.113.1")
+        assert not directory.is_benign("9.9.9.9")
+
+    def test_enroll_malicious(self):
+        directory = make_directory()
+        directory.enroll_malicious("203.0.113.99")
+        assert not directory.is_benign("203.0.113.99")
+        assert len(directory.malicious) == 1
+
+
+class TestBenignFraction:
+    def test_all_benign(self):
+        directory = make_directory()
+        assert directory.benign_fraction(["172.16.0.1", "172.16.0.2"]) == 1.0
+
+    def test_mixed(self):
+        directory = make_directory(malicious=2)
+        fraction = directory.benign_fraction(
+            ["172.16.0.1", "203.0.113.1"])
+        assert fraction == 0.5
+
+    def test_duplicates_count_individually(self):
+        """§IV: repeated addresses are individual servers."""
+        directory = make_directory(malicious=1)
+        fraction = directory.benign_fraction(
+            ["172.16.0.1", "172.16.0.1", "172.16.0.1", "203.0.113.1"])
+        assert fraction == 0.75
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_directory().benign_fraction([])
+
+
+class TestSampling:
+    def test_sample_size(self):
+        directory = make_directory(benign=10, per_query=4)
+        assert len(directory.sample()) == 4
+
+    def test_sample_capped_at_population(self):
+        directory = make_directory(benign=2, per_query=4)
+        assert len(directory.sample()) == 2
+
+    def test_sample_no_duplicates_within_one_answer(self):
+        directory = make_directory(benign=10, per_query=4)
+        for _ in range(20):
+            sample = directory.sample()
+            assert len(set(sample)) == len(sample)
+
+    def test_family_filter(self):
+        directory = PoolDirectory(
+            benign=["172.16.0.1", "fd00::1", "fd00::2"],
+            answers_per_query=4, rng=random.Random(0))
+        v4 = directory.sample(family=4)
+        v6 = directory.sample(family=6)
+        assert all(a.family == 4 for a in v4)
+        assert all(a.family == 6 for a in v6)
+        assert directory.sample(family=6) != []
+
+    def test_family_filter_empty(self):
+        directory = make_directory()
+        assert directory.sample(family=6) == []
+
+    def test_rotation_varies(self):
+        directory = make_directory(benign=20, per_query=4, seed=3)
+        samples = {tuple(sorted(str(a) for a in directory.sample()))
+                   for _ in range(10)}
+        assert len(samples) > 1
+
+
+class TestRecordProvider:
+    def test_provider_returns_a_rdata(self):
+        directory = make_directory()
+        provider = directory.record_provider(family=4)
+        records = provider()
+        assert len(records) == 4
+        assert all(r.rrtype is RRType.A for r in records)
+
+    def test_provider_counts_queries(self):
+        directory = make_directory()
+        provider = directory.record_provider()
+        provider()
+        provider()
+        assert directory.queries_answered == 2
+
+    @given(st.integers(min_value=1, max_value=30),
+           st.integers(min_value=1, max_value=10))
+    def test_provider_size_property(self, population, per_query):
+        directory = PoolDirectory(
+            benign=[f"172.16.1.{i + 1}" for i in range(population)],
+            answers_per_query=per_query, rng=random.Random(0))
+        records = directory.record_provider()()
+        assert len(records) == min(per_query, population)

@@ -1,0 +1,151 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    RunningStats,
+    confidence_interval,
+    mean,
+    median,
+    percentile,
+    stddev,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_single(self):
+        assert mean([5.0]) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestStddev:
+    def test_known_value(self):
+        assert stddev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+            math.sqrt(32.0 / 7.0)
+        )
+
+    def test_singleton_is_zero(self):
+        assert stddev([3.0]) == 0.0
+
+    def test_constant_is_zero(self):
+        assert stddev([3.0, 3.0, 3.0]) == pytest.approx(0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stddev([])
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50),
+           st.floats(min_value=0, max_value=100))
+    def test_within_bounds(self, values, pct):
+        result = percentile(values, pct)
+        assert min(values) <= result <= max(values)
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low, high = confidence_interval(values)
+        assert low <= mean(values) <= high
+
+    def test_singleton_degenerates(self):
+        assert confidence_interval([7.0]) == (7.0, 7.0)
+
+    def test_wider_at_higher_confidence(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        low95, high95 = confidence_interval(values, 0.95)
+        low99, high99 = confidence_interval(values, 0.99)
+        assert (high99 - low99) > (high95 - low95)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            confidence_interval([])
+
+
+class TestRunningStats:
+    def test_matches_batch_mean(self):
+        rs = RunningStats()
+        values = [1.5, 2.5, 3.5, 10.0]
+        rs.extend(values)
+        assert rs.mean == pytest.approx(mean(values))
+        assert rs.stddev == pytest.approx(stddev(values))
+
+    def test_min_max(self):
+        rs = RunningStats()
+        rs.extend([3.0, -1.0, 7.0])
+        assert rs.minimum == -1.0
+        assert rs.maximum == 7.0
+
+    def test_empty_raises(self):
+        rs = RunningStats()
+        with pytest.raises(ValueError):
+            _ = rs.mean
+
+    def test_singleton_variance_zero(self):
+        rs = RunningStats()
+        rs.add(4.0)
+        assert rs.variance == 0.0
+
+    def test_merge_equivalent_to_combined(self):
+        left, right, combined = RunningStats(), RunningStats(), RunningStats()
+        a_values = [1.0, 2.0, 3.0]
+        b_values = [10.0, 20.0]
+        left.extend(a_values)
+        right.extend(b_values)
+        combined.extend(a_values + b_values)
+        merged = left.merge(right)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.variance == pytest.approx(combined.variance)
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+
+    def test_merge_with_empty(self):
+        left, right = RunningStats(), RunningStats()
+        left.extend([1.0, 2.0])
+        merged = left.merge(right)
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(1.5)
+
+    def test_merge_both_empty(self):
+        merged = RunningStats().merge(RunningStats())
+        assert merged.count == 0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=40))
+    def test_welford_agrees_with_naive(self, values):
+        rs = RunningStats()
+        rs.extend(values)
+        assert rs.mean == pytest.approx(mean(values), abs=1e-6)
+        assert rs.stddev == pytest.approx(stddev(values), abs=1e-6)

@@ -1,0 +1,67 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_probability(value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ValueError, match="probability"):
+            check_probability(value)
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(ValueError, match="p_attack"):
+            check_probability(3, "p_attack")
+
+
+class TestCheckFraction:
+    def test_accepts_one(self):
+        assert check_fraction(1.0) == 1.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.5)
+
+
+class TestCheckPositive:
+    def test_accepts(self):
+        assert check_positive(0.1) == 0.1
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_positive(value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.001)
+
+
+class TestCheckType:
+    def test_accepts(self):
+        assert check_type("x", str) == "x"
+
+    def test_rejects_with_names(self):
+        with pytest.raises(TypeError, match="thing must be int, got str"):
+            check_type("x", int, "thing")
