@@ -5,50 +5,37 @@ yields *exactly* a fraction c/N of the generated pool, so controlling a
 fraction y of the pool requires ⌈yN⌉ corrupted resolvers — measured
 end-to-end with real compromised providers, and cross-checked against
 the closed form.
+
+Declared as a campaign grid: one axis sweep over (N, corrupted) with the
+dependent range expressed as a ``where`` clause, executed end-to-end by
+the shared :func:`repro.campaign.pool_attack_trial`.
 """
 
 from repro.analysis.model import required_corrupted_resolvers
-from repro.attacks.compromise import (
-    CompromiseConfig,
-    CompromisedResolverBehavior,
-    corrupt_first_k,
-)
-from repro.netsim.address import IPAddress
-from repro.scenarios import build_pool_scenario
+from repro.campaign import CampaignRunner, ParameterGrid, pool_attack_trial
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import RESULTS_DIR, run_once
 
-FORGED = [f"203.0.113.{i + 1}" for i in range(8)]
+FORGED = tuple(f"203.0.113.{i + 1}" for i in range(4))
 
+GRID = ParameterGrid(
+    {"num_providers": (3, 5, 9), "corrupted": range(10)},
+    fixed={"pool_size": 40, "answers_per_query": 4, "forged": FORGED},
+    name="e2_required_fraction",
+).where(lambda p: p["corrupted"] <= p["num_providers"])
 
-def measure_fraction(n: int, corrupted: int, seed: int) -> float:
-    scenario = build_pool_scenario(seed=seed, num_providers=n,
-                                   pool_size=40, answers_per_query=4)
-    if corrupted:
-        corrupt_first_k(scenario.providers, corrupted, CompromiseConfig(
-            target=scenario.pool_domain,
-            behavior=CompromisedResolverBehavior.SUBSTITUTE,
-            forged_addresses=FORGED[:4]))
-    pool = scenario.generate_pool_sync()
-    forged_set = {IPAddress(a) for a in FORGED}
-    return sum(1 for a in pool.addresses if a in forged_set) / len(
-        pool.addresses)
-
-
-def sweep():
-    results = []
-    for n in (3, 5, 9):
-        for corrupted in range(n + 1):
-            fraction = measure_fraction(n, corrupted, seed=200 + n)
-            results.append((n, corrupted, fraction))
-    return results
+RUNNER = CampaignRunner(pool_attack_trial, base_seed=200)
 
 
 def bench_e2_required_fraction(benchmark, emit_table):
-    results = run_once(benchmark, sweep)
+    result = run_once(benchmark, lambda: RUNNER.run(GRID))
+    result.write_json(RESULTS_DIR / "e2_required_fraction.json")
 
     rows = []
-    for n, corrupted, fraction in results:
+    for summary in result.summaries:
+        n = summary.params["num_providers"]
+        corrupted = summary.params["corrupted"]
+        fraction = summary["attacker_share"].mean
         needed_for_majority = required_corrupted_resolvers(n, 0.5)
         rows.append([
             n, corrupted,
@@ -66,7 +53,10 @@ def bench_e2_required_fraction(benchmark, emit_table):
         notes="Measured share equals c/N exactly (Algorithm 1's bound); "
               "majority is reached only at c ≥ ⌈N/2⌉ — the paper's x ≥ y.")
 
-    for n, corrupted, fraction in results:
+    for summary in result.summaries:
+        n = summary.params["num_providers"]
+        corrupted = summary.params["corrupted"]
+        fraction = summary["attacker_share"].mean
         assert abs(fraction - corrupted / n) < 1e-9
         if fraction > 0.5:
             assert corrupted >= required_corrupted_resolvers(n, 0.5)

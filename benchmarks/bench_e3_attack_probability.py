@@ -4,17 +4,26 @@ Claim reproduced: the closed-form attack probability (paper model and
 exact binomial tail) against the Monte-Carlo estimate, including the
 paper's worked example — "even when only 3 DoH resolvers are used ...
 a malicious majority (x ≥ 2/3) is reduced significantly (p²)".
+
+Declared as a campaign over an explicit (N, x, p) point list; the
+Monte-Carlo runs through the engine as independently seeded chunks whose
+aggregate reconstructs the pooled estimate.
 """
 
 from repro.analysis.model import (
     attack_probability_exact,
     attack_probability_paper,
 )
-from repro.analysis.montecarlo import simulate_attack_probability
+from repro.analysis.montecarlo import MonteCarloResult
+from repro.campaign import (
+    CampaignRunner,
+    ParameterGrid,
+    attack_probability_trial,
+)
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import RESULTS_DIR, run_once
 
-GRID = [
+POINTS = [
     (3, 2 / 3, 0.10),   # the paper's example: p^2 = 0.01
     (3, 2 / 3, 0.30),
     (3, 2 / 3, 0.50),
@@ -26,21 +35,33 @@ GRID = [
     (31, 0.5, 0.30),
 ]
 
-TRIALS = 20_000
+CHUNK = 500          # coin-flip trials per campaign trial
+CHUNKS = 40          # campaign trials per grid point
+TRIALS = CHUNK * CHUNKS
 
+GRID = ParameterGrid.from_points(
+    [{"n": n, "x": x, "p_attack": p} for n, x, p in POINTS],
+    fixed={"chunk": CHUNK},
+    name="e3_attack_probability",
+)
 
-def compute():
-    rows = []
-    for n, x, p in GRID:
-        paper = attack_probability_paper(n, x, p)
-        exact = attack_probability_exact(n, x, p)
-        mc = simulate_attack_probability(n, x, p, trials=TRIALS, seed=3)
-        rows.append((n, x, p, paper, exact, mc))
-    return rows
+RUNNER = CampaignRunner(attack_probability_trial, trials_per_point=CHUNKS,
+                        base_seed=3)
 
 
 def bench_e3_attack_probability(benchmark, emit_table):
-    rows = run_once(benchmark, compute)
+    result = run_once(benchmark, lambda: RUNNER.run(GRID))
+    result.write_json(RESULTS_DIR / "e3_attack_probability.json")
+
+    rows = []
+    for summary in result.summaries:
+        n, x, p = (summary.params["n"], summary.params["x"],
+                   summary.params["p_attack"])
+        success = summary["success"]
+        mc = MonteCarloResult.from_chunk_means(success.mean, success.stderr,
+                                               success.count, CHUNK)
+        rows.append((n, x, p, attack_probability_paper(n, x, p),
+                     attack_probability_exact(n, x, p), mc))
 
     table_rows = [
         [n, f"{x:.2f}", f"{p:.2f}", f"{paper:.2e}", f"{exact:.2e}",

@@ -7,55 +7,40 @@ truncate-and-combine yields a pool that is 1/N attacker-controlled,
 while the majority vote yields an *all-benign* (but smaller) pool — the
 availability/strength trade-off, including its interaction with answer
 rotation (heavy rotation starves the vote of overlap).
+
+Declared as a campaign grid over the pool population; the shared
+:func:`repro.campaign.pool_attack_trial` reports both the combined pool
+and the per-address vote for every point.
 """
 
-from repro.attacks.compromise import (
-    CompromiseConfig,
-    CompromisedResolverBehavior,
-    corrupt_first_k,
+from repro.campaign import CampaignRunner, ParameterGrid, pool_attack_trial
+
+from benchmarks.conftest import RESULTS_DIR, run_once
+
+FORGED = tuple(f"203.0.113.{i + 1}" for i in range(4))
+
+GRID = ParameterGrid(
+    {"pool_size": (4, 8, 20, 60)},
+    fixed={"num_providers": 3, "answers_per_query": 4, "corrupted": 1,
+           "forged": FORGED},
+    name="e8_majority_vote",
 )
-from repro.core.majority import MajorityVoteCombiner
-from repro.netsim.address import IPAddress
-from repro.scenarios import build_pool_scenario
 
-from benchmarks.conftest import run_once
-
-FORGED = [f"203.0.113.{i + 1}" for i in range(4)]
-
-
-def run_case(pool_size: int, seed: int):
-    """Small pool => heavy answer overlap; large pool => rotation."""
-    scenario = build_pool_scenario(seed=seed, num_providers=3,
-                                   pool_size=pool_size, answers_per_query=4)
-    corrupt_first_k(scenario.providers, 1, CompromiseConfig(
-        target=scenario.pool_domain,
-        behavior=CompromisedResolverBehavior.SUBSTITUTE,
-        forged_addresses=FORGED))
-    pool = scenario.generate_pool_sync()
-    forged_set = {IPAddress(a) for a in FORGED}
-
-    combined_share = (sum(1 for a in pool.addresses if a in forged_set)
-                      / len(pool.addresses))
-    voted = MajorityVoteCombiner().combine(pool.contributions)
-    voted_share = (sum(1 for a in voted if a in forged_set) / len(voted)
-                   if voted else 0.0)
-    return pool, combined_share, voted, voted_share
-
-
-def sweep():
-    return {pool_size: run_case(pool_size, seed=500 + pool_size)
-            for pool_size in (4, 8, 20, 60)}
+RUNNER = CampaignRunner(pool_attack_trial, base_seed=500)
 
 
 def bench_e8_majority_vote(benchmark, emit_table):
-    cases = run_once(benchmark, sweep)
+    result = run_once(benchmark, lambda: RUNNER.run(GRID))
+    result.write_json(RESULTS_DIR / "e8_majority_vote.json")
 
     rows = []
-    for pool_size, (pool, combined_share, voted, voted_share) in cases.items():
+    for summary in result.summaries:
         rows.append([
-            pool_size,
-            len(pool.addresses), f"{combined_share:.0%}",
-            len(voted), f"{voted_share:.0%}",
+            summary.params["pool_size"],
+            round(summary["pool_size"].mean),
+            f"{summary['attacker_share'].mean:.0%}",
+            round(summary["voted_size"].mean),
+            f"{summary['voted_attacker_share'].mean:.0%}",
         ])
     emit_table(
         "e8_majority_vote",
@@ -70,10 +55,11 @@ def bench_e8_majority_vote(benchmark, emit_table):
               "answers — why Chronos, which tolerates a minority, "
               "doesn't need it.")
 
-    for pool_size, (pool, combined_share, voted, voted_share) in cases.items():
-        assert abs(combined_share - 1 / 3) < 1e-9
-        assert voted_share == 0.0  # soundness of the vote
+    for summary in result.summaries:
+        assert abs(summary["attacker_share"].mean - 1 / 3) < 1e-9
+        assert summary["voted_attacker_share"].mean == 0.0  # vote soundness
     # Overlap economics: tiny population => the vote keeps everything.
-    assert len(cases[4][2]) == 4
+    assert result.metric("voted_size", pool_size=4).mean == 4
     # Heavy rotation => fewer (possibly zero) quorum winners.
-    assert len(cases[60][2]) <= len(cases[4][2])
+    assert (result.metric("voted_size", pool_size=60).mean
+            <= result.metric("voted_size", pool_size=4).mean)

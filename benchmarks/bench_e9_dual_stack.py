@@ -9,56 +9,40 @@ Attack: one of three resolvers poisons *only AAAA* (it owns no IPv4
 servers). Under UNION semantics the poison is diluted across the
 combined pool; under PER_FAMILY it concentrates in the v6 pool — the
 application must pick the semantics matching how it consumes addresses.
+
+Declared as a campaign grid whose axis is the dual-stack policy family;
+the shared trial reports per-family attacker shares directly.
 """
 
-from repro.attacks.compromise import (
-    CompromiseConfig,
-    CompromisedResolverBehavior,
-    corrupt_first_k,
-)
+from repro.campaign import CampaignRunner, ParameterGrid, pool_attack_trial
 from repro.core.policy import DualStackPolicy
-from repro.core.pool import PoolGeneratorConfig
-from repro.netsim.address import IPAddress
-from repro.scenarios import build_pool_scenario
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import RESULTS_DIR, run_once
 
-FORGED_V6 = [f"2001:db8:bad::{i + 1:x}" for i in range(3)]
+FORGED_V6 = tuple(f"2001:db8:bad::{i + 1:x}" for i in range(3))
 
+GRID = ParameterGrid(
+    {"policy": (DualStackPolicy.UNION, DualStackPolicy.PER_FAMILY)},
+    fixed={"num_providers": 3, "pool_size": 12, "answers_per_query": 3,
+           "dual_stack": True, "corrupted": 1, "forged": FORGED_V6},
+    name="e9_dual_stack",
+)
 
-def run_case(policy: DualStackPolicy, seed: int):
-    scenario = build_pool_scenario(seed=seed, num_providers=3,
-                                   pool_size=12, answers_per_query=3,
-                                   dual_stack=True)
-    corrupt_first_k(scenario.providers, 1, CompromiseConfig(
-        target=scenario.pool_domain,
-        behavior=CompromisedResolverBehavior.SUBSTITUTE,
-        forged_addresses=FORGED_V6))
-    config = PoolGeneratorConfig(dual_stack=policy)
-    pool = scenario.generate_pool_sync(scenario.make_generator(config=config))
-    forged_set = {IPAddress(a) for a in FORGED_V6}
-
-    def share(addresses):
-        if not addresses:
-            return 0.0
-        return sum(1 for a in addresses if a in forged_set) / len(addresses)
-
-    v4 = [a for a in pool.addresses if a.family == 4]
-    v6 = [a for a in pool.addresses if a.family == 6]
-    return pool, share(pool.addresses), share(v4), share(v6)
+RUNNER = CampaignRunner(pool_attack_trial, base_seed=600)
 
 
 def bench_e9_dual_stack(benchmark, emit_table):
-    results = run_once(benchmark, lambda: {
-        policy: run_case(policy, seed=600)
-        for policy in (DualStackPolicy.UNION, DualStackPolicy.PER_FAMILY)
-    })
+    result = run_once(benchmark, lambda: RUNNER.run(GRID))
+    result.write_json(RESULTS_DIR / "e9_dual_stack.json")
 
     rows = []
-    for policy, (pool, union_share, v4_share, v6_share) in results.items():
+    for summary in result.summaries:
         rows.append([
-            policy.value, len(pool.addresses),
-            f"{union_share:.0%}", f"{v4_share:.0%}", f"{v6_share:.0%}",
+            summary.params["policy"].value,
+            round(summary["pool_size"].mean),
+            f"{summary['attacker_share'].mean:.0%}",
+            f"{summary['v4_share'].mean:.0%}",
+            f"{summary['v6_share'].mean:.0%}",
         ])
     emit_table(
         "e9_dual_stack",
@@ -71,8 +55,8 @@ def bench_e9_dual_stack(benchmark, emit_table):
               "exactly 1/3 — an app using only v6 addresses must demand "
               "the per-family guarantee, as the footnote warns.")
 
-    union_pool, union_share, _, union_v6 = results[DualStackPolicy.UNION]
-    per_pool, per_share, per_v4, per_v6 = results[DualStackPolicy.PER_FAMILY]
-    assert union_share <= 1 / 3 + 1e-9
-    assert per_v4 == 0.0
-    assert abs(per_v6 - 1 / 3) < 1e-9
+    union = result.summary(policy=DualStackPolicy.UNION)
+    per_family = result.summary(policy=DualStackPolicy.PER_FAMILY)
+    assert union["attacker_share"].mean <= 1 / 3 + 1e-9
+    assert per_family["v4_share"].mean == 0.0
+    assert abs(per_family["v6_share"].mean - 1 / 3) < 1e-9

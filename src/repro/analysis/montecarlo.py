@@ -34,6 +34,22 @@ class MonteCarloResult:
         tolerance = max(self.standard_error * sigmas, 1e-9)
         return abs(self.estimate - expected) <= tolerance
 
+    @classmethod
+    def from_chunk_means(cls, mean: float, stderr: float, chunks: int,
+                         chunk_size: int) -> "MonteCarloResult":
+        """Reassemble a result from equal-size chunked sub-simulations.
+
+        When a campaign runs the simulation as ``chunks`` independent
+        trials of ``chunk_size`` coin flips each, the mean of the chunk
+        estimates equals the pooled estimate and the standard error of
+        that mean equals the pooled standard error, so the aggregate's
+        ``(mean, stderr)`` reconstructs the single-run result.
+        """
+        if chunks < 1 or chunk_size < 1:
+            raise ValueError("chunks and chunk_size must be >= 1")
+        return cls(estimate=mean, standard_error=stderr,
+                   trials=chunks * chunk_size)
+
 
 def simulate_attack_probability(n: int, x: float, p_attack: float,
                                 trials: int = 10_000,
@@ -83,3 +99,52 @@ def simulate_pool_fraction(n: int, corrupted: int, answers_per_query: int,
     stderr = math.sqrt(variance / trials)
     return MonteCarloResult(estimate=estimate, standard_error=stderr,
                             trials=trials)
+
+
+# ----------------------------------------------------------------------
+# Campaign-engine adapters (module-level and picklable, so campaigns can
+# shard the Monte-Carlo across worker processes).
+# ----------------------------------------------------------------------
+
+
+def _check_trial_params(params, known: frozenset) -> None:
+    unknown = set(params) - known
+    if unknown:
+        raise ValueError(f"unrecognised trial parameters: {sorted(unknown)}; "
+                         f"known: {sorted(known)}")
+
+
+_ATTACK_PROBABILITY_KEYS = frozenset({"n", "x", "p_attack", "chunk"})
+_POOL_FRACTION_KEYS = frozenset({"n", "corrupted", "answers_per_query",
+                                 "inflate_to", "truncation", "chunk"})
+
+
+def attack_probability_trial(params, seed: int) -> dict:
+    """One campaign trial: a chunk of §III-b compromise simulations.
+
+    Expects ``params`` with ``n``, ``x``, ``p_attack`` and optionally
+    ``chunk`` (coin-flip trials per campaign trial, default 500).
+    Returns the chunk's success fraction as metric ``"success"``; the
+    campaign aggregate over equal-size chunks reconstructs the full
+    Monte-Carlo estimate (see :meth:`MonteCarloResult.from_chunk_means`).
+    """
+    _check_trial_params(params, _ATTACK_PROBABILITY_KEYS)
+    result = simulate_attack_probability(
+        params["n"], params["x"], params["p_attack"],
+        trials=params.get("chunk", 500), seed=seed)
+    return {"success": result.estimate}
+
+
+def pool_fraction_trial(params, seed: int) -> dict:
+    """One campaign trial of the §III-a pool-share model.
+
+    Expects ``n``, ``corrupted``, ``answers_per_query``, ``inflate_to``
+    and ``truncation`` (a :class:`~repro.core.policy.TruncationPolicy`),
+    plus optional ``chunk``. Returns metric ``"attacker_share"``.
+    """
+    _check_trial_params(params, _POOL_FRACTION_KEYS)
+    result = simulate_pool_fraction(
+        params["n"], params["corrupted"], params["answers_per_query"],
+        params["inflate_to"], params["truncation"],
+        trials=params.get("chunk", 100), seed=seed)
+    return {"attacker_share": result.estimate}

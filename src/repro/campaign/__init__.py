@@ -1,0 +1,65 @@
+"""Campaign engine: declarative parallel scenario sweeps.
+
+The paper's results are all parameter sweeps; this package turns each
+one into three declarative pieces instead of a hand-rolled nested loop:
+
+* a :class:`ParameterGrid` naming the axes (presets × attacks × pool
+  sizes × resolver configurations × dual-stack families, ...);
+* a picklable trial function ``(params, seed) -> metrics`` — stock ones
+  for end-to-end pool generation and the §III Monte-Carlos are provided;
+* a :class:`CampaignRunner` that shards the trials across worker
+  processes with deterministic per-trial seeds derived from
+  :func:`repro.util.rng.derive_seed`, and an :class:`Aggregator` that
+  folds the records into :class:`repro.util.stats.RunningStats`
+  summaries with confidence intervals and JSON export.
+
+Serial and multiprocessing executions of the same campaign are
+bit-identical: seeds depend only on ``(base_seed, point key, trial
+index)`` and records are folded in grid order in both modes.
+
+Quick start::
+
+    from repro.campaign import CampaignRunner, ParameterGrid, pool_attack_trial
+
+    grid = ParameterGrid({"num_providers": (3, 5, 9),
+                          "corrupted": (0, 1, 2)},
+                         fixed={"pool_size": 40,
+                                "forged": ("203.0.113.1",)},
+                         name="share-sweep").where(
+        lambda p: p["corrupted"] <= p["num_providers"])
+    result = CampaignRunner(pool_attack_trial, trials_per_point=3,
+                            base_seed=7).run(grid)
+    result.metric("attacker_share", num_providers=3, corrupted=1).mean
+"""
+
+from repro.analysis.montecarlo import (
+    attack_probability_trial,
+    pool_fraction_trial,
+)
+from repro.campaign.aggregate import (
+    Aggregator,
+    CampaignResult,
+    MetricSummary,
+    PointSummary,
+    TrialRecord,
+)
+from repro.campaign.grid import GridPoint, ParameterGrid, point_key
+from repro.campaign.runner import CampaignRunner, trial_seed
+from repro.campaign.trials import build_scenario, pool_attack_trial
+
+__all__ = [
+    "Aggregator",
+    "CampaignResult",
+    "CampaignRunner",
+    "GridPoint",
+    "MetricSummary",
+    "ParameterGrid",
+    "PointSummary",
+    "TrialRecord",
+    "attack_probability_trial",
+    "build_scenario",
+    "point_key",
+    "pool_attack_trial",
+    "pool_fraction_trial",
+    "trial_seed",
+]

@@ -1,0 +1,208 @@
+"""Folding per-trial records into per-grid-point statistics.
+
+The :class:`Aggregator` consumes :class:`TrialRecord`\\ s in order and
+maintains one :class:`repro.util.stats.RunningStats` per (grid point,
+metric). Because Welford accumulation is fold-order dependent at the
+floating-point level, the campaign runner feeds records in expansion
+order in both serial and multiprocessing modes — which is what makes
+serial and parallel campaigns bit-identical.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.util.stats import RunningStats, normal_ci
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """The outcome of one trial at one grid point."""
+
+    point_index: int
+    point_key: str
+    params: Mapping[str, Any] = field(hash=False)
+    trial: int = 0
+    seed: int = 0
+    metrics: Mapping[str, float] = field(default_factory=dict, hash=False)
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Summary statistics for one metric at one grid point."""
+
+    count: int
+    mean: float
+    stddev: float
+    stderr: float
+    ci_low: float
+    ci_high: float
+    minimum: float
+    maximum: float
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "stderr": self.stderr,
+            "ci95": [self.ci_low, self.ci_high],
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+@dataclass(frozen=True)
+class PointSummary:
+    """All metric summaries for one grid point."""
+
+    point_index: int
+    point_key: str
+    params: Mapping[str, Any] = field(hash=False)
+    trials: int = 0
+    metrics: Mapping[str, MetricSummary] = field(default_factory=dict,
+                                                 hash=False)
+
+    def __getitem__(self, metric: str) -> MetricSummary:
+        return self.metrics[metric]
+
+    def matches(self, subset: Mapping[str, Any]) -> bool:
+        """Whether this point's parameters agree with ``subset``."""
+        return all(name in self.params and self.params[name] == value
+                   for name, value in subset.items())
+
+
+class Aggregator:
+    """Fold trial records into per-point, per-metric summaries.
+
+    :param confidence: confidence level for the normal-approximation
+        interval on each metric's mean.
+    """
+
+    def __init__(self, confidence: float = 0.95) -> None:
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+        self._confidence = confidence
+        # point_key -> (point_index, params, trial count)
+        self._points: Dict[str, Tuple[int, Mapping[str, Any], int]] = {}
+        self._stats: Dict[Tuple[str, str], RunningStats] = {}
+        # Metric names in first-seen order per point key.
+        self._metric_order: Dict[str, List[str]] = {}
+
+    def add(self, record: TrialRecord) -> None:
+        """Fold one trial record into the running summaries."""
+        entry = self._points.get(record.point_key)
+        if entry is None:
+            self._points[record.point_key] = (record.point_index,
+                                              record.params, 1)
+            self._metric_order[record.point_key] = []
+        else:
+            self._points[record.point_key] = (entry[0], entry[1], entry[2] + 1)
+        order = self._metric_order[record.point_key]
+        for metric, value in record.metrics.items():
+            stats_key = (record.point_key, metric)
+            if stats_key not in self._stats:
+                self._stats[stats_key] = RunningStats()
+                order.append(metric)
+            self._stats[stats_key].add(float(value))
+
+    def extend(self, records) -> None:
+        for record in records:
+            self.add(record)
+
+    def summaries(self) -> List[PointSummary]:
+        """Per-point summaries in first-seen (grid expansion) order."""
+        result = []
+        for key, (index, params, trials) in self._points.items():
+            metrics: Dict[str, MetricSummary] = {}
+            for metric in self._metric_order[key]:
+                stats = self._stats[(key, metric)]
+                stderr = (stats.stddev / math.sqrt(stats.count)
+                          if stats.count else 0.0)
+                ci_low, ci_high = normal_ci(stats.mean, stats.stddev,
+                                            stats.count, self._confidence)
+                metrics[metric] = MetricSummary(
+                    count=stats.count, mean=stats.mean, stddev=stats.stddev,
+                    stderr=stderr, ci_low=ci_low, ci_high=ci_high,
+                    minimum=stats.minimum, maximum=stats.maximum)
+            result.append(PointSummary(point_index=index, point_key=key,
+                                       params=params, trials=trials,
+                                       metrics=metrics))
+        result.sort(key=lambda summary: summary.point_index)
+        return result
+
+
+def json_value(value: Any) -> Any:
+    """Make one parameter value JSON-serialisable."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [json_value(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(k): json_value(v) for k, v in value.items()}
+    return str(value)
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced.
+
+    Records stay available for custom post-processing; ``summaries``
+    carry the folded statistics in grid expansion order.
+    """
+
+    name: str
+    base_seed: int
+    trials_per_point: int
+    mode: str                     # "serial" or "processes:<n>"
+    records: List[TrialRecord]
+    summaries: List[PointSummary]
+
+    def summary(self, **subset: Any) -> PointSummary:
+        """The unique point summary whose params match ``subset``."""
+        matching = [s for s in self.summaries if s.matches(subset)]
+        if not matching:
+            raise KeyError(f"no grid point matches {subset!r}")
+        if len(matching) > 1:
+            raise KeyError(f"{len(matching)} grid points match {subset!r}")
+        return matching[0]
+
+    def metric(self, metric: str, **subset: Any) -> MetricSummary:
+        """Shorthand for ``summary(**subset).metrics[metric]``."""
+        return self.summary(**subset).metrics[metric]
+
+    def to_json(self) -> Dict[str, Any]:
+        """The campaign's exportable form (``BENCH_*.json`` compatible:
+        a flat ``results`` list of per-point stat dicts)."""
+        return {
+            "campaign": self.name,
+            "seed": self.base_seed,
+            "trials_per_point": self.trials_per_point,
+            "mode": self.mode,
+            "results": [
+                {
+                    "params": {name: json_value(value)
+                               for name, value in summary.params.items()},
+                    "key": summary.point_key,
+                    "trials": summary.trials,
+                    "metrics": {metric: stats.to_json()
+                                for metric, stats in summary.metrics.items()},
+                }
+                for summary in self.summaries
+            ],
+        }
+
+    def write_json(self, path: "Path | str") -> Path:
+        """Serialise :meth:`to_json` to ``path`` (creating parents)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True)
+                        + "\n")
+        return path

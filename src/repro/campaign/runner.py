@@ -1,0 +1,166 @@
+"""Campaign execution: shard trials across workers, deterministically.
+
+The runner expands a :class:`~repro.campaign.grid.ParameterGrid` into
+``len(grid) * trials_per_point`` trial specs, derives every trial's seed
+from ``(base_seed, point key, trial index)`` via
+:func:`repro.util.rng.derive_seed`, and executes the specs either
+serially or on a chunked ``multiprocessing.Pool``. Because seeds depend
+only on the campaign's base seed and each trial's identity — never on
+execution order or worker assignment — the two modes produce identical
+records, and the aggregation (performed in spec order in both modes) is
+bit-identical.
+
+Trial functions must be module-level callables of the form
+``trial_fn(params, seed) -> float | Mapping[str, float]`` so they can be
+pickled to workers; anything unpicklable silently degrades to the serial
+path (the results are the same, only slower).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+from typing import Any, Callable, List, Mapping, Optional, Tuple, Union
+
+from repro.campaign.aggregate import Aggregator, CampaignResult, TrialRecord
+from repro.campaign.grid import ParameterGrid
+from repro.util.rng import derive_seed
+
+TrialFn = Callable[[Mapping[str, Any], int], Union[float, Mapping[str, float]]]
+
+_Spec = Tuple[TrialFn, int, str, Mapping[str, Any], int, int]
+
+
+def trial_seed(base_seed: int, point_key: str, trial: int) -> int:
+    """The deterministic seed for one trial of one grid point."""
+    return derive_seed(base_seed, "campaign", point_key, str(trial))
+
+
+def _execute_spec(spec: _Spec) -> TrialRecord:
+    """Run one trial spec (module-level so worker processes can run it)."""
+    trial_fn, point_index, point_key, params, trial, seed = spec
+    outcome = trial_fn(params, seed)
+    if isinstance(outcome, Mapping):
+        metrics = {name: float(value) for name, value in outcome.items()}
+    else:
+        metrics = {"value": float(outcome)}
+    return TrialRecord(point_index=point_index, point_key=point_key,
+                       params=params, trial=trial, seed=seed, metrics=metrics)
+
+
+class CampaignRunner:
+    """Run every trial of a parameter grid and aggregate the results.
+
+    :param trial_fn: module-level callable ``(params, seed) -> metrics``.
+        A scalar return value becomes the metric ``"value"``.
+    :param trials_per_point: how many independently seeded trials to run
+        at each grid point.
+    :param base_seed: root of the per-trial seed derivation.
+    :param workers: worker processes. ``None`` uses ``os.cpu_count()``
+        but drops to serial for campaigns too small to amortise pool
+        startup (fewer than two specs per worker); ``0`` or ``1``
+        forces the serial path; any explicit count is honoured.
+    :param chunk_size: trials per work unit handed to a worker. Defaults
+        to spreading the specs roughly four chunks per worker, so slow
+        grid points do not serialise the whole campaign behind them.
+    :param confidence: confidence level for aggregate intervals.
+    :param name: campaign label carried into the result/JSON.
+    """
+
+    def __init__(self, trial_fn: TrialFn, *, trials_per_point: int = 1,
+                 base_seed: int = 0, workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None,
+                 confidence: float = 0.95, name: str = "campaign") -> None:
+        if trials_per_point < 1:
+            raise ValueError("trials_per_point must be >= 1")
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be >= 0")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self._trial_fn = trial_fn
+        self._trials_per_point = trials_per_point
+        self._base_seed = int(base_seed)
+        self._workers = workers
+        self._chunk_size = chunk_size
+        self._confidence = confidence
+        self._name = name
+
+    # ------------------------------------------------------------------
+    # Spec expansion.
+    # ------------------------------------------------------------------
+
+    def specs(self, grid: ParameterGrid) -> List[_Spec]:
+        """Every (point, trial) pair in deterministic expansion order."""
+        expanded = []
+        for point in grid.points():
+            for trial in range(self._trials_per_point):
+                expanded.append((
+                    self._trial_fn, point.index, point.key, point.params,
+                    trial, trial_seed(self._base_seed, point.key, trial),
+                ))
+        return expanded
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def run(self, grid: ParameterGrid) -> CampaignResult:
+        """Execute the campaign and return its aggregated result."""
+        specs = self.specs(grid)
+        workers = self._resolve_workers(len(specs))
+        records: Optional[List[TrialRecord]] = None
+        mode = "serial"
+        if workers > 1:
+            records = self._run_parallel(specs, workers)
+            if records is not None:
+                mode = f"processes:{workers}"
+        if records is None:
+            records = [_execute_spec(spec) for spec in specs]
+
+        aggregator = Aggregator(confidence=self._confidence)
+        aggregator.extend(records)
+        return CampaignResult(
+            name=grid.name or self._name, base_seed=self._base_seed,
+            trials_per_point=self._trials_per_point, mode=mode,
+            records=records, summaries=aggregator.summaries())
+
+    def _resolve_workers(self, spec_count: int) -> int:
+        workers = self._workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+            # Auto mode: a campaign smaller than two specs per worker
+            # cannot amortise pool startup; run it serially. An explicit
+            # workers count is always honoured.
+            if spec_count < workers * 2:
+                return 1
+        return max(1, min(workers, spec_count))
+
+    def _run_parallel(self, specs: List[_Spec],
+                      workers: int) -> Optional[List[TrialRecord]]:
+        """Shard specs over a process pool; ``None`` → use serial path.
+
+        ``Pool.map`` preserves input order, so the returned records are
+        in the same order the serial path would produce.
+        """
+        try:
+            # Covers the trial function and every point's parameters, so
+            # nothing refuses to cross the process boundary mid-run.
+            pickle.dumps(specs)
+        except Exception:
+            return None
+        chunk = self._chunk_size or max(
+            1, math.ceil(len(specs) / (workers * 4)))
+        try:
+            import multiprocessing
+
+            pool = multiprocessing.Pool(processes=workers)
+        except (ImportError, OSError, PermissionError):
+            # No usable process support (restricted sandboxes, missing
+            # semaphores): the serial path gives identical results.
+            return None
+        # Errors raised past this point come from the trial function
+        # itself and must propagate, not silently trigger a serial
+        # re-run of the whole campaign.
+        with pool:
+            return pool.map(_execute_spec, specs, chunksize=chunk)

@@ -1,0 +1,162 @@
+"""Reusable trial functions for campaign sweeps.
+
+These are the bridge between the declarative campaign layer and the
+simulation stack: a grid point's parameters select a scenario preset
+(:mod:`repro.scenarios.presets`), an attacker configuration
+(:mod:`repro.attacks.compromise`) and generation policies
+(:mod:`repro.core.policy`), and one trial builds the world, runs one
+Algorithm 1 generation and returns scalar metrics.
+
+Everything here is module-level and picklable so campaigns can shard
+trials across worker processes. The closed-form Monte-Carlo trials live
+next to their models in :mod:`repro.analysis.montecarlo` and are
+re-exported from :mod:`repro.campaign`.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Dict, Mapping
+
+from repro.attacks.compromise import (
+    CompromiseConfig,
+    CompromisedResolverBehavior,
+    corrupt_first_k,
+)
+from repro.core.majority import MajorityVoteCombiner
+from repro.core.policy import DualStackPolicy, TruncationPolicy
+from repro.core.pool import PoolGeneratorConfig
+from repro.netsim.address import IPAddress
+from repro.scenarios.builders import PoolScenario
+from repro.scenarios.presets import get_preset
+
+
+def build_scenario(params: Mapping[str, Any], seed: int) -> PoolScenario:
+    """Build the scenario a grid point describes.
+
+    ``params["preset"]`` (default ``"custom"``) names a builder in the
+    :data:`repro.scenarios.presets.PRESETS` registry; every other
+    parameter the builder's signature accepts is passed through, so one
+    grid can sweep presets and their knobs together.
+    """
+    builder = get_preset(params.get("preset", "custom"))
+    accepted = inspect.signature(builder).parameters
+    kwargs = {name: value for name, value in params.items()
+              if name in accepted and name != "seed"}
+    return builder(seed=seed, **kwargs)
+
+
+# Parameters pool_attack_trial consumes itself (everything else must be
+# accepted by the selected scenario builder).
+_ATTACK_KEYS = frozenset({"preset", "corrupted", "behavior", "forged",
+                          "inflate_to", "policy", "truncation"})
+
+
+def _reject_unknown_params(params: Mapping[str, Any]) -> None:
+    """Fail loudly on parameters nothing would consume.
+
+    A declarative sweep with a typo'd axis name (``answers_per_qeury``)
+    would otherwise run every point against defaults and present a
+    sweep that never happened.
+    """
+    builder = get_preset(params.get("preset", "custom"))
+    accepted = set(inspect.signature(builder).parameters)
+    unknown = set(params) - _ATTACK_KEYS - accepted
+    if unknown:
+        raise ValueError(
+            f"unrecognised trial parameters: {sorted(unknown)} "
+            f"(not attack knobs, not accepted by the "
+            f"{params.get('preset', 'custom')!r} scenario builder)")
+
+
+def _coerce_behavior(value: Any) -> CompromisedResolverBehavior:
+    if isinstance(value, CompromisedResolverBehavior):
+        return value
+    return CompromisedResolverBehavior(value)
+
+
+def _coerce_dual_stack(value: Any) -> "DualStackPolicy | None":
+    if value is None or isinstance(value, DualStackPolicy):
+        return value
+    return DualStackPolicy(value)
+
+
+def _coerce_truncation(value: Any) -> TruncationPolicy:
+    if isinstance(value, TruncationPolicy):
+        return value
+    return TruncationPolicy(value)
+
+
+def _share(addresses, forged: set) -> float:
+    if not addresses:
+        return 0.0
+    return sum(1 for a in addresses if a in forged) / len(addresses)
+
+
+def pool_attack_trial(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    """One end-to-end pool generation under resolver compromise.
+
+    Recognised parameters (all optional unless noted):
+
+    ``preset`` + builder kwargs
+        scenario selection, see :func:`build_scenario`.
+    ``corrupted``
+        how many providers to corrupt (default 0).
+    ``behavior``
+        a :class:`CompromisedResolverBehavior` or its string value
+        (default ``"substitute"``).
+    ``forged``
+        the attacker's addresses (required when ``corrupted > 0`` and
+        the behaviour needs them).
+    ``inflate_to``
+        answer inflation for the ``inflate`` behaviour.
+    ``policy``
+        a :class:`DualStackPolicy` (or value) for dual-stack lookups.
+    ``truncation``
+        a :class:`TruncationPolicy` (or value), default SHORTEST.
+
+    Returned metrics: ``pool_size``, ``truncate_length``,
+    ``attacker_share``, ``v4_share``, ``v6_share``, ``voted_size`` and
+    ``voted_attacker_share`` (per-address majority vote over the same
+    contributions), plus ``benign_fraction`` scored against the
+    scenario's pool directory.
+    """
+    _reject_unknown_params(params)
+    scenario = build_scenario(params, seed)
+    # Keep the caller's declared order: with the inflate behaviour the
+    # compromised resolver serves forged[:inflate_to], so order is
+    # semantically meaningful. The set is only for share counting.
+    forged_list = [IPAddress(a) for a in params.get("forged", ())]
+    forged = set(forged_list)
+    corrupted = int(params.get("corrupted", 0))
+    if corrupted:
+        config = CompromiseConfig(
+            target=scenario.pool_domain,
+            behavior=_coerce_behavior(params.get("behavior", "substitute")),
+            forged_addresses=forged_list,
+            inflate_to=int(params.get("inflate_to", 20)))
+        corrupt_first_k(scenario.providers, corrupted, config)
+
+    generator_config = PoolGeneratorConfig(
+        truncation=_coerce_truncation(params.get("truncation",
+                                                 TruncationPolicy.SHORTEST)),
+        dual_stack=_coerce_dual_stack(params.get("policy")))
+    pool = scenario.generate_pool_sync(
+        scenario.make_generator(config=generator_config))
+
+    voted = (MajorityVoteCombiner().combine(pool.contributions)
+             if pool.contributions else [])
+    v4 = [a for a in pool.addresses if a.family == 4]
+    v6 = [a for a in pool.addresses if a.family == 6]
+    benign_fraction = (scenario.directory.benign_fraction(pool.addresses)
+                       if pool.addresses else 0.0)
+    return {
+        "pool_size": float(len(pool.addresses)),
+        "truncate_length": float(pool.truncate_length),
+        "attacker_share": _share(pool.addresses, forged),
+        "v4_share": _share(v4, forged),
+        "v6_share": _share(v6, forged),
+        "voted_size": float(len(voted)),
+        "voted_attacker_share": _share(voted, forged),
+        "benign_fraction": benign_fraction,
+    }

@@ -30,3 +30,30 @@ def lossy_network_scenario(loss: float, seed: int = 1) -> PoolScenario:
         resolver_config=ResolverConfig(query_timeout=1.0,
                                        max_retries_per_server=3),
     )
+
+
+# ----------------------------------------------------------------------
+# Registry (used by the campaign engine to reference presets by name,
+# so grid parameters stay plain picklable strings).
+# ----------------------------------------------------------------------
+
+PRESETS = {
+    "figure1": figure1_scenario,
+    "large-scale": large_scale_scenario,
+    "lossy-network": lossy_network_scenario,
+    "custom": build_pool_scenario,
+}
+
+
+def get_preset(name: str):
+    """Look up a scenario builder by registry name.
+
+    >>> get_preset("figure1") is figure1_scenario
+    True
+    """
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario preset {name!r}; "
+            f"known: {sorted(PRESETS)}") from None

@@ -65,12 +65,25 @@ def confidence_interval(
     """
     if not values:
         raise ValueError("confidence_interval() of empty sequence")
-    mu = mean(values)
-    if len(values) == 1:
+    return normal_ci(mean(values), stddev(values), len(values), confidence)
+
+
+def normal_ci(mu: float, sd: float, count: int,
+              confidence: float = 0.95) -> Tuple[float, float]:
+    """Normal-approximation CI for a mean given its sample moments.
+
+    The moments-based form of :func:`confidence_interval`, for callers
+    (e.g. the campaign aggregator) that hold Welford accumulators rather
+    than raw samples. Degenerates to the point itself for ``count == 1``;
+    ``count < 1`` raises ``ValueError``.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if count == 1:
         return (mu, mu)
     # Two-sided z for the requested confidence via the probit function.
     z = _probit(0.5 + confidence / 2.0)
-    half_width = z * stddev(values) / math.sqrt(len(values))
+    half_width = z * sd / math.sqrt(count)
     return (mu - half_width, mu + half_width)
 
 

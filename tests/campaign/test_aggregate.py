@@ -1,0 +1,139 @@
+"""Tests for record aggregation and campaign JSON export."""
+
+import json
+import math
+
+import pytest
+
+from repro.campaign import (
+    Aggregator,
+    CampaignRunner,
+    ParameterGrid,
+    TrialRecord,
+)
+from repro.core.policy import DualStackPolicy
+from repro.util.stats import confidence_interval, mean, stddev
+
+
+def record(point, trial, **metrics):
+    return TrialRecord(point_index=point, point_key=f"k={point}",
+                       params={"k": point}, trial=trial,
+                       seed=point * 100 + trial, metrics=metrics)
+
+
+def fixed_trial(params, seed):
+    return {"value": float(params["k"])}
+
+
+class TestAggregator:
+    def test_moments_match_raw_statistics(self):
+        values = [1.0, 2.0, 4.0, 8.0, 16.0]
+        aggregator = Aggregator()
+        for trial, value in enumerate(values):
+            aggregator.add(record(0, trial, value=value))
+        summary = aggregator.summaries()[0]["value"]
+        assert summary.count == len(values)
+        assert summary.mean == pytest.approx(mean(values))
+        assert summary.stddev == pytest.approx(stddev(values))
+        assert summary.stderr == pytest.approx(
+            stddev(values) / math.sqrt(len(values)))
+        assert summary.minimum == 1.0
+        assert summary.maximum == 16.0
+
+    def test_ci_matches_stats_confidence_interval(self):
+        values = [3.0, 5.0, 7.0, 9.0]
+        aggregator = Aggregator()
+        for trial, value in enumerate(values):
+            aggregator.add(record(0, trial, value=value))
+        summary = aggregator.summaries()[0]["value"]
+        low, high = confidence_interval(values)
+        assert summary.ci_low == pytest.approx(low)
+        assert summary.ci_high == pytest.approx(high)
+
+    def test_singleton_ci_degenerates(self):
+        aggregator = Aggregator()
+        aggregator.add(record(0, 0, value=5.0))
+        summary = aggregator.summaries()[0]["value"]
+        assert (summary.ci_low, summary.ci_high) == (5.0, 5.0)
+        assert summary.stderr == 0.0
+
+    def test_points_keep_expansion_order(self):
+        aggregator = Aggregator()
+        for point in (2, 0, 1):
+            aggregator.add(record(point, 0, value=1.0))
+        assert [s.point_index for s in aggregator.summaries()] == [0, 1, 2]
+
+    def test_multiple_metrics_per_point(self):
+        aggregator = Aggregator()
+        aggregator.add(record(0, 0, a=1.0, b=10.0))
+        aggregator.add(record(0, 1, a=3.0, b=30.0))
+        summary = aggregator.summaries()[0]
+        assert summary["a"].mean == 2.0
+        assert summary["b"].mean == 20.0
+        assert summary.trials == 2
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            Aggregator(confidence=1.5)
+
+
+class TestResultLookup:
+    def grid_result(self):
+        grid = ParameterGrid({"k": (1, 2, 3)}, name="lookup")
+        return CampaignRunner(fixed_trial, trials_per_point=2,
+                              base_seed=4).run(grid)
+
+    def test_summary_by_params(self):
+        result = self.grid_result()
+        assert result.summary(k=2)["value"].mean == 2.0
+
+    def test_metric_shorthand(self):
+        result = self.grid_result()
+        assert result.metric("value", k=3).mean == 3.0
+
+    def test_no_match_raises(self):
+        result = self.grid_result()
+        with pytest.raises(KeyError):
+            result.summary(k=99)
+
+    def test_ambiguous_match_raises(self):
+        result = self.grid_result()
+        with pytest.raises(KeyError):
+            result.summary()
+
+
+class TestJsonExport:
+    def test_shape(self):
+        grid = ParameterGrid({"k": (1, 2)}, fixed={"shared": "x"},
+                             name="export")
+        result = CampaignRunner(fixed_trial, trials_per_point=3,
+                                base_seed=9).run(grid)
+        payload = result.to_json()
+        assert payload["campaign"] == "export"
+        assert payload["seed"] == 9
+        assert payload["trials_per_point"] == 3
+        assert len(payload["results"]) == 2
+        entry = payload["results"][0]
+        assert entry["params"] == {"shared": "x", "k": 1}
+        assert entry["trials"] == 3
+        assert set(entry["metrics"]["value"]) == {
+            "count", "mean", "stddev", "stderr", "ci95", "min", "max"}
+
+    def test_json_serialisable_with_rich_params(self):
+        grid = ParameterGrid(
+            {"k": (1,)},
+            fixed={"policy": DualStackPolicy.UNION,
+                   "forged": ("203.0.113.1", "203.0.113.2")})
+        result = CampaignRunner(fixed_trial).run(grid)
+        text = json.dumps(result.to_json())
+        decoded = json.loads(text)
+        params = decoded["results"][0]["params"]
+        assert params["policy"] == "union"
+        assert params["forged"] == ["203.0.113.1", "203.0.113.2"]
+
+    def test_write_json_roundtrip(self, tmp_path):
+        grid = ParameterGrid({"k": (1, 2)}, name="disk")
+        result = CampaignRunner(fixed_trial, base_seed=1).run(grid)
+        path = result.write_json(tmp_path / "nested" / "disk.json")
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(result.to_json(), sort_keys=True))

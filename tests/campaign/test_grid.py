@@ -1,0 +1,112 @@
+"""Tests for parameter-grid declaration and expansion."""
+
+import pytest
+
+from repro.campaign import GridPoint, ParameterGrid, point_key
+
+
+class TestExpansionOrder:
+    def test_last_axis_varies_fastest(self):
+        grid = ParameterGrid({"n": (3, 5), "p": (0.1, 0.3, 0.5)})
+        combos = [(pt.params["n"], pt.params["p"]) for pt in grid]
+        assert combos == [(3, 0.1), (3, 0.3), (3, 0.5),
+                          (5, 0.1), (5, 0.3), (5, 0.5)]
+
+    def test_declaration_order_not_alphabetical(self):
+        grid = ParameterGrid({"zeta": (1, 2), "alpha": ("a", "b")})
+        combos = [(pt.params["zeta"], pt.params["alpha"]) for pt in grid]
+        # zeta is the slow axis because it was declared first.
+        assert combos == [(1, "a"), (1, "b"), (2, "a"), (2, "b")]
+
+    def test_indices_are_sequential(self):
+        grid = ParameterGrid({"n": (3, 5, 9)})
+        assert [pt.index for pt in grid] == [0, 1, 2]
+
+    def test_explicit_points_keep_given_order(self):
+        grid = ParameterGrid.from_points([{"n": 9}, {"n": 3}, {"n": 5}])
+        assert [pt.params["n"] for pt in grid] == [9, 3, 5]
+
+    def test_len_counts_points(self):
+        assert len(ParameterGrid({"a": (1, 2), "b": (1, 2, 3)})) == 6
+
+
+class TestWhere:
+    def test_dependent_axis(self):
+        grid = ParameterGrid({"n": (3, 5), "corrupted": range(6)}).where(
+            lambda p: p["corrupted"] <= p["n"])
+        combos = [(pt.params["n"], pt.params["corrupted"]) for pt in grid]
+        assert combos == ([(3, c) for c in range(4)]
+                          + [(5, c) for c in range(6)])
+
+    def test_where_chains(self):
+        grid = (ParameterGrid({"n": range(10)})
+                .where(lambda p: p["n"] % 2 == 0)
+                .where(lambda p: p["n"] > 2))
+        assert [pt.params["n"] for pt in grid] == [4, 6, 8]
+
+    def test_filtered_indices_are_renumbered(self):
+        grid = ParameterGrid({"n": range(6)}).where(lambda p: p["n"] % 2)
+        assert [pt.index for pt in grid] == [0, 1, 2]
+
+    def test_empty_expansion_rejected(self):
+        grid = ParameterGrid({"n": (1, 2)}).where(lambda p: False)
+        with pytest.raises(ValueError):
+            grid.points()
+
+
+class TestFixedParams:
+    def test_fixed_merged_into_params(self):
+        grid = ParameterGrid({"n": (3,)}, fixed={"pool_size": 40})
+        point = grid.points()[0]
+        assert point.params == {"pool_size": 40, "n": 3}
+
+    def test_fixed_excluded_from_key(self):
+        grid = ParameterGrid({"n": (3,)}, fixed={"pool_size": 40})
+        assert grid.points()[0].key == "n=3"
+
+    def test_axis_value_overrides_nothing(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({"n": (3,)}, fixed={"n": 5})
+
+    def test_explicit_point_fixed_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterGrid.from_points([{"n": 3}], fixed={"n": 5})
+
+
+class TestKeys:
+    def test_key_is_stable_and_readable(self):
+        assert point_key({"n": 3, "x": 0.5, "mode": "union"}) == \
+            "n=3,x=0.5,mode=union"
+
+    def test_key_independent_of_other_axes(self):
+        """Adding axis values must not change existing points' keys
+        (that would silently reseed their trials)."""
+        small = {pt.params["n"]: pt.key
+                 for pt in ParameterGrid({"n": (3, 5)})}
+        large = {pt.params["n"]: pt.key
+                 for pt in ParameterGrid({"n": (3, 5, 9)})}
+        for n, key in small.items():
+            assert large[n] == key
+
+    def test_duplicate_points_rejected(self):
+        grid = ParameterGrid.from_points([{"n": 3}, {"n": 3}])
+        with pytest.raises(ValueError):
+            grid.points()
+
+    def test_gridpoint_key_autofill(self):
+        point = GridPoint(index=0, params={"n": 3})
+        assert point.key == "n=3"
+
+
+class TestValidation:
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({"n": ()})
+
+    def test_no_axes_no_points_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({}).points()
+
+    def test_from_points_requires_points(self):
+        with pytest.raises(ValueError):
+            ParameterGrid.from_points([])

@@ -1,0 +1,121 @@
+"""Tests for the stock trial functions against the real simulation."""
+
+import json
+
+import pytest
+
+from repro.analysis.model import attack_probability_exact
+from repro.analysis.montecarlo import MonteCarloResult
+from repro.campaign import (
+    CampaignRunner,
+    ParameterGrid,
+    attack_probability_trial,
+    build_scenario,
+    pool_attack_trial,
+)
+from repro.core.policy import DualStackPolicy
+
+FORGED = ("203.0.113.1", "203.0.113.2", "203.0.113.3", "203.0.113.4")
+
+
+class TestBuildScenario:
+    def test_custom_preset_passes_knobs(self):
+        scenario = build_scenario({"num_providers": 5, "pool_size": 8}, seed=2)
+        assert len(scenario.providers) == 5
+        assert scenario.seed == 2
+
+    def test_named_preset(self):
+        scenario = build_scenario({"preset": "figure1"}, seed=3)
+        assert len(scenario.providers) == 3
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            build_scenario({"preset": "nope"}, seed=1)
+
+    def test_unrelated_params_ignored(self):
+        scenario = build_scenario({"corrupted": 1, "forged": FORGED,
+                                   "pool_size": 8}, seed=1)
+        assert scenario.directory.members  # built despite attack params
+
+
+class TestPoolAttackTrial:
+    def test_honest_world_metrics(self):
+        metrics = pool_attack_trial({"num_providers": 3, "pool_size": 8}, 7)
+        assert metrics["attacker_share"] == 0.0
+        assert metrics["pool_size"] == 12.0  # 3 resolvers × 4 answers
+        assert metrics["benign_fraction"] == 1.0
+
+    def test_substitution_share_is_exact(self):
+        metrics = pool_attack_trial(
+            {"num_providers": 3, "pool_size": 8, "corrupted": 1,
+             "forged": FORGED}, 7)
+        assert metrics["attacker_share"] == pytest.approx(1 / 3)
+        assert metrics["voted_attacker_share"] == 0.0
+
+    def test_dual_stack_per_family_shares(self):
+        metrics = pool_attack_trial(
+            {"num_providers": 3, "pool_size": 12, "answers_per_query": 3,
+             "dual_stack": True, "corrupted": 1,
+             "forged": ("2001:db8:bad::1", "2001:db8:bad::2",
+                        "2001:db8:bad::3"),
+             "policy": DualStackPolicy.PER_FAMILY}, 7)
+        assert metrics["v4_share"] == 0.0
+        assert metrics["v6_share"] == pytest.approx(1 / 3)
+
+    def test_typoed_parameter_rejected(self):
+        """A sweep axis nothing consumes must fail loudly, not run the
+        whole grid against defaults."""
+        with pytest.raises(ValueError, match="answers_per_qeury"):
+            pool_attack_trial({"num_providers": 3, "pool_size": 8,
+                               "answers_per_qeury": 2}, 7)
+
+    def test_inflate_behavior_reaches_full_control(self):
+        """All resolvers corrupted with inflate: the truncated pool is
+        entirely attacker addresses (the [1] over-population ceiling)."""
+        many = tuple(f"203.0.113.{i + 1}" for i in range(12))
+        metrics = pool_attack_trial(
+            {"num_providers": 3, "pool_size": 8, "corrupted": 3,
+             "behavior": "inflate", "forged": many, "inflate_to": 2}, 7)
+        assert metrics["attacker_share"] == 1.0
+        assert metrics["pool_size"] == 6.0  # 3 resolvers × inflate_to=2
+
+    def test_policy_accepts_string_values(self):
+        metrics = pool_attack_trial(
+            {"num_providers": 3, "pool_size": 8, "dual_stack": True,
+             "policy": "union", "truncation": "shortest"}, 7)
+        assert metrics["pool_size"] > 0
+
+    def test_serial_and_parallel_scenario_sweeps_agree(self):
+        """The acceptance-criterion path: a real end-to-end netsim sweep
+        aggregated identically in serial and multiprocessing modes."""
+        grid = ParameterGrid(
+            {"corrupted": (0, 1)},
+            fixed={"num_providers": 3, "pool_size": 8, "forged": FORGED},
+            name="sweep-equality")
+        serial = CampaignRunner(pool_attack_trial, base_seed=21,
+                                workers=0).run(grid)
+        parallel = CampaignRunner(pool_attack_trial, base_seed=21,
+                                  workers=2).run(grid)
+        assert serial.records == parallel.records
+        # Everything except the mode tag is bit-identical.
+        assert (json.dumps(serial.to_json()["results"], sort_keys=True)
+                == json.dumps(parallel.to_json()["results"], sort_keys=True))
+        assert parallel.mode == "processes:2"
+
+
+class TestMonteCarloTrial:
+    def test_chunked_campaign_reconstructs_estimate(self):
+        grid = ParameterGrid.from_points(
+            [{"n": 3, "x": 2 / 3, "p_attack": 0.3}],
+            fixed={"chunk": 250})
+        result = CampaignRunner(attack_probability_trial, trials_per_point=8,
+                                base_seed=13).run(grid)
+        success = result.summaries[0]["success"]
+        mc = MonteCarloResult.from_chunk_means(success.mean, success.stderr,
+                                               success.count, 250)
+        assert mc.trials == 2000
+        assert mc.within(attack_probability_exact(3, 2 / 3, 0.3))
+
+    def test_chunk_validation(self):
+        with pytest.raises(ValueError):
+            MonteCarloResult.from_chunk_means(0.5, 0.1, 0, 10)

@@ -120,6 +120,143 @@ class TestNameWire:
         assert WireReader(writer.getvalue()).read_name() == name
 
 
+class TestCompressionPointers:
+    def test_pointer_targets_earlier_suffix(self):
+        """A hand-crafted message: 'mail.example.com' written as one
+        label plus a pointer into 'www.example.com'."""
+        writer = WireWriter(compress=True)
+        writer.write_name(Name("www.example.com"))
+        # 'example.com' starts after the 'www' label: offset 4.
+        data = writer.getvalue() + b"\x04mail" + b"\xc0\x04"
+        reader = WireReader(data)
+        assert reader.read_name() == Name("www.example.com")
+        assert reader.read_name() == Name("mail.example.com")
+
+    def test_reader_offset_lands_after_pointer(self):
+        writer = WireWriter(compress=True)
+        writer.write_name(Name("a.example.com"))
+        writer.write_name(Name("a.example.com"))
+        writer.write_u16(0xBEEF)
+        reader = WireReader(writer.getvalue())
+        reader.read_name()
+        reader.read_name()
+        # The cursor must resume *after* the 2-byte pointer, not at the
+        # pointer's target.
+        assert reader.read_u16() == 0xBEEF
+
+    def test_chained_pointers_resolve(self):
+        # offset 0: 'example' 'com' 0 ; then 'www' -> 0 ; then ptr -> ptr.
+        base = b"\x07example\x03com\x00"
+        www = b"\x03www\xc0\x00"          # at offset 13
+        chain = b"\xc0\x0d"               # pointer to the www name
+        reader = WireReader(base + www + chain, offset=len(base) + len(www))
+        assert reader.read_name() == Name("www.example.com")
+
+    def test_case_insensitive_compression_reuses_offset(self):
+        writer = WireWriter(compress=True)
+        writer.write_name(Name("WWW.Example.COM"))
+        before = writer.offset
+        writer.write_name(Name("www.example.com"))
+        assert writer.offset - before == 2
+
+    def test_no_compression_beyond_pointer_range(self):
+        """Offsets ≥ 0x4000 cannot be pointer targets; the writer must
+        fall back to emitting the full name."""
+        writer = WireWriter(compress=True)
+        writer.write_bytes(b"\x00" * 0x4000)
+        writer.write_name(Name("far.example.com"))
+        before = writer.offset
+        writer.write_name(Name("far.example.com"))
+        # Still uncompressed: both copies sit past the addressable range.
+        assert writer.offset - before == Name("far.example.com").wire_length
+
+    def test_pointer_into_pointer_range_still_compresses(self):
+        writer = WireWriter(compress=True)
+        writer.write_name(Name("early.example.com"))
+        writer.write_bytes(b"\x00" * 0x4000)
+        before = writer.offset
+        writer.write_name(Name("early.example.com"))
+        # The *target* is early enough even though the reference is far.
+        assert writer.offset - before == 2
+
+
+class TestWireLimits:
+    def test_max_length_label_roundtrips(self):
+        label = "x" * 63
+        name = Name(f"{label}.example")
+        writer = WireWriter()
+        writer.write_name(name)
+        assert WireReader(writer.getvalue()).read_name() == name
+
+    def test_max_length_name_roundtrips(self):
+        # Four 61-byte labels: 4 * 62 + 1 = 249 ≤ 255 wire bytes.
+        name = Name(".".join(["y" * 61] * 4))
+        assert name.wire_length <= 255
+        writer = WireWriter()
+        writer.write_name(name)
+        assert WireReader(writer.getvalue()).read_name() == name
+
+    def test_reserved_label_type_rejected(self):
+        # Length byte 0x40 is the reserved 01 label type (> 63).
+        with pytest.raises(WireFormatError):
+            WireReader(b"\x40" + b"a" * 0x40 + b"\x00").read_name()
+
+    def test_wire_name_exceeding_255_rejected(self):
+        # Five 62-byte labels decode to a 316-byte name: Name refuses.
+        data = b"".join(b"\x3e" + b"z" * 62 for _ in range(5)) + b"\x00"
+        with pytest.raises(ValueError):
+            WireReader(data).read_name()
+
+
+class TestTruncatedBuffers:
+    def test_empty_buffer_name(self):
+        with pytest.raises(WireFormatError):
+            WireReader(b"").read_name()
+
+    def test_name_without_terminator(self):
+        with pytest.raises(WireFormatError):
+            WireReader(b"\x03www").read_name()
+
+    def test_truncated_pointer_second_byte(self):
+        with pytest.raises(WireFormatError):
+            WireReader(b"\x00\xc0", offset=1).read_name()
+
+    def test_truncated_u32(self):
+        with pytest.raises(WireFormatError):
+            WireReader(b"\x01\x02\x03").read_u32()
+
+    def test_truncated_character_string(self):
+        with pytest.raises(WireFormatError):
+            WireReader(b"\x05ab").read_character_string()
+
+    def test_seek_out_of_range(self):
+        with pytest.raises(WireFormatError):
+            WireReader(b"abc").seek(4)
+
+    def test_negative_read_rejected(self):
+        with pytest.raises(WireFormatError):
+            WireReader(b"abc").read_bytes(-1)
+
+    @given(st.binary(max_size=64))
+    def test_arbitrary_bytes_never_crash_reader(self, data):
+        """Malformed input must fail with WireFormatError (or Name's
+        ValueError), never an unhandled exception."""
+        try:
+            WireReader(data).read_name()
+        except ValueError:
+            pass
+
+    def test_message_truncated_mid_record(self):
+        message = make_response(
+            make_query(1, "pool.ntp.org", RRType.A),
+            answers=[ResourceRecord(Name("pool.ntp.org"), RRType.A, 60,
+                                    ARdata("192.0.2.1"))])
+        wire = message.encode()
+        for cut in (3, len(wire) // 2, len(wire) - 1):
+            with pytest.raises(WireFormatError):
+                Message.decode(wire[:cut])
+
+
 RDATAS = [
     ARdata("192.0.2.33"),
     AAAARdata("2001:db8::33"),

@@ -1,0 +1,230 @@
+"""Edge-case tests for the discrete-event engine.
+
+Covers the corners protocol code actually leans on: cancelling events
+from inside running callbacks, pausing with ``run(until=)`` and
+resuming, ``step()``/``clear()`` interleavings, and Timer restart
+semantics across fire/cancel cycles.
+"""
+
+from repro.netsim.simulator import SimulationError, Simulator, Timer
+
+
+class TestCancelFromCallback:
+    def test_cancel_later_event_from_running_callback(self):
+        sim = Simulator()
+        fired = []
+        victim = sim.schedule_at(2.0, lambda: fired.append("victim"))
+        sim.schedule_at(1.0, victim.cancel)
+        sim.run()
+        assert fired == []
+        assert sim.now == 1.0  # the cancelled event never advances time
+
+    def test_cancel_same_instant_sibling(self):
+        """An event can cancel a sibling scheduled for the same virtual
+        instant that has not run yet (tie-break is scheduling order)."""
+        sim = Simulator()
+        fired = []
+        first_handle = {}
+
+        def first():
+            fired.append("first")
+            first_handle["victim"].cancel()
+
+        event_first = sim.schedule_at(1.0, first)
+        first_handle["victim"] = sim.schedule_at(
+            1.0, lambda: fired.append("second"))
+        assert event_first.sequence < first_handle["victim"].sequence
+        sim.run()
+        assert fired == ["first"]
+
+    def test_cancel_self_while_running_is_harmless(self):
+        sim = Simulator()
+        fired = []
+        handle = {}
+
+        def callback():
+            fired.append(1)
+            handle["event"].cancel()  # already popped; must be a no-op
+
+        handle["event"] = sim.schedule_at(1.0, callback)
+        sim.run()
+        assert fired == [1]
+        assert sim.executed_events == 1
+
+    def test_cancelled_then_rescheduled_callback_runs_once(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_at(1.0, lambda: fired.append("old"))
+
+        def replace():
+            event.cancel()
+            sim.schedule_after(0.5, lambda: fired.append("new"))
+
+        sim.schedule_at(0.5, replace)
+        sim.run()
+        assert fired == ["new"]
+
+
+class TestRunUntilResume:
+    def test_resume_after_until_fires_remainder(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1.0))
+        sim.schedule_at(4.0, lambda: fired.append(4.0))
+        sim.schedule_at(9.0, lambda: fired.append(9.0))
+        sim.run(until=2.0)
+        assert fired == [1.0]
+        assert sim.now == 2.0
+        sim.run(until=5.0)
+        assert fired == [1.0, 4.0]
+        sim.run()
+        assert fired == [1.0, 4.0, 9.0]
+        assert sim.now == 9.0
+
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(3.0, lambda: fired.append("on-boundary"))
+        sim.run(until=3.0)
+        assert fired == ["on-boundary"]
+
+    def test_scheduling_during_paused_window_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(10.0, lambda: fired.append("late"))
+        sim.run(until=5.0)
+        # now == 5.0; new work between now and the parked event is fine.
+        sim.schedule_at(7.0, lambda: fired.append("inserted"))
+        sim.run()
+        assert fired == ["inserted", "late"]
+
+    def test_step_after_until_resumes_parked_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(8.0, lambda: fired.append(1))
+        sim.run(until=2.0)
+        assert sim.pending_events == 1
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.now == 8.0
+
+
+class TestStepAndClear:
+    def test_step_after_clear_is_idle(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.clear()
+        assert sim.step() is False
+        assert sim.now == 0.0
+        assert sim.executed_events == 0
+
+    def test_clear_then_reschedule_works(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.clear()
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append(1))
+        sim.run()
+        assert fired == [1]
+
+    def test_step_skips_cancelled_head(self):
+        sim = Simulator()
+        fired = []
+        head = sim.schedule_at(1.0, lambda: fired.append("head"))
+        sim.schedule_at(2.0, lambda: fired.append("tail"))
+        head.cancel()
+        assert sim.step() is True
+        assert fired == ["tail"]
+        assert sim.now == 2.0
+
+    def test_clear_from_inside_callback_stops_run(self):
+        sim = Simulator()
+        fired = []
+
+        def clear_all():
+            fired.append("clearer")
+            sim.clear()
+
+        sim.schedule_at(1.0, clear_all)
+        sim.schedule_at(2.0, lambda: fired.append("never"))
+        sim.run()
+        assert fired == ["clearer"]
+
+
+class TestTimerRestart:
+    def test_restart_after_fire(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0]
+        timer.start(2.0)
+        sim.run()
+        assert fired == [1.0, 3.0]
+
+    def test_restart_from_own_callback_rearms(self):
+        sim = Simulator()
+        fired = []
+
+        def periodic():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.start(1.0)
+
+        timer = Timer(sim, periodic)
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+        assert not timer.armed
+
+    def test_rapid_restarts_fire_once_at_last_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        for delay in (5.0, 4.0, 9.0):
+            timer.start(delay)
+        sim.run()
+        assert fired == [9.0]
+
+    def test_cancel_then_restart(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        timer.cancel()
+        assert not timer.armed
+        timer.start(4.0)
+        sim.run()
+        assert fired == [4.0]
+
+    def test_restart_while_paused_at_until(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(10.0)
+        sim.run(until=3.0)
+        timer.start(1.0)     # re-arm relative to the paused clock
+        sim.run()
+        assert fired == [4.0]
+
+
+class TestSchedulingInvariants:
+    def test_schedule_at_paused_now_allowed(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(1))
+        sim.run()
+        assert fired == [1]
+
+    def test_past_scheduling_rejected_after_resume(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        try:
+            sim.schedule_at(4.0, lambda: None)
+        except SimulationError:
+            pass
+        else:  # pragma: no cover - regression guard
+            raise AssertionError("past scheduling must be rejected")
