@@ -7,68 +7,57 @@ weak resolver (8-bit TXID space, sequential ports) and sweep the
 fraction of the TXID space the attacker covers; the measured poisoning
 rate must track the covered fraction. This grounds the paper's
 ``p_attack`` in a mechanical quantity.
+
+Declared as a campaign grid over ``covered_bits``; each trial of the
+shared :func:`repro.campaign.offpath_spray_trial` runs one poisoning
+race in a fresh world (trials_per_point = races per coverage level).
 """
 
-from repro.attacks.offpath import OffPathPoisoner, SprayPlan
-from repro.dns.message import Question
-from repro.dns.resolver import ResolverConfig
-from repro.dns.rrtype import RRType
-from repro.netsim.address import Endpoint, IPAddress
-from repro.scenarios import build_pool_scenario
+from repro.campaign import CampaignRunner, ParameterGrid, offpath_spray_trial
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import CACHE_DIR, run_once
 
 TXID_BITS = 8            # the weak resolver's space: 256 values
 COVERED_BITS = [4, 5, 6, 7, 8]
 TRIALS = 12
-FORGED = [IPAddress("203.0.113.200")]
+
+GRID = ParameterGrid(
+    {"covered_bits": COVERED_BITS},
+    fixed={"txid_bits": TXID_BITS, "port_guesses": 2},
+    name="a1_offpath_ablation",
+)
+
+RUNNER = CampaignRunner(offpath_spray_trial, trials_per_point=TRIALS,
+                        base_seed=1000, cache_dir=CACHE_DIR)
+
+SMOKE_GRID = ParameterGrid(
+    {"covered_bits": (4, 8)},
+    fixed={"txid_bits": TXID_BITS, "port_guesses": 2},
+    name="a1_offpath_ablation_smoke",
+)
+
+SMOKE_RUNNER = CampaignRunner(offpath_spray_trial, trials_per_point=2,
+                              base_seed=1000, cache_dir=CACHE_DIR)
 
 
-def attempt(seed: int, covered_bits: int) -> bool:
-    """One poisoning race; True when the forgery was accepted."""
-    scenario = build_pool_scenario(
-        seed=seed, num_providers=1,
-        resolver_config=ResolverConfig(txid_bits=TXID_BITS,
-                                       randomize_txid=True))
-    victim = scenario.providers[0]
-    victim.host._randomize_ports = False
-    poisoner = OffPathPoisoner(scenario.internet,
-                               injection_node=victim.host.node)
-    outcomes = []
-    victim.resolver.resolve(scenario.pool_domain, RRType.A, outcomes.append)
-    poisoner.spray(victim.address, SprayPlan(
-        question=Question(scenario.pool_domain, RRType.A),
-        spoofed_server=Endpoint(IPAddress("10.0.0.1"), 53),
-        target_ports=poisoner.sequential_port_guesses(2),
-        txid_guesses=poisoner.txid_space(covered_bits),
-        forged_addresses=FORGED,
-    ))
-    scenario.simulator.run()
-    return victim.resolver.stats.poisoned_acceptances > 0
-
-
-def sweep():
-    results = []
-    for covered_bits in COVERED_BITS:
-        wins = sum(
-            1 for trial in range(TRIALS)
-            if attempt(seed=1000 + covered_bits * 100 + trial,
-                       covered_bits=covered_bits))
-        results.append((covered_bits, wins))
-    return results
-
-
-def bench_a1_offpath_ablation(benchmark, emit_table):
-    results = run_once(benchmark, sweep)
+def bench_a1_offpath_ablation(benchmark, emit_table, smoke, results_dir):
+    grid, runner = (SMOKE_GRID, SMOKE_RUNNER) if smoke else (GRID, RUNNER)
+    result = run_once(benchmark, lambda: runner.run(grid))
+    result.write_json(results_dir / "a1_offpath_ablation.json")
 
     rows = []
-    for covered_bits, wins in results:
+    rates = {}
+    for summary in result.summaries:
+        covered_bits = summary.params["covered_bits"]
+        poisoned = summary["poisoned"]
+        wins = round(poisoned.mean * poisoned.count)
+        rates[covered_bits] = poisoned.mean
         coverage = 2 ** covered_bits / 2 ** TXID_BITS
         rows.append([
             f"2^{covered_bits}",
             f"{coverage:.0%}",
-            f"{wins}/{TRIALS}",
-            f"{wins / TRIALS:.2f}",
+            f"{wins}/{poisoned.count}",
+            f"{poisoned.mean:.2f}",
         ])
     emit_table(
         "a1_offpath_ablation",
@@ -82,9 +71,9 @@ def bench_a1_offpath_ablation(benchmark, emit_table):
               "p_attack. A hardened 16-bit/random-port resolver pushes "
               "the same spray to ~0 (tests/attacks/test_offpath.py).")
 
-    rates = {bits: wins / TRIALS for bits, wins in results}
     assert rates[8] == 1.0          # full coverage always wins
-    assert rates[4] < rates[8]      # partial coverage loses sometimes
-    # Monotone (non-strict) increase with coverage.
-    ordered = [rates[b] for b in COVERED_BITS]
-    assert all(b >= a - 1e-9 for a, b in zip(ordered, ordered[1:]))
+    if not smoke:
+        assert rates[4] < rates[8]  # partial coverage loses sometimes
+        # Monotone (non-strict) increase with coverage.
+        ordered = [rates[b] for b in COVERED_BITS]
+        assert all(b >= a - 1e-9 for a, b in zip(ordered, ordered[1:]))

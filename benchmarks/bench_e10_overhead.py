@@ -5,70 +5,56 @@ architectural — queries fan out in parallel, so latency is governed by
 the *slowest* resolver (not the sum), while bytes on the wire grow
 linearly with N. We sweep N and report virtual latency, wire bytes and
 upstream queries against the single-resolver plain-DNS baseline.
+
+Declared as a campaign over an explicit point list (the baseline plus
+one point per N); the shared :func:`repro.campaign.overhead_trial`
+measures one acquisition per point.
 """
 
-from repro.dns.client import StubResolver
-from repro.dns.rrtype import RRType
-from repro.scenarios import build_pool_scenario
+from repro.campaign import CampaignRunner, ParameterGrid, overhead_trial
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import CACHE_DIR, run_once
+
+from repro.scenarios import build_pool_scenario
 
 N_SWEEP = [1, 3, 5, 9, 15]
 
+POINTS = ([{"mechanism": "plain-dns", "num_providers": 1}]
+          + [{"mechanism": "distributed-doh", "num_providers": n}
+             for n in N_SWEEP])
 
-def measure_distributed(n: int, seed: int):
-    scenario = build_pool_scenario(seed=seed, num_providers=n,
-                                   pool_size=40, answers_per_query=4)
-    bytes_before = scenario.internet.bytes_sent
-    packets_before = scenario.internet.datagrams_sent
-    pool = scenario.generate_pool_sync()
-    return {
-        "latency": pool.elapsed,
-        "bytes": scenario.internet.bytes_sent - bytes_before,
-        "packets": scenario.internet.datagrams_sent - packets_before,
-        "pool_size": len(pool.addresses),
-    }
+GRID = ParameterGrid.from_points(
+    POINTS,
+    fixed={"pool_size": 40, "answers_per_query": 4},
+    name="e10_overhead",
+)
 
+RUNNER = CampaignRunner(overhead_trial, base_seed=701, cache_dir=CACHE_DIR)
 
-def measure_plain_baseline(seed: int):
-    scenario = build_pool_scenario(seed=seed, num_providers=1,
-                                   pool_size=40, answers_per_query=4)
-    stub = StubResolver(scenario.client, scenario.simulator,
-                        scenario.providers[0].address, timeout=5.0)
-    bytes_before = scenario.internet.bytes_sent
-    packets_before = scenario.internet.datagrams_sent
-    started = scenario.simulator.now
-    outcomes = []
-    stub.query(scenario.pool_domain, RRType.A, outcomes.append)
-    scenario.simulator.run()
-    return {
-        "latency": scenario.simulator.now - started,
-        "bytes": scenario.internet.bytes_sent - bytes_before,
-        "packets": scenario.internet.datagrams_sent - packets_before,
-        "pool_size": len(outcomes[0].addresses),
-    }
+SMOKE_GRID = ParameterGrid.from_points(
+    POINTS[:3],
+    fixed={"pool_size": 40, "answers_per_query": 4},
+    name="e10_overhead_smoke",
+)
 
 
-def sweep():
-    baseline = measure_plain_baseline(seed=700)
-    distributed = {n: measure_distributed(n, seed=700 + n) for n in N_SWEEP}
-    return baseline, distributed
+def bench_e10_overhead(benchmark, emit_table, smoke, results_dir):
+    grid = SMOKE_GRID if smoke else GRID
+    result = run_once(benchmark, lambda: RUNNER.run(grid))
+    result.write_json(results_dir / "e10_overhead.json")
 
-
-def bench_e10_overhead(benchmark, emit_table):
-    baseline, distributed = run_once(benchmark, sweep)
-
-    rows = [[
-        "plain DNS (baseline)", 1,
-        f"{baseline['latency'] * 1000:.1f} ms",
-        baseline["bytes"], baseline["packets"], baseline["pool_size"],
-    ]]
-    for n in N_SWEEP:
-        m = distributed[n]
+    rows = []
+    for summary in result.summaries:
+        mechanism = summary.params["mechanism"]
+        label = ("plain DNS (baseline)" if mechanism == "plain-dns"
+                 else "distributed DoH")
         rows.append([
-            f"distributed DoH", n,
-            f"{m['latency'] * 1000:.1f} ms",
-            m["bytes"], m["packets"], m["pool_size"],
+            label,
+            summary.params["num_providers"],
+            f"{summary['latency'].mean * 1000:.1f} ms",
+            round(summary["bytes"].mean),
+            round(summary["packets"].mean),
+            round(summary["pool_size"].mean),
         ])
     emit_table(
         "e10_overhead",
@@ -81,12 +67,16 @@ def bench_e10_overhead(benchmark, emit_table):
               "~linearly in N — the integration cost the paper calls "
               "acceptable.")
 
-    latencies = [distributed[n]["latency"] for n in N_SWEEP]
-    # Parallel fan-out: going 3 -> 15 resolvers must cost far less than
-    # 5x the latency (it is bounded by the slowest, plus scheduling).
-    assert latencies[-1] < 3 * latencies[1]
-    packet_counts = [distributed[n]["packets"] for n in N_SWEEP]
-    assert packet_counts[-1] > packet_counts[1]
+    if not smoke:
+        def doh(metric, n):
+            return result.metric(metric, mechanism="distributed-doh",
+                                 num_providers=n).mean
+
+        # Parallel fan-out: going 3 -> 15 resolvers must cost far less
+        # than 5x the latency (it is bounded by the slowest, plus
+        # scheduling).
+        assert doh("latency", 15) < 3 * doh("latency", 3)
+        assert doh("packets", 15) > doh("packets", 3)
 
 
 def bench_e10_generation_wallclock(benchmark):

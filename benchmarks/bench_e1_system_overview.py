@@ -5,58 +5,54 @@ pipeline works — a client queries pool.ntp.org through three distributed
 DoH resolvers (steps 1-2), each resolver recurses to the c/d/e.ntpns.org
 nameservers (steps 3-4), the answers are combined (step 5) and the
 resulting pool drives a successful Chronos synchronisation.
+
+Declared as a (single-point) campaign grid over the ``figure1`` preset;
+the shared :func:`repro.campaign.figure1_system_trial` reports the
+per-resolver answer/latency breakdown the Figure 1 table shows.
 """
 
-from repro.ntp.chronos import ChronosClient, ChronosConfig
-from repro.ntp.client import NtpClient
-from repro.ntp.clock import SimClock
-from repro.ntp.pool import deploy_ntp_fleet
-from repro.scenarios import figure1_scenario
+from repro.campaign import CampaignRunner, ParameterGrid, figure1_system_trial
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import CACHE_DIR, run_once
 
+GRID = ParameterGrid(
+    {"preset": ("figure1",)},
+    name="e1_system_overview",
+)
 
-def run_figure1():
-    scenario = figure1_scenario(seed=1)
-    fleet = deploy_ntp_fleet(scenario.internet, scenario.directory,
-                             scenario.rng)
-    pool = scenario.generate_pool_sync()
-    clock = SimClock(lambda: scenario.simulator.now, offset=0.080)
-    ntp_client = NtpClient(scenario.client, scenario.simulator, clock)
-    chronos = ChronosClient(ntp_client, pool.addresses,
-                            config=ChronosConfig(sample_size=9,
-                                                 agreement_window=0.060,
-                                                 min_responses=5),
-                            rng=scenario.rng.stream("bench-chronos"))
-    outcomes = []
-    chronos.sync(outcomes.append)
-    scenario.simulator.run()
-    return scenario, pool, clock, outcomes[0]
+RUNNER = CampaignRunner(figure1_system_trial, base_seed=100,
+                        cache_dir=CACHE_DIR)
 
 
-def bench_e1_system_overview(benchmark, emit_table):
-    scenario, pool, clock, sync = run_once(benchmark, run_figure1)
+def bench_e1_system_overview(benchmark, emit_table, smoke, results_dir):
+    result = run_once(benchmark, lambda: RUNNER.run(GRID))
+    result.write_json(results_dir / "e1_system_overview.json")
 
+    summary = result.summaries[0]
+    resolver_names = [key[len("answers["):-1] for key in summary.metrics
+                      if key.startswith("answers[")]
     rows = []
-    for answer in pool.answers:
+    for name in resolver_names:
         rows.append([
-            answer.resolver.name,
-            len(answer.addresses),
-            pool.truncate_length,
-            f"{answer.outcome.latency * 1000:.1f} ms",
+            name,
+            round(summary[f"answers[{name}]"].mean),
+            round(summary["truncate_length"].mean),
+            f"{summary[f'latency[{name}]'].mean * 1000:.1f} ms",
         ])
-    rows.append(["(combined pool)", len(pool.addresses), "-",
-                 f"{pool.elapsed * 1000:.1f} ms"])
+    rows.append(["(combined pool)", round(summary["pool_size"].mean), "-",
+                 f"{summary['elapsed'].mean * 1000:.1f} ms"])
     emit_table(
         "e1_system_overview",
         "E1 / Fig.1: distributed DoH pool generation feeding Chronos",
         ["resolver", "answers", "K (truncated)", "latency"],
         rows,
-        notes=(f"benign fraction: "
-               f"{scenario.directory.benign_fraction(pool.addresses):.0%}; "
-               f"Chronos: {sync.status.value}, clock error after sync "
-               f"{clock.error() * 1000:+.1f} ms (was +80.0 ms)"))
+        notes=(f"benign fraction: {summary['benign_fraction'].mean:.0%}; "
+               f"Chronos: "
+               f"{'ok' if summary['chronos_ok'].mean == 1.0 else 'failed'}, "
+               f"clock error after sync "
+               f"{summary['clock_error'].mean * 1000:+.1f} ms (was "
+               f"{summary['clock_error_before'].mean * 1000:+.1f} ms)"))
 
-    assert pool.ok
-    assert sync.ok
-    assert abs(clock.error()) < 0.030
+    assert summary["pool_size"].mean > 0           # pool.ok
+    assert summary["chronos_ok"].mean == 1.0       # sync.ok
+    assert abs(summary["clock_error"].mean) < 0.030

@@ -14,9 +14,11 @@ the shared :func:`repro.campaign.pool_attack_trial`.
 from repro.analysis.model import required_corrupted_resolvers
 from repro.campaign import CampaignRunner, ParameterGrid, pool_attack_trial
 
-from benchmarks.conftest import RESULTS_DIR, run_once
+from benchmarks.conftest import CACHE_DIR, run_once
 
 FORGED = tuple(f"203.0.113.{i + 1}" for i in range(4))
+
+TRIALS = 3          # independent world seeds per grid point
 
 GRID = ParameterGrid(
     {"num_providers": (3, 5, 9), "corrupted": range(10)},
@@ -24,34 +26,48 @@ GRID = ParameterGrid(
     name="e2_required_fraction",
 ).where(lambda p: p["corrupted"] <= p["num_providers"])
 
-RUNNER = CampaignRunner(pool_attack_trial, base_seed=200)
+RUNNER = CampaignRunner(pool_attack_trial, trials_per_point=TRIALS,
+                        base_seed=200, cache_dir=CACHE_DIR)
+
+SMOKE_GRID = ParameterGrid(
+    {"num_providers": (3,), "corrupted": (0, 1, 2, 3)},
+    fixed={"pool_size": 40, "answers_per_query": 4, "forged": FORGED},
+    name="e2_required_fraction_smoke",
+)
+
+SMOKE_RUNNER = CampaignRunner(pool_attack_trial, base_seed=200,
+                              cache_dir=CACHE_DIR)
 
 
-def bench_e2_required_fraction(benchmark, emit_table):
-    result = run_once(benchmark, lambda: RUNNER.run(GRID))
-    result.write_json(RESULTS_DIR / "e2_required_fraction.json")
+def bench_e2_required_fraction(benchmark, emit_table, smoke, results_dir):
+    grid, runner = (SMOKE_GRID, SMOKE_RUNNER) if smoke else (GRID, RUNNER)
+    result = run_once(benchmark, lambda: runner.run(grid))
+    result.write_json(results_dir / "e2_required_fraction.json")
 
     rows = []
     for summary in result.summaries:
         n = summary.params["num_providers"]
         corrupted = summary.params["corrupted"]
-        fraction = summary["attacker_share"].mean
+        share = summary["attacker_share"]
         needed_for_majority = required_corrupted_resolvers(n, 0.5)
         rows.append([
             n, corrupted,
-            f"{fraction:.3f}",
+            f"{share.mean:.3f}",
+            f"±{(share.ci_high - share.ci_low) / 2:.3f}",
             f"{corrupted / n:.3f}",
-            "yes" if fraction > 0.5 else "no",
+            "yes" if share.mean > 0.5 else "no",
             needed_for_majority,
         ])
     emit_table(
         "e2_required_fraction",
-        "E2 / §III-a: attacker pool share vs corrupted resolvers",
-        ["N", "corrupted", "measured share", "closed form c/N",
+        f"E2 / §III-a: attacker pool share vs corrupted resolvers "
+        f"({result.summaries[0]['attacker_share'].count} trials/point)",
+        ["N", "corrupted", "measured share", "95% CI", "closed form c/N",
          "majority?", "⌈N/2⌉ needed"],
         rows,
-        notes="Measured share equals c/N exactly (Algorithm 1's bound); "
-              "majority is reached only at c ≥ ⌈N/2⌉ — the paper's x ≥ y.")
+        notes="Measured share equals c/N exactly (Algorithm 1's bound) in "
+              "every trial — the CI half-width is zero; majority is "
+              "reached only at c ≥ ⌈N/2⌉ — the paper's x ≥ y.")
 
     for summary in result.summaries:
         n = summary.params["num_providers"]

@@ -21,7 +21,7 @@ from repro.campaign import (
     attack_probability_trial,
 )
 
-from benchmarks.conftest import RESULTS_DIR, run_once
+from benchmarks.conftest import CACHE_DIR, run_once
 
 POINTS = [
     (3, 2 / 3, 0.10),   # the paper's example: p^2 = 0.01
@@ -46,12 +46,22 @@ GRID = ParameterGrid.from_points(
 )
 
 RUNNER = CampaignRunner(attack_probability_trial, trials_per_point=CHUNKS,
-                        base_seed=3)
+                        base_seed=3, cache_dir=CACHE_DIR)
+
+SMOKE_GRID = ParameterGrid.from_points(
+    [{"n": n, "x": x, "p_attack": p} for n, x, p in POINTS[:3]],
+    fixed={"chunk": CHUNK},
+    name="e3_attack_probability_smoke",
+)
+
+SMOKE_RUNNER = CampaignRunner(attack_probability_trial, trials_per_point=8,
+                              base_seed=3, cache_dir=CACHE_DIR)
 
 
-def bench_e3_attack_probability(benchmark, emit_table):
-    result = run_once(benchmark, lambda: RUNNER.run(GRID))
-    result.write_json(RESULTS_DIR / "e3_attack_probability.json")
+def bench_e3_attack_probability(benchmark, emit_table, smoke, results_dir):
+    grid, runner = (SMOKE_GRID, SMOKE_RUNNER) if smoke else (GRID, RUNNER)
+    result = run_once(benchmark, lambda: runner.run(grid))
+    result.write_json(results_dir / "e3_attack_probability.json")
 
     rows = []
     for summary in result.summaries:
@@ -71,7 +81,7 @@ def bench_e3_attack_probability(benchmark, emit_table):
     emit_table(
         "e3_attack_probability",
         f"E3 / §III-b: attack probability, closed forms vs Monte-Carlo "
-        f"({TRIALS} trials)",
+        f"({rows[0][5].trials} trials)",
         ["N", "x", "p_attack", "paper p^⌈xN⌉", "exact P[Bin≥M]",
          "Monte-Carlo"],
         table_rows,

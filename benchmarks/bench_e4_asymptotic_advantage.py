@@ -4,51 +4,72 @@ Claim reproduced: attack probability decreases exponentially in the
 number of resolvers; equivalently, security bits grow *linearly* with N
 at slope x·(-log2 p) — the asymptotic advantage the paper compares to
 increasing a cryptographic key size.
+
+Declared as a campaign grid over (N, p); the closed-form
+:func:`repro.campaign.advantage_bits_trial` computes each point's bits.
 """
 
-from repro.analysis.advantage import (
-    marginal_bits_per_resolver,
-    security_bits,
-)
+from repro.analysis.advantage import marginal_bits_per_resolver
 from repro.analysis.model import resolvers_for_target_security
+from repro.campaign import CampaignRunner, ParameterGrid, advantage_bits_trial
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import CACHE_DIR, run_once
 
 N_SWEEP = [3, 5, 9, 17, 33, 65]
 P_SWEEP = [0.05, 0.10, 0.25, 0.50]
 X = 0.5
 
+GRID = ParameterGrid(
+    {"n": N_SWEEP, "p_attack": P_SWEEP},
+    fixed={"x": X},
+    name="e4_asymptotic_advantage",
+)
 
-def compute():
-    bits = {(n, p): security_bits(n, X, p)
-            for n in N_SWEEP for p in P_SWEEP}
+RUNNER = CampaignRunner(advantage_bits_trial, base_seed=4,
+                        cache_dir=CACHE_DIR)
+
+SMOKE_N = N_SWEEP[:3]
+SMOKE_P = P_SWEEP[:2]
+
+SMOKE_GRID = ParameterGrid(
+    {"n": SMOKE_N, "p_attack": SMOKE_P},
+    fixed={"x": X},
+    name="e4_asymptotic_advantage_smoke",
+)
+
+
+def bench_e4_asymptotic_advantage(benchmark, emit_table, smoke, results_dir):
+    grid = SMOKE_GRID if smoke else GRID
+    n_sweep, p_sweep = (SMOKE_N, SMOKE_P) if smoke else (N_SWEEP, P_SWEEP)
+    result = run_once(benchmark, lambda: RUNNER.run(grid))
+    result.write_json(results_dir / "e4_asymptotic_advantage.json")
+
+    bits = {(s.params["n"], s.params["p_attack"]): s["bits"].mean
+            for s in result.summaries}
     targets = {p: resolvers_for_target_security(X, p, 2.0 ** -64)
-               for p in P_SWEEP}
-    return bits, targets
-
-
-def bench_e4_asymptotic_advantage(benchmark, emit_table):
-    bits, targets = run_once(benchmark, compute)
+               for p in p_sweep}
 
     rows = []
-    for n in N_SWEEP:
-        rows.append([n] + [f"{bits[(n, p)]:.1f}" for p in P_SWEEP])
+    for n in n_sweep:
+        rows.append([n] + [f"{bits[(n, p)]:.1f}" for p in p_sweep])
     slope_row = ["bits/resolver"] + [
-        f"{marginal_bits_per_resolver(X, p):.2f}" for p in P_SWEEP]
+        f"{marginal_bits_per_resolver(X, p):.2f}" for p in p_sweep]
     rows.append(slope_row)
-    rows.append(["N for 64-bit"] + [str(targets[p]) for p in P_SWEEP])
+    rows.append(["N for 64-bit"] + [str(targets[p]) for p in p_sweep])
     emit_table(
         "e4_asymptotic_advantage",
         "E4 / §III-b: security bits (-log2 attack probability), x = 1/2",
-        ["N"] + [f"p={p}" for p in P_SWEEP],
+        ["N"] + [f"p={p}" for p in p_sweep],
         rows,
         notes="Bits grow linearly in N (constant marginal bits per added "
               "resolver) == attack probability shrinks exponentially, the "
               "paper's key-size-style advantage.")
 
-    # Linearity check: doubling N (minus rounding) ~ doubles the bits.
-    for p in P_SWEEP:
-        assert bits[(33, p)] > 1.8 * bits[(17, p)] * 0.9
+    for p in p_sweep:
+        # Linearity check: doubling N (minus rounding) ~ doubles the
+        # bits (full grid only — the smoke grid stops at N=9).
+        if not smoke:
+            assert bits[(33, p)] > 1.8 * bits[(17, p)] * 0.9
         # Monotone increase.
-        for n1, n2 in zip(N_SWEEP, N_SWEEP[1:]):
+        for n1, n2 in zip(n_sweep, n_sweep[1:]):
             assert bits[(n2, p)] > bits[(n1, p)]

@@ -9,42 +9,56 @@ the paper's SHORTEST policy and the NONE/MEDIAN alternatives. Shape to
 expect: SHORTEST pins the attacker share at 1/N regardless of inflation;
 NONE lets it grow toward 100%; MEDIAN holds while honest resolvers are
 the median but is weaker than SHORTEST in mixed corruption.
+
+Declared as a campaign grid over (inflation × policy), executed
+end-to-end by the shared :func:`repro.campaign.pool_attack_trial` with
+the ``inflate`` compromise behaviour.
 """
 
 from repro.analysis.poolquality import (
     pool_fraction_with_truncation,
     pool_fraction_without_truncation,
 )
-from repro.attacks.overpopulation import OverPopulationAttack
+from repro.campaign import CampaignRunner, ParameterGrid, pool_attack_trial
 from repro.core.policy import TruncationPolicy
-from repro.scenarios import build_pool_scenario
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import CACHE_DIR, run_once
 
 INFLATION = [4, 8, 16, 32, 64]
 POLICIES = [TruncationPolicy.SHORTEST, TruncationPolicy.MEDIAN,
             TruncationPolicy.NONE]
+# The attacker's servers (recycled by the inflate behaviour as needed).
+FORGED = tuple(f"203.0.113.{i + 1}" for i in range(8))
+
+GRID = ParameterGrid(
+    {"inflate_to": INFLATION, "truncation": POLICIES},
+    fixed={"num_providers": 3, "answers_per_query": 4, "corrupted": 1,
+           "behavior": "inflate", "forged": FORGED},
+    name="e5_truncation_defense",
+)
+
+RUNNER = CampaignRunner(pool_attack_trial, base_seed=300,
+                        cache_dir=CACHE_DIR)
+
+SMOKE_GRID = ParameterGrid(
+    {"inflate_to": (4, 32),
+     "truncation": (TruncationPolicy.SHORTEST, TruncationPolicy.NONE)},
+    fixed={"num_providers": 3, "answers_per_query": 4, "corrupted": 1,
+           "behavior": "inflate", "forged": FORGED},
+    name="e5_truncation_defense_smoke",
+)
 
 
-def sweep():
-    results = []
-    for inflate_to in INFLATION:
-        for policy in POLICIES:
-            scenario = build_pool_scenario(seed=300 + inflate_to,
-                                           num_providers=3,
-                                           answers_per_query=4)
-            attack = OverPopulationAttack(scenario, corrupted=1,
-                                          inflate_to=inflate_to)
-            outcome = attack.run(policy)
-            results.append((inflate_to, policy, outcome))
-    return results
-
-
-def bench_e5_truncation_defense(benchmark, emit_table):
-    results = run_once(benchmark, sweep)
+def bench_e5_truncation_defense(benchmark, emit_table, smoke, results_dir):
+    grid = SMOKE_GRID if smoke else GRID
+    result = run_once(benchmark, lambda: RUNNER.run(grid))
+    result.write_json(results_dir / "e5_truncation_defense.json")
 
     rows = []
-    for inflate_to, policy, outcome in results:
+    for summary in result.summaries:
+        inflate_to = summary.params["inflate_to"]
+        policy = summary.params["truncation"]
+        share = summary["attacker_share"].mean
         if policy is TruncationPolicy.SHORTEST:
             closed = pool_fraction_with_truncation(3, 1, 4, inflate_to)
         elif policy is TruncationPolicy.NONE:
@@ -53,9 +67,9 @@ def bench_e5_truncation_defense(benchmark, emit_table):
             closed = float("nan")
         rows.append([
             inflate_to, policy.value,
-            f"{outcome.attacker_fraction:.3f}",
+            f"{share:.3f}",
             f"{closed:.3f}" if closed == closed else "-",
-            "ATTACKER" if outcome.attacker_controls_majority else "bounded",
+            "ATTACKER" if share > 0.5 else "bounded",
         ])
     emit_table(
         "e5_truncation_defense",
@@ -67,9 +81,15 @@ def bench_e5_truncation_defense(benchmark, emit_table):
         notes="SHORTEST pins the attacker at 1/3 at any inflation; "
               "NONE lets inflation buy a majority — the [1] attack.")
 
-    for inflate_to, policy, outcome in results:
+    for summary in result.summaries:
+        inflate_to = summary.params["inflate_to"]
+        policy = summary.params["truncation"]
+        share = summary["attacker_share"].mean
         if policy is TruncationPolicy.SHORTEST:
-            assert abs(outcome.attacker_fraction - 1 / 3) < 1e-9
-            assert not outcome.attacker_controls_majority
-        if policy is TruncationPolicy.NONE and inflate_to >= 16:
-            assert outcome.attacker_controls_majority
+            assert abs(share - 1 / 3) < 1e-9
+            assert share <= 0.5
+        if policy is TruncationPolicy.NONE:
+            assert abs(share - pool_fraction_without_truncation(
+                3, 1, 4, inflate_to)) < 1e-9
+            if inflate_to >= 16:
+                assert share > 0.5

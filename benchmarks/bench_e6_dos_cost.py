@@ -3,78 +3,110 @@
 Claim reproduced: "This comes at the cost of allowing DoS attacks when
 the attacker includes no responses at all in his poisonous response."
 
-We corrupt 1..2 of 3 resolvers with the EMPTY behaviour and measure
+We corrupt 0..2 of 3 resolvers with the EMPTY behaviour and measure
 availability under (a) the paper's strict semantics (all resolvers must
 answer; pool collapses — the documented DoS) and (b) the quorum
 extension (min_answers=2) that trades the hard guarantee (the bound
 degrades from 1/3 to 1/2 share for a remaining attacker) for liveness.
+
+Declared as a campaign grid that additionally sweeps the new
+``loss_rate`` fault axis on the client access link: availability under
+the quorum extension now degrades *gracefully* with natural loss, while
+the strict reading stays all-or-nothing — the paper's availability
+trade-off measured under imperfect networks.
 """
 
-from repro.attacks.compromise import (
-    CompromiseConfig,
-    CompromisedResolverBehavior,
-    corrupt_first_k,
+from repro.campaign import CampaignRunner, ParameterGrid, pool_attack_trial
+
+from benchmarks.conftest import CACHE_DIR, run_once
+
+LOSS_RATES = (0.0, 0.15, 0.30)
+MODES = {None: "strict (paper)", 2: "quorum ≥ 2"}
+
+GRID = ParameterGrid(
+    {"loss_rate": LOSS_RATES, "corrupted": (0, 1, 2),
+     "min_answers": tuple(MODES)},
+    fixed={"num_providers": 3, "answers_per_query": 4, "behavior": "empty"},
+    name="e6_dos_cost",
 )
-from repro.core.pool import PoolGeneratorConfig
-from repro.scenarios import build_pool_scenario
 
-from benchmarks.conftest import run_once
+RUNNER = CampaignRunner(pool_attack_trial, trials_per_point=4,
+                        base_seed=400, cache_dir=CACHE_DIR)
 
+SMOKE_GRID = ParameterGrid(
+    {"loss_rate": (0.0,), "corrupted": (0, 1), "min_answers": tuple(MODES)},
+    fixed={"num_providers": 3, "answers_per_query": 4, "behavior": "empty"},
+    name="e6_dos_cost_smoke",
+)
 
-def run_case(corrupted: int, min_answers, seed: int):
-    scenario = build_pool_scenario(seed=seed, num_providers=3,
-                                   answers_per_query=4)
-    if corrupted:
-        corrupt_first_k(scenario.providers, corrupted, CompromiseConfig(
-            target=scenario.pool_domain,
-            behavior=CompromisedResolverBehavior.EMPTY))
-    config = PoolGeneratorConfig(min_answers=min_answers,
-                                 ignore_empty_answers=min_answers is not None)
-    generator = scenario.make_generator(config=config)
-    pool = scenario.generate_pool_sync(generator)
-    benign = (scenario.directory.benign_fraction(pool.addresses)
-              if pool.addresses else None)
-    return pool, benign
+SMOKE_RUNNER = CampaignRunner(pool_attack_trial, base_seed=400,
+                              cache_dir=CACHE_DIR)
 
 
-def sweep():
-    cases = []
-    for corrupted in (0, 1, 2):
-        for min_answers, mode in ((None, "strict (paper)"),
-                                  (2, "quorum ≥ 2")):
-            pool, benign = run_case(corrupted, min_answers,
-                                    seed=400 + corrupted)
-            cases.append((corrupted, mode, pool, benign))
-    return cases
+def availability_label(fraction: float) -> str:
+    if fraction == 1.0:
+        return "yes"
+    if fraction == 0.0:
+        return "NO (DoS)"
+    return f"{fraction:.0%}"
 
 
-def bench_e6_dos_cost(benchmark, emit_table):
-    cases = run_once(benchmark, sweep)
+def bench_e6_dos_cost(benchmark, emit_table, smoke, results_dir):
+    grid, runner = (SMOKE_GRID, SMOKE_RUNNER) if smoke else (GRID, RUNNER)
+    result = run_once(benchmark, lambda: runner.run(grid))
+    result.write_json(results_dir / "e6_dos_cost.json")
 
     rows = []
-    for corrupted, mode, pool, benign in cases:
+    for summary in result.summaries:
+        ok = summary["ok"].mean
+        # Failed trials contribute empty pools (size 0, benign 0), so
+        # conditioning on produced pools is mean / P(ok) — size and
+        # quality columns describe the pools that actually exist.
+        pool_size = summary["pool_size"].mean / ok if ok else 0.0
+        benign = summary["benign_fraction"].mean / ok if ok else 0.0
         rows.append([
-            corrupted, mode,
-            "yes" if pool.ok else "NO (DoS)",
-            len(pool.addresses),
-            f"{benign:.0%}" if benign is not None else "-",
-            "yes" if pool.degraded else "no",
+            f"{summary.params['loss_rate']:.0%}",
+            summary.params["corrupted"],
+            MODES[summary.params["min_answers"]],
+            availability_label(ok),
+            round(pool_size),
+            f"{benign:.0%}" if ok > 0.0 else "-",
+            "yes" if summary["degraded"].mean > 0.0 else "no",
         ])
     emit_table(
         "e6_dos_cost",
-        "E6 / §II fn.2: availability under the empty-answer DoS",
-        ["corrupted (EMPTY)", "combination mode", "pool produced",
-         "pool size", "benign fraction", "degraded"],
+        "E6 / §II fn.2: availability under the empty-answer DoS "
+        "(× access-link loss)",
+        ["loss rate", "corrupted (EMPTY)", "combination mode",
+         "pool produced", "pool size", "benign fraction", "degraded"],
         rows,
         notes="Strict Algorithm 1: one empty answer collapses the pool "
-              "(fn.2's documented cost). The quorum extension keeps "
-              "liveness while the number of silent resolvers stays below "
-              "N - min_answers.")
+              "(fn.2's documented cost) at every loss rate. The quorum "
+              "extension keeps liveness while silent resolvers — "
+              "attacker-emptied or loss-starved — stay below "
+              "N - min_answers, degrading gracefully as the link decays. "
+              "Size/benign columns are conditioned on produced pools.")
 
-    by_key = {(corrupted, mode): pool
-              for corrupted, mode, pool, _ in cases}
-    assert by_key[(0, "strict (paper)")].ok
-    assert not by_key[(1, "strict (paper)")].ok      # the DoS
-    assert by_key[(1, "quorum ≥ 2")].ok              # liveness restored
-    assert by_key[(1, "quorum ≥ 2")].degraded
-    assert not by_key[(2, "quorum ≥ 2")].ok          # below quorum
+    def ok_at(**subset) -> float:
+        return result.metric("ok", **subset).mean
+
+    # The documented DoS: strict semantics collapse under any EMPTY
+    # corruption, at every loss rate.
+    for loss in (LOSS_RATES if not smoke else (0.0,)):
+        assert ok_at(loss_rate=loss, corrupted=1, min_answers=None) == 0.0
+        # Quorum with 2 EMPTY resolvers is below min_answers: also DoS.
+        if not smoke:
+            assert ok_at(loss_rate=loss, corrupted=2, min_answers=2) == 0.0
+    # On a clean link the quorum extension restores liveness fully.
+    assert ok_at(loss_rate=0.0, corrupted=0, min_answers=None) == 1.0
+    assert ok_at(loss_rate=0.0, corrupted=1, min_answers=2) == 1.0
+    assert result.metric("degraded",
+                         loss_rate=0.0, corrupted=1, min_answers=2).mean == 1.0
+    if not smoke:
+        # The availability trend: a decaying access link erodes the
+        # strict reading faster than the quorum extension.
+        worst = LOSS_RATES[-1]
+        assert (ok_at(loss_rate=worst, corrupted=0, min_answers=None)
+                <= ok_at(loss_rate=0.0, corrupted=0, min_answers=None))
+        assert (ok_at(loss_rate=worst, corrupted=0, min_answers=2)
+                >= ok_at(loss_rate=worst, corrupted=0, min_answers=None))

@@ -7,49 +7,58 @@ client under {plain DNS, distributed DoH} x {naive SNTP, Chronos}, over
 several seeds. Expected shape: plain-DNS rows shifted by the full lie
 regardless of Chronos; DoH+Chronos unshifted; DoH+naive partially
 shifted (the §IV point that both layers are needed).
+
+Declared as a campaign grid whose axis is the configuration name; each
+trial runs one configuration in a fresh world via the shared
+:func:`repro.campaign.timeshift_trial` (trials_per_point = seeds).
 """
 
-from repro.attacks.timeshift import TimeShiftExperiment
-from repro.util.stats import mean
+from repro.campaign import CampaignRunner, ParameterGrid, timeshift_trial
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import CACHE_DIR, run_once
 
-SEEDS = [7, 8, 9]
 LIE = 10.0
+TRIALS = 3          # independent world seeds per configuration
+CONFIGURATIONS = ("plain-dns+naive-sntp", "plain-dns+chronos",
+                  "distributed-doh+naive-sntp", "distributed-doh+chronos")
+
+GRID = ParameterGrid(
+    {"configuration": CONFIGURATIONS},
+    fixed={"lie_offset": LIE, "num_providers": 3, "corrupted_providers": 1},
+    name="e7_end_to_end_timeshift",
+)
+
+RUNNER = CampaignRunner(timeshift_trial, trials_per_point=TRIALS,
+                        base_seed=700, cache_dir=CACHE_DIR)
+
+SMOKE_GRID = ParameterGrid(
+    {"configuration": ("plain-dns+chronos", "distributed-doh+chronos")},
+    fixed={"lie_offset": LIE, "num_providers": 3, "corrupted_providers": 1},
+    name="e7_end_to_end_timeshift_smoke",
+)
+
+SMOKE_RUNNER = CampaignRunner(timeshift_trial, base_seed=700,
+                              cache_dir=CACHE_DIR)
 
 
-def sweep():
-    per_config = {}
-    for seed in SEEDS:
-        experiment = TimeShiftExperiment(seed=seed, lie_offset=LIE,
-                                         num_providers=3,
-                                         corrupted_providers=1)
-        for result in experiment.run_all():
-            per_config.setdefault(result.configuration, []).append(result)
-    return per_config
-
-
-def bench_e7_end_to_end_timeshift(benchmark, emit_table):
-    per_config = run_once(benchmark, sweep)
+def bench_e7_end_to_end_timeshift(benchmark, emit_table, smoke, results_dir):
+    grid, runner = (SMOKE_GRID, SMOKE_RUNNER) if smoke else (GRID, RUNNER)
+    result = run_once(benchmark, lambda: runner.run(grid))
+    result.write_json(results_dir / "e7_end_to_end_timeshift.json")
 
     rows = []
-    order = ["plain-dns+naive-sntp", "plain-dns+chronos",
-             "distributed-doh+naive-sntp", "distributed-doh+chronos"]
-    for name in order:
-        results = per_config[name]
-        errors = [abs(r.clock_error_after) for r in results]
-        poisoned = [r.pool_malicious_fraction for r in results]
-        shifted = sum(1 for r in results if r.shifted)
+    for summary in result.summaries:
+        shifted = summary["shifted"]
         rows.append([
-            name,
-            f"{mean(poisoned):.0%}",
-            f"{mean(errors):.3f} s",
-            f"{shifted}/{len(results)}",
+            summary.params["configuration"],
+            f"{summary['pool_malicious_fraction'].mean:.0%}",
+            f"{summary['abs_clock_error'].mean:.3f} s",
+            f"{round(shifted.mean * shifted.count)}/{shifted.count}",
         ])
     emit_table(
         "e7_end_to_end_timeshift",
         f"E7 / §I,§V: clock error under a {LIE:.0f}s time-shift attack "
-        f"({len(SEEDS)} seeds)",
+        f"({result.summaries[0]['shifted'].count} seeds)",
         ["configuration", "pool poisoned", "mean |clock error|",
          "runs shifted"],
         rows,
@@ -57,9 +66,9 @@ def bench_e7_end_to_end_timeshift(benchmark, emit_table):
               "Algorithm 1 caps the poisoned fraction at 1/3; the "
               "Chronos+distributed-DoH tandem keeps correct time (§IV).")
 
-    for result in per_config["plain-dns+chronos"]:
-        assert result.shifted
-        assert result.pool_malicious_fraction == 1.0
-    for result in per_config["distributed-doh+chronos"]:
-        assert not result.shifted
-        assert abs(result.pool_malicious_fraction - 1 / 3) < 0.01
+    plain_chronos = result.summary(configuration="plain-dns+chronos")
+    assert plain_chronos["shifted"].mean == 1.0
+    assert plain_chronos["pool_malicious_fraction"].mean == 1.0
+    doh_chronos = result.summary(configuration="distributed-doh+chronos")
+    assert doh_chronos["shifted"].mean == 0.0
+    assert abs(doh_chronos["pool_malicious_fraction"].mean - 1 / 3) < 0.01

@@ -17,9 +17,11 @@ the shared trial reports per-family attacker shares directly.
 from repro.campaign import CampaignRunner, ParameterGrid, pool_attack_trial
 from repro.core.policy import DualStackPolicy
 
-from benchmarks.conftest import RESULTS_DIR, run_once
+from benchmarks.conftest import CACHE_DIR, run_once
 
 FORGED_V6 = tuple(f"2001:db8:bad::{i + 1:x}" for i in range(3))
+
+TRIALS = 5          # independent world seeds per policy
 
 GRID = ParameterGrid(
     {"policy": (DualStackPolicy.UNION, DualStackPolicy.PER_FAMILY)},
@@ -28,27 +30,35 @@ GRID = ParameterGrid(
     name="e9_dual_stack",
 )
 
-RUNNER = CampaignRunner(pool_attack_trial, base_seed=600)
+RUNNER = CampaignRunner(pool_attack_trial, trials_per_point=TRIALS,
+                        base_seed=600, cache_dir=CACHE_DIR)
+
+SMOKE_RUNNER = CampaignRunner(pool_attack_trial, base_seed=600,
+                              cache_dir=CACHE_DIR)
 
 
-def bench_e9_dual_stack(benchmark, emit_table):
-    result = run_once(benchmark, lambda: RUNNER.run(GRID))
-    result.write_json(RESULTS_DIR / "e9_dual_stack.json")
+def bench_e9_dual_stack(benchmark, emit_table, smoke, results_dir):
+    runner = SMOKE_RUNNER if smoke else RUNNER
+    result = run_once(benchmark, lambda: runner.run(GRID))
+    result.write_json(results_dir / "e9_dual_stack.json")
 
     rows = []
     for summary in result.summaries:
+        share = summary["attacker_share"]
         rows.append([
             summary.params["policy"].value,
             round(summary["pool_size"].mean),
-            f"{summary['attacker_share'].mean:.0%}",
+            f"{share.mean:.0%}",
+            f"±{(share.ci_high - share.ci_low) / 2:.1%}",
             f"{summary['v4_share'].mean:.0%}",
             f"{summary['v6_share'].mean:.0%}",
         ])
     emit_table(
         "e9_dual_stack",
-        "E9 / §II fn.1: AAAA-only poisoning by 1 of 3 resolvers",
+        f"E9 / §II fn.1: AAAA-only poisoning by 1 of 3 resolvers "
+        f"({result.summaries[0]['attacker_share'].count} trials/point)",
         ["dual-stack policy", "pool size", "attacker share (union)",
-         "share in v4", "share in v6"],
+         "95% CI", "share in v4", "share in v6"],
         rows,
         notes="UNION dilutes the single-family poison below the 1/3 "
               "resolver bound; PER_FAMILY confines it to the v6 pool at "

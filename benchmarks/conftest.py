@@ -1,9 +1,25 @@
 """Shared benchmark infrastructure.
 
 Every benchmark regenerates one experiment from DESIGN.md's index
-(E1-E10), prints the table the paper's claim implies, and writes it to
+(E1-E10 plus the A1 ablation) as a campaign grid declaration, prints
+the table the paper's claim implies, and writes it to
 ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can cite the
-measured numbers.
+measured numbers. Campaign results additionally land as
+``results/<experiment>.json`` and are content-hash cached under
+``results/.cache`` — rerunning an unchanged benchmark replays the
+cached records instead of recomputing the sweep.
+
+Two invocation modes:
+
+* full (default): the complete grids, statistical assertions included;
+* ``--smoke``: each benchmark shrinks to a tiny grid (a few points,
+  one trial) that exercises the whole campaign pipeline in seconds —
+  the CI regression gate. Statistical assertions that need the full
+  grid are skipped via the ``smoke`` fixture.
+
+pytest-benchmark is optional: without the plugin a minimal ``benchmark``
+fixture stands in (runs the function once, untimed), so the smoke job
+needs nothing beyond pytest itself.
 """
 
 from pathlib import Path
@@ -12,6 +28,48 @@ from typing import List, Sequence
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+CACHE_DIR = RESULTS_DIR / ".cache"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="run tiny campaign grids (fast CI regression gate)")
+
+
+@pytest.fixture
+def smoke(request) -> bool:
+    """Whether this run should use the reduced smoke grids."""
+    return request.config.getoption("--smoke")
+
+
+@pytest.fixture
+def results_dir(smoke) -> Path:
+    """Artifact directory for this run.
+
+    Smoke runs land under ``results/smoke/`` so their tiny-grid tables
+    and JSON exports never clobber the full-grid artifacts that
+    EXPERIMENTS.md cites.
+    """
+    return RESULTS_DIR / "smoke" if smoke else RESULTS_DIR
+
+
+try:  # pragma: no cover - exercised only without pytest-benchmark
+    import pytest_benchmark  # noqa: F401
+except ImportError:
+    class _OnceBenchmark:
+        """Minimal stand-in for the pytest-benchmark fixture."""
+
+        def __call__(self, func, *args, **kwargs):
+            return func(*args, **kwargs)
+
+        def pedantic(self, func, args=(), kwargs=None, rounds=1,
+                     iterations=1):
+            return func(*args, **(kwargs or {}))
+
+    @pytest.fixture
+    def benchmark():
+        return _OnceBenchmark()
 
 
 def format_table(title: str, headers: Sequence[str],
@@ -34,14 +92,15 @@ def format_table(title: str, headers: Sequence[str],
 
 
 @pytest.fixture
-def emit_table():
-    """Print an experiment table and persist it under results/."""
+def emit_table(results_dir):
+    """Print an experiment table and persist it under results/ (or
+    results/smoke/ during ``--smoke`` runs)."""
 
     def _emit(experiment: str, title: str, headers: Sequence[str],
               rows: Sequence[Sequence[object]], notes: str = "") -> str:
         text = format_table(title, headers, rows, notes)
-        RESULTS_DIR.mkdir(exist_ok=True)
-        (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+        results_dir.mkdir(parents=True, exist_ok=True)
+        (results_dir / f"{experiment}.txt").write_text(text + "\n")
         print()
         print(text)
         return text

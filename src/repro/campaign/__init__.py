@@ -44,11 +44,20 @@ from repro.campaign.aggregate import (
     TrialRecord,
 )
 from repro.campaign.grid import GridPoint, ParameterGrid, point_key
-from repro.campaign.runner import CampaignRunner, trial_seed
-from repro.campaign.trials import build_scenario, pool_attack_trial
+from repro.campaign.runner import CampaignProgress, CampaignRunner, trial_seed
+from repro.campaign.trials import (
+    advantage_bits_trial,
+    build_scenario,
+    figure1_system_trial,
+    offpath_spray_trial,
+    overhead_trial,
+    pool_attack_trial,
+    timeshift_trial,
+)
 
 __all__ = [
     "Aggregator",
+    "CampaignProgress",
     "CampaignResult",
     "CampaignRunner",
     "GridPoint",
@@ -56,10 +65,15 @@ __all__ = [
     "ParameterGrid",
     "PointSummary",
     "TrialRecord",
+    "advantage_bits_trial",
     "attack_probability_trial",
     "build_scenario",
+    "figure1_system_trial",
+    "offpath_spray_trial",
+    "overhead_trial",
     "point_key",
     "pool_attack_trial",
     "pool_fraction_trial",
+    "timeshift_trial",
     "trial_seed",
 ]

@@ -161,7 +161,7 @@ class CampaignResult:
     name: str
     base_seed: int
     trials_per_point: int
-    mode: str                     # "serial" or "processes:<n>"
+    mode: str                     # "serial", "processes:<n>" or "cached"
     records: List[TrialRecord]
     summaries: List[PointSummary]
 

@@ -14,14 +14,34 @@ Trial functions must be module-level callables of the form
 ``trial_fn(params, seed) -> float | Mapping[str, float]`` so they can be
 pickled to workers; anything unpicklable silently degrades to the serial
 path (the results are the same, only slower).
+
+Long sweeps get two conveniences:
+
+* **progress** — pass ``on_progress`` and the runner reports one
+  :class:`CampaignProgress` (completed/total, elapsed, ETA) per
+  finished trial, in both serial and parallel modes;
+* **result caching** — pass ``cache_dir`` and finished campaigns are
+  written to disk keyed by a content hash of the campaign's identity
+  (trial-function source, grid points, per-trial seeds, statistics
+  configuration). Re-running an identical campaign is a no-op: the
+  records are rehydrated from the cache (``mode == "cached"``, hit
+  logged on the ``repro.campaign`` logger) and any drift in the code or
+  the grid changes the hash and forces recomputation.
 """
 
 from __future__ import annotations
 
+import hashlib
+import inspect
+import json
+import logging
 import math
 import os
 import pickle
-from typing import Any, Callable, List, Mapping, Optional, Tuple, Union
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.campaign.aggregate import Aggregator, CampaignResult, TrialRecord
 from repro.campaign.grid import ParameterGrid
@@ -31,10 +51,57 @@ TrialFn = Callable[[Mapping[str, Any], int], Union[float, Mapping[str, float]]]
 
 _Spec = Tuple[TrialFn, int, str, Mapping[str, Any], int, int]
 
+logger = logging.getLogger("repro.campaign")
+
+
+@dataclass(frozen=True)
+class CampaignProgress:
+    """One progress tick, delivered after each finished trial."""
+
+    name: str
+    completed: int
+    total: int
+    elapsed_s: float
+    eta_s: Optional[float]        # None until at least one trial lands
+    cached: bool = False          # whole campaign served from cache
+
+    @property
+    def fraction(self) -> float:
+        return self.completed / self.total if self.total else 1.0
+
+
+ProgressCallback = Callable[[CampaignProgress], None]
+
 
 def trial_seed(base_seed: int, point_key: str, trial: int) -> int:
     """The deterministic seed for one trial of one grid point."""
     return derive_seed(base_seed, "campaign", point_key, str(trial))
+
+
+_source_fingerprint_cache: Optional[str] = None
+
+
+def _source_tree_fingerprint() -> str:
+    """Hash of every ``repro`` source file (memoised per process).
+
+    Trial results depend on the whole simulation stack, so the result
+    cache must key on all of it — not just the trial function's own
+    source. ~100 small files hash in a few milliseconds, once.
+    """
+    global _source_fingerprint_cache
+    if _source_fingerprint_cache is None:
+        import repro
+
+        hasher = hashlib.sha256()
+        root = Path(repro.__file__).parent
+        for path in sorted(root.rglob("*.py")):
+            hasher.update(str(path.relative_to(root)).encode("utf-8"))
+            try:
+                hasher.update(path.read_bytes())
+            except OSError:
+                hasher.update(b"<unreadable>")
+        _source_fingerprint_cache = hasher.hexdigest()
+    return _source_fingerprint_cache
 
 
 def _execute_spec(spec: _Spec) -> TrialRecord:
@@ -66,12 +133,19 @@ class CampaignRunner:
         grid points do not serialise the whole campaign behind them.
     :param confidence: confidence level for aggregate intervals.
     :param name: campaign label carried into the result/JSON.
+    :param cache_dir: directory for content-hashed result caching; when
+        set, rerunning an identical campaign loads its records instead
+        of recomputing them.
+    :param on_progress: default progress callback (see
+        :class:`CampaignProgress`); :meth:`run` can override per run.
     """
 
     def __init__(self, trial_fn: TrialFn, *, trials_per_point: int = 1,
                  base_seed: int = 0, workers: Optional[int] = None,
                  chunk_size: Optional[int] = None,
-                 confidence: float = 0.95, name: str = "campaign") -> None:
+                 confidence: float = 0.95, name: str = "campaign",
+                 cache_dir: "Optional[Path | str]" = None,
+                 on_progress: Optional[ProgressCallback] = None) -> None:
         if trials_per_point < 1:
             raise ValueError("trials_per_point must be >= 1")
         if workers is not None and workers < 0:
@@ -85,6 +159,8 @@ class CampaignRunner:
         self._chunk_size = chunk_size
         self._confidence = confidence
         self._name = name
+        self._cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._on_progress = on_progress
 
     # ------------------------------------------------------------------
     # Spec expansion.
@@ -105,25 +181,158 @@ class CampaignRunner:
     # Execution.
     # ------------------------------------------------------------------
 
-    def run(self, grid: ParameterGrid) -> CampaignResult:
-        """Execute the campaign and return its aggregated result."""
+    def run(self, grid: ParameterGrid,
+            on_progress: Optional[ProgressCallback] = None) -> CampaignResult:
+        """Execute the campaign and return its aggregated result.
+
+        With ``cache_dir`` configured, an identical earlier run is
+        served from its cache file (``mode == "cached"``) instead of
+        recomputing anything.
+        """
+        progress = on_progress or self._on_progress
         specs = self.specs(grid)
+        name = grid.name or self._name
+        cache_path = self._cache_path(name, specs)
+
+        cached = self._load_cache(cache_path, specs)
+        if cached is not None:
+            logger.info("campaign %r: cache hit (%d records at %s); "
+                        "skipping execution", name, len(cached), cache_path)
+            if progress is not None:
+                progress(CampaignProgress(name=name, completed=len(specs),
+                                          total=len(specs), elapsed_s=0.0,
+                                          eta_s=0.0, cached=True))
+            return self._finalise(name, cached, mode="cached")
+
+        started = time.monotonic()
+
+        def tick(completed: int) -> None:
+            if progress is None:
+                return
+            elapsed = time.monotonic() - started
+            eta = (elapsed / completed * (len(specs) - completed)
+                   if completed else None)
+            progress(CampaignProgress(name=name, completed=completed,
+                                      total=len(specs), elapsed_s=elapsed,
+                                      eta_s=eta))
+
         workers = self._resolve_workers(len(specs))
         records: Optional[List[TrialRecord]] = None
         mode = "serial"
         if workers > 1:
-            records = self._run_parallel(specs, workers)
+            records = self._run_parallel(specs, workers, tick)
             if records is not None:
                 mode = f"processes:{workers}"
         if records is None:
-            records = [_execute_spec(spec) for spec in specs]
+            records = []
+            for spec in specs:
+                records.append(_execute_spec(spec))
+                tick(len(records))
 
+        self._write_cache(cache_path, records)
+        return self._finalise(name, records, mode=mode)
+
+    def _finalise(self, name: str, records: List[TrialRecord],
+                  mode: str) -> CampaignResult:
         aggregator = Aggregator(confidence=self._confidence)
         aggregator.extend(records)
         return CampaignResult(
-            name=grid.name or self._name, base_seed=self._base_seed,
+            name=name, base_seed=self._base_seed,
             trials_per_point=self._trials_per_point, mode=mode,
             records=records, summaries=aggregator.summaries())
+
+    # ------------------------------------------------------------------
+    # Content-hash result caching.
+    # ------------------------------------------------------------------
+
+    def _fingerprint(self, name: str, specs: List[_Spec]) -> str:
+        """Content hash of everything that determines the records.
+
+        Covers the whole ``repro`` source tree (a trial function's
+        results depend on the entire simulation stack beneath it, so
+        *any* code edit must invalidate the cache), the trial function's
+        identity, the statistics configuration, and every spec's
+        identity — point key, canonical parameter rendering, trial
+        index and derived seed (which folds in the base seed).
+
+        Known limits: helpers a trial function calls *outside* the
+        ``repro`` tree are only covered through the function's own
+        source, and the tree hash is memoised per process — keep trial
+        logic inside ``repro`` (all stock trials are) and don't edit
+        sources mid-run if you rely on invalidation.
+        """
+        try:
+            fn_identity = inspect.getsource(self._trial_fn)
+        except (OSError, TypeError):
+            fn_identity = repr(self._trial_fn)
+        hasher = hashlib.sha256()
+        payload = {
+            "name": name,
+            "code": _source_tree_fingerprint(),
+            "trial_fn": f"{getattr(self._trial_fn, '__module__', '?')}."
+                        f"{getattr(self._trial_fn, '__qualname__', '?')}",
+            "source": fn_identity,
+            "confidence": self._confidence,
+            "specs": [
+                [key, trial, seed,
+                 repr(sorted(params.items(), key=lambda kv: kv[0]))]
+                for _, _, key, params, trial, seed in specs
+            ],
+        }
+        hasher.update(json.dumps(payload, sort_keys=True).encode("utf-8"))
+        return hasher.hexdigest()
+
+    def _cache_path(self, name: str, specs: List[_Spec]) -> Optional[Path]:
+        if self._cache_dir is None:
+            return None
+        fingerprint = self._fingerprint(name, specs)
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+        return self._cache_dir / f"{safe}-{fingerprint[:16]}.json"
+
+    def _load_cache(self, cache_path: Optional[Path],
+                    specs: List[_Spec]) -> Optional[List[TrialRecord]]:
+        """Rehydrate records from a cache file, or ``None`` on any
+        mismatch (missing file, corrupt JSON, changed specs)."""
+        if cache_path is None or not cache_path.exists():
+            return None
+        try:
+            payload = json.loads(cache_path.read_text())
+            by_identity: Dict[Tuple[str, int], Dict[str, Any]] = {
+                (entry["point_key"], entry["trial"]): entry
+                for entry in payload["records"]
+            }
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        records = []
+        for _, point_index, key, params, trial, seed in specs:
+            entry = by_identity.get((key, trial))
+            if entry is None or entry.get("seed") != seed:
+                return None
+            metrics = entry.get("metrics")
+            if not isinstance(metrics, dict):
+                return None
+            records.append(TrialRecord(
+                point_index=point_index, point_key=key, params=params,
+                trial=trial, seed=seed,
+                metrics={str(k): float(v) for k, v in metrics.items()}))
+        return records
+
+    def _write_cache(self, cache_path: Optional[Path],
+                     records: List[TrialRecord]) -> None:
+        if cache_path is None:
+            return
+        payload = {
+            "records": [
+                {"point_key": record.point_key, "trial": record.trial,
+                 "seed": record.seed, "metrics": dict(record.metrics)}
+                for record in records
+            ],
+        }
+        try:
+            cache_path.parent.mkdir(parents=True, exist_ok=True)
+            cache_path.write_text(json.dumps(payload, sort_keys=True))
+        except OSError:  # caching is best-effort, never fatal
+            logger.warning("campaign cache write failed at %s", cache_path)
 
     def _resolve_workers(self, spec_count: int) -> int:
         workers = self._workers
@@ -136,12 +345,13 @@ class CampaignRunner:
                 return 1
         return max(1, min(workers, spec_count))
 
-    def _run_parallel(self, specs: List[_Spec],
-                      workers: int) -> Optional[List[TrialRecord]]:
+    def _run_parallel(self, specs: List[_Spec], workers: int,
+                      tick: Callable[[int], None]) -> Optional[List[TrialRecord]]:
         """Shard specs over a process pool; ``None`` → use serial path.
 
-        ``Pool.map`` preserves input order, so the returned records are
-        in the same order the serial path would produce.
+        ``Pool.imap`` preserves input order, so the returned records are
+        in the same order the serial path would produce — and yields
+        them as they land, which is what feeds per-trial progress.
         """
         try:
             # Covers the trial function and every point's parameters, so
@@ -163,4 +373,8 @@ class CampaignRunner:
         # itself and must propagate, not silently trigger a serial
         # re-run of the whole campaign.
         with pool:
-            return pool.map(_execute_spec, specs, chunksize=chunk)
+            records = []
+            for record in pool.imap(_execute_spec, specs, chunksize=chunk):
+                records.append(record)
+                tick(len(records))
+            return records

@@ -5,7 +5,10 @@ simulation stack: a grid point's parameters select a scenario preset
 (:mod:`repro.scenarios.presets`), an attacker configuration
 (:mod:`repro.attacks.compromise`) and generation policies
 (:mod:`repro.core.policy`), and one trial builds the world, runs one
-Algorithm 1 generation and returns scalar metrics.
+experiment and returns scalar metrics. Besides the pool-generation
+trial there are end-to-end trials for the whole Figure 1 pipeline
+(E1), the time-shift attack (E7), the off-path spray ablation (A1),
+the closed-form advantage (E4) and the distribution overhead (E10).
 
 Everything here is module-level and picklable so campaigns can shard
 trials across worker processes. The closed-form Monte-Carlo trials live
@@ -16,18 +19,29 @@ re-exported from :mod:`repro.campaign`.
 from __future__ import annotations
 
 import inspect
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, List, Mapping
 
+from repro.analysis.advantage import security_bits
 from repro.attacks.compromise import (
     CompromiseConfig,
     CompromisedResolverBehavior,
     corrupt_first_k,
 )
+from repro.attacks.offpath import OffPathPoisoner, SprayPlan
+from repro.attacks.timeshift import TimeShiftExperiment
 from repro.core.majority import MajorityVoteCombiner
 from repro.core.policy import DualStackPolicy, TruncationPolicy
 from repro.core.pool import PoolGeneratorConfig
-from repro.netsim.address import IPAddress
-from repro.scenarios.builders import PoolScenario
+from repro.dns.client import StubResolver
+from repro.dns.message import Question
+from repro.dns.resolver import ResolverConfig
+from repro.dns.rrtype import RRType
+from repro.netsim.address import Endpoint, IPAddress
+from repro.ntp.chronos import ChronosClient, ChronosConfig
+from repro.ntp.client import NtpClient
+from repro.ntp.clock import SimClock
+from repro.ntp.pool import deploy_ntp_fleet
+from repro.scenarios.builders import PoolScenario, build_pool_scenario
 from repro.scenarios.presets import get_preset
 
 
@@ -49,10 +63,12 @@ def build_scenario(params: Mapping[str, Any], seed: int) -> PoolScenario:
 # Parameters pool_attack_trial consumes itself (everything else must be
 # accepted by the selected scenario builder).
 _ATTACK_KEYS = frozenset({"preset", "corrupted", "behavior", "forged",
-                          "inflate_to", "policy", "truncation"})
+                          "inflate_to", "policy", "truncation",
+                          "min_answers"})
 
 
-def _reject_unknown_params(params: Mapping[str, Any]) -> None:
+def _reject_unknown_params(params: Mapping[str, Any],
+                           known: frozenset = _ATTACK_KEYS) -> None:
     """Fail loudly on parameters nothing would consume.
 
     A declarative sweep with a typo'd axis name (``answers_per_qeury``)
@@ -61,11 +77,11 @@ def _reject_unknown_params(params: Mapping[str, Any]) -> None:
     """
     builder = get_preset(params.get("preset", "custom"))
     accepted = set(inspect.signature(builder).parameters)
-    unknown = set(params) - _ATTACK_KEYS - accepted
+    unknown = set(params) - known - accepted
     if unknown:
         raise ValueError(
             f"unrecognised trial parameters: {sorted(unknown)} "
-            f"(not attack knobs, not accepted by the "
+            f"(not trial knobs, not accepted by the "
             f"{params.get('preset', 'custom')!r} scenario builder)")
 
 
@@ -114,9 +130,14 @@ def pool_attack_trial(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
         a :class:`DualStackPolicy` (or value) for dual-stack lookups.
     ``truncation``
         a :class:`TruncationPolicy` (or value), default SHORTEST.
+    ``min_answers``
+        ``None`` for the paper's strict all-must-answer semantics, or
+        the quorum of the E6 availability extension (pairs with
+        ``ignore_empty_answers``).
 
-    Returned metrics: ``pool_size``, ``truncate_length``,
-    ``attacker_share``, ``v4_share``, ``v6_share``, ``voted_size`` and
+    Returned metrics: ``ok`` and ``degraded`` (availability),
+    ``pool_size``, ``truncate_length``, ``attacker_share``,
+    ``v4_share``, ``v6_share``, ``voted_size`` and
     ``voted_attacker_share`` (per-address majority vote over the same
     contributions), plus ``benign_fraction`` scored against the
     scenario's pool directory.
@@ -137,10 +158,13 @@ def pool_attack_trial(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
             inflate_to=int(params.get("inflate_to", 20)))
         corrupt_first_k(scenario.providers, corrupted, config)
 
+    min_answers = params.get("min_answers")
     generator_config = PoolGeneratorConfig(
         truncation=_coerce_truncation(params.get("truncation",
                                                  TruncationPolicy.SHORTEST)),
-        dual_stack=_coerce_dual_stack(params.get("policy")))
+        dual_stack=_coerce_dual_stack(params.get("policy")),
+        min_answers=min_answers,
+        ignore_empty_answers=min_answers is not None)
     pool = scenario.generate_pool_sync(
         scenario.make_generator(config=generator_config))
 
@@ -151,6 +175,8 @@ def pool_attack_trial(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
     benign_fraction = (scenario.directory.benign_fraction(pool.addresses)
                        if pool.addresses else 0.0)
     return {
+        "ok": 1.0 if pool.ok else 0.0,
+        "degraded": 1.0 if pool.degraded else 0.0,
         "pool_size": float(len(pool.addresses)),
         "truncate_length": float(pool.truncate_length),
         "attacker_share": _share(pool.addresses, forged),
@@ -159,4 +185,223 @@ def pool_attack_trial(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
         "voted_size": float(len(voted)),
         "voted_attacker_share": _share(voted, forged),
         "benign_fraction": benign_fraction,
+    }
+
+
+# ----------------------------------------------------------------------
+# E1 — the whole Figure 1 pipeline, DNS→DoH→pool→Chronos.
+# ----------------------------------------------------------------------
+
+_FIGURE1_KEYS = frozenset({"preset", "clock_offset", "sample_size",
+                           "agreement_window", "min_responses"})
+
+
+def figure1_system_trial(params: Mapping[str, Any],
+                         seed: int) -> Dict[str, float]:
+    """One end-to-end system run: generate a pool through the
+    distributed DoH resolvers, then discipline a skewed clock with
+    Chronos over the generated pool.
+
+    Recognised parameters: ``preset`` + builder kwargs, plus
+    ``clock_offset`` (initial clock error, default 80 ms) and the
+    Chronos knobs ``sample_size`` / ``agreement_window`` /
+    ``min_responses``.
+
+    Returned metrics: ``pool_size``, ``truncate_length``, ``elapsed``
+    (pool generation, virtual seconds), ``benign_fraction``,
+    ``chronos_ok``, ``clock_error`` and ``clock_error_before``
+    (seconds), plus per-resolver ``answers[<name>]`` and
+    ``latency[<name>]`` so tables can reproduce Figure 1's per-resolver
+    rows.
+    """
+    _reject_unknown_params(params, _FIGURE1_KEYS)
+    scenario = build_scenario(params, seed)
+    deploy_ntp_fleet(scenario.internet, scenario.directory, scenario.rng)
+    pool = scenario.generate_pool_sync()
+    offset = float(params.get("clock_offset", 0.080))
+    clock = SimClock(lambda: scenario.simulator.now, offset=offset)
+    ntp_client = NtpClient(scenario.client, scenario.simulator, clock)
+    chronos = ChronosClient(
+        ntp_client, pool.addresses,
+        config=ChronosConfig(
+            sample_size=int(params.get("sample_size", 9)),
+            agreement_window=float(params.get("agreement_window", 0.060)),
+            min_responses=int(params.get("min_responses", 5))),
+        rng=scenario.rng.stream("bench-chronos"))
+    outcomes: List = []
+    chronos.sync(outcomes.append)
+    scenario.simulator.run()
+    sync = outcomes[0]
+    metrics = {
+        "pool_size": float(len(pool.addresses)),
+        "truncate_length": float(pool.truncate_length),
+        "elapsed": pool.elapsed,
+        "benign_fraction": scenario.directory.benign_fraction(pool.addresses),
+        "chronos_ok": 1.0 if sync.ok else 0.0,
+        "clock_error": clock.error(),
+        "clock_error_before": offset,
+    }
+    for answer in pool.answers:
+        name = answer.resolver.name
+        metrics[f"answers[{name}]"] = float(len(answer.addresses))
+        metrics[f"latency[{name}]"] = answer.outcome.latency or 0.0
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# E7 — the end-to-end time-shift attack, one configuration per point.
+# ----------------------------------------------------------------------
+
+TIMESHIFT_CONFIGURATIONS = {
+    "plain-dns+naive-sntp": (False, False),
+    "plain-dns+chronos": (False, True),
+    "distributed-doh+naive-sntp": (True, False),
+    "distributed-doh+chronos": (True, True),
+}
+
+_TIMESHIFT_KEYS = frozenset({"configuration", "lie_offset", "num_providers",
+                             "corrupted_providers", "pool_size"})
+
+
+def timeshift_trial(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    """One E7 configuration in a fresh world (trial index = world seed).
+
+    ``configuration`` must be one of :data:`TIMESHIFT_CONFIGURATIONS`;
+    ``lie_offset``, ``num_providers``, ``corrupted_providers`` and
+    ``pool_size`` pass through to
+    :class:`repro.attacks.timeshift.TimeShiftExperiment`.
+    """
+    unknown = set(params) - _TIMESHIFT_KEYS
+    if unknown:
+        raise ValueError(f"unrecognised trial parameters: {sorted(unknown)}; "
+                         f"known: {sorted(_TIMESHIFT_KEYS)}")
+    configuration = params["configuration"]
+    try:
+        use_doh, use_chronos = TIMESHIFT_CONFIGURATIONS[configuration]
+    except KeyError:
+        raise ValueError(
+            f"unknown configuration {configuration!r}; known: "
+            f"{sorted(TIMESHIFT_CONFIGURATIONS)}") from None
+    experiment = TimeShiftExperiment(
+        seed=seed, lie_offset=float(params.get("lie_offset", 10.0)),
+        num_providers=int(params.get("num_providers", 3)),
+        corrupted_providers=int(params.get("corrupted_providers", 1)),
+        pool_size=int(params.get("pool_size", 20)))
+    result = experiment.run(use_distributed_doh=use_doh,
+                            use_chronos=use_chronos)
+    return {
+        "clock_error": result.clock_error_after,
+        "abs_clock_error": abs(result.clock_error_after),
+        "pool_malicious_fraction": result.pool_malicious_fraction,
+        "shifted": 1.0 if result.shifted else 0.0,
+        "synced": 1.0 if result.synced else 0.0,
+        "pool_size": float(result.pool_size),
+    }
+
+
+# ----------------------------------------------------------------------
+# A1 — off-path poisoning rate vs covered (TXID × port) entropy.
+# ----------------------------------------------------------------------
+
+_OFFPATH_KEYS = frozenset({"covered_bits", "txid_bits", "port_guesses",
+                           "forged"})
+
+
+def offpath_spray_trial(params: Mapping[str, Any],
+                        seed: int) -> Dict[str, float]:
+    """One off-path poisoning race against a deliberately weak resolver
+    (``txid_bits``-bit transaction IDs, sequential ephemeral ports).
+
+    The attacker sprays ``2**covered_bits`` transaction IDs across
+    ``port_guesses`` predicted ports while the resolver recurses for
+    the pool domain. Returns ``poisoned`` (1.0 when any forgery was
+    accepted) and ``packets`` (spray cost).
+    """
+    unknown = set(params) - _OFFPATH_KEYS
+    if unknown:
+        raise ValueError(f"unrecognised trial parameters: {sorted(unknown)}; "
+                         f"known: {sorted(_OFFPATH_KEYS)}")
+    txid_bits = int(params.get("txid_bits", 8))
+    covered_bits = int(params["covered_bits"])
+    scenario = build_pool_scenario(
+        seed=seed, num_providers=1,
+        resolver_config=ResolverConfig(txid_bits=txid_bits,
+                                       randomize_txid=True))
+    victim = scenario.providers[0]
+    victim.host.randomize_ports = False
+    poisoner = OffPathPoisoner(scenario.internet,
+                               injection_node=victim.host.node)
+    outcomes: List = []
+    victim.resolver.resolve(scenario.pool_domain, RRType.A, outcomes.append)
+    plan = SprayPlan(
+        question=Question(scenario.pool_domain, RRType.A),
+        spoofed_server=Endpoint(IPAddress("10.0.0.1"), 53),
+        target_ports=poisoner.sequential_port_guesses(
+            int(params.get("port_guesses", 2))),
+        txid_guesses=poisoner.txid_space(covered_bits),
+        forged_addresses=[IPAddress(a) for a in
+                          params.get("forged", ("203.0.113.200",))],
+    )
+    poisoner.spray(victim.address, plan)
+    scenario.simulator.run()
+    return {
+        "poisoned": 1.0 if victim.resolver.stats.poisoned_acceptances else 0.0,
+        "packets": float(plan.packet_count),
+    }
+
+
+# ----------------------------------------------------------------------
+# E4 — closed-form security bits (campaign-shaped for table uniformity).
+# ----------------------------------------------------------------------
+
+
+def advantage_bits_trial(params: Mapping[str, Any],
+                         seed: int) -> Dict[str, float]:
+    """Security bits ``-log2 P[attack]`` for one ``(n, x, p_attack)``
+    point. Deterministic closed form — one trial per point suffices."""
+    return {"bits": security_bits(int(params["n"]),
+                                  float(params.get("x", 0.5)),
+                                  float(params["p_attack"]))}
+
+
+# ----------------------------------------------------------------------
+# E10 — the cost of distribution vs the plain-DNS baseline.
+# ----------------------------------------------------------------------
+
+_OVERHEAD_KEYS = frozenset({"mechanism", "preset"})
+
+
+def overhead_trial(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    """Measure one pool acquisition's latency/bytes/packets.
+
+    ``mechanism`` selects ``"plain-dns"`` (one stub query to the first
+    provider over spoofable UDP) or ``"distributed-doh"`` (Algorithm 1
+    across all providers); every other parameter reaches the scenario
+    builder.
+    """
+    _reject_unknown_params(params, _OVERHEAD_KEYS)
+    mechanism = params["mechanism"]
+    if mechanism not in ("plain-dns", "distributed-doh"):
+        raise ValueError(f"unknown mechanism {mechanism!r}")
+    scenario = build_scenario(params, seed)
+    bytes_before = scenario.internet.bytes_sent
+    packets_before = scenario.internet.datagrams_sent
+    if mechanism == "plain-dns":
+        stub = StubResolver(scenario.client, scenario.simulator,
+                            scenario.providers[0].address, timeout=5.0)
+        started = scenario.simulator.now
+        outcomes: List = []
+        stub.query(scenario.pool_domain, RRType.A, outcomes.append)
+        scenario.simulator.run()
+        latency = scenario.simulator.now - started
+        pool_size = len(outcomes[0].addresses) if outcomes else 0
+    else:
+        pool = scenario.generate_pool_sync()
+        latency = pool.elapsed
+        pool_size = len(pool.addresses)
+    return {
+        "latency": latency,
+        "bytes": float(scenario.internet.bytes_sent - bytes_before),
+        "packets": float(scenario.internet.datagrams_sent - packets_before),
+        "pool_size": float(pool_size),
     }

@@ -3,12 +3,16 @@
 Sends recursive (RD=1) queries to a configured resolver address over
 UDP, with timeout and retry. This is the *insecure baseline* the paper
 starts from: one resolver, one path, spoofable transport.
+
+The timeout/retry/transaction machinery lives in
+:class:`repro.netsim.transport.Transport`; this module only knows DNS —
+how to build a query and how to tell a genuine answer from a spoof.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.dns.message import Message, make_query
@@ -19,7 +23,13 @@ from repro.dns.wire import WireFormatError
 from repro.netsim.address import Endpoint, IPAddress
 from repro.netsim.host import Host
 from repro.netsim.packet import Datagram
-from repro.netsim.simulator import Simulator, Timer
+from repro.netsim.simulator import Simulator
+from repro.netsim.transport import (
+    AttemptInfo,
+    ExchangeReport,
+    RetryPolicy,
+    Transport,
+)
 
 DNS_PORT = 53
 
@@ -76,9 +86,9 @@ class StubResolver:
         self._host = host
         self._simulator = simulator
         self._server = Endpoint(IPAddress(server), DNS_PORT)
-        self._timeout = timeout
-        self._retries = retries
-        self._rng = rng or random.Random(0)
+        self._policy = RetryPolicy(timeout=timeout, retries=retries)
+        self._transport = Transport(host, simulator,
+                                    rng=rng or random.Random(0))
         self._stats = StubStats()
 
     @property
@@ -92,81 +102,43 @@ class StubResolver:
     def query(self, qname: "Name | str", qtype: RRType,
               callback: StubCallback) -> None:
         """Send an RD=1 query; invoke ``callback`` exactly once."""
-        _StubQuery(self, Name(qname), qtype, callback).start()
+        qname = Name(qname)
 
+        def build_request(attempt: AttemptInfo) -> bytes:
+            self._stats.queries += 1
+            query = make_query(attempt.txid, qname, qtype,
+                               recursion_desired=True)
+            return query.encode()
 
-class _StubQuery:
-    """One in-flight stub query with retry."""
+        def classify(datagram: Datagram,
+                     attempt: AttemptInfo) -> Optional[Message]:
+            try:
+                response = Message.decode(datagram.payload)
+            except WireFormatError:
+                self._stats.spoofs_rejected += 1
+                return None
+            if (not response.is_response
+                    or response.txid != attempt.txid
+                    or datagram.src != self._server
+                    or len(response.questions) != 1
+                    or response.questions[0].qname != qname
+                    or response.questions[0].qtype != qtype):
+                self._stats.spoofs_rejected += 1
+                return None
+            self._stats.responses += 1
+            if datagram.spoofed:
+                self._stats.poisoned_acceptances += 1
+            return response
 
-    def __init__(self, stub: StubResolver, qname: Name, qtype: RRType,
-                 callback: StubCallback) -> None:
-        self._stub = stub
-        self._qname = qname
-        self._qtype = qtype
-        self._callback = callback
-        self._attempts = 0
-        self._finished = False
-        self._socket = None
-        self._timer: Optional[Timer] = None
-        self._txid = 0
+        def on_complete(report: ExchangeReport) -> None:
+            if report.timed_out:
+                self._stats.timeouts += 1
+                callback(StubOutcome(response=None, timed_out=True,
+                                     attempts=report.attempts))
+                return
+            callback(StubOutcome(response=report.value,
+                                 attempts=report.attempts))
 
-    def start(self) -> None:
-        self._attempt()
-
-    def _attempt(self) -> None:
-        if self._finished:
-            return
-        if self._attempts > self._stub._retries:
-            self._stub._stats.timeouts += 1
-            self._finish(StubOutcome(response=None, timed_out=True,
-                                     attempts=self._attempts))
-            return
-        self._attempts += 1
-        self._stub._stats.queries += 1
-        self._txid = self._stub._rng.randrange(1 << 16)
-        query = make_query(self._txid, self._qname, self._qtype,
-                           recursion_desired=True)
-        self._close_socket()
-        self._socket = self._stub._host.ephemeral_socket(self._on_datagram)
-        self._socket.sendto(self._stub._server, query.encode())
-        self._timer = Timer(self._stub._simulator, self._on_timeout,
-                            label="stub-query")
-        self._timer.start(self._stub._timeout)
-
-    def _on_timeout(self) -> None:
-        self._attempt()
-
-    def _on_datagram(self, datagram: Datagram) -> None:
-        if self._finished:
-            return
-        try:
-            response = Message.decode(datagram.payload)
-        except WireFormatError:
-            self._stub._stats.spoofs_rejected += 1
-            return
-        if (not response.is_response
-                or response.txid != self._txid
-                or datagram.src != self._stub._server
-                or len(response.questions) != 1
-                or response.questions[0].qname != self._qname
-                or response.questions[0].qtype != self._qtype):
-            self._stub._stats.spoofs_rejected += 1
-            return
-        self._stub._stats.responses += 1
-        if datagram.spoofed:
-            self._stub._stats.poisoned_acceptances += 1
-        self._finish(StubOutcome(response=response, attempts=self._attempts))
-
-    def _finish(self, outcome: StubOutcome) -> None:
-        if self._finished:
-            return
-        self._finished = True
-        if self._timer is not None:
-            self._timer.cancel()
-        self._close_socket()
-        self._callback(outcome)
-
-    def _close_socket(self) -> None:
-        if self._socket is not None:
-            self._socket.close()
-            self._socket = None
+        self._transport.exchange(
+            self._server, build_request=build_request, classify=classify,
+            on_complete=on_complete, policy=self._policy, label="stub-query")

@@ -6,6 +6,10 @@ the simulation), sends the RFC 8484 request, and reports a structured
 response must parse, be a response, and echo the question — plus all the
 TLS-layer guarantees (certificate verification, record MACs) enforced by
 :mod:`repro.doh.tls`.
+
+Timeout/retry supervision rides on
+:meth:`repro.netsim.transport.Transport.supervise` — the query owns its
+TLS channel, the transport owns the attempt schedule.
 """
 
 from __future__ import annotations
@@ -25,7 +29,13 @@ from repro.doh.server import DNS_MESSAGE_TYPE, DOH_PATH
 from repro.doh.tls import TlsClientConnection, TrustStore
 from repro.netsim.address import Endpoint
 from repro.netsim.host import Host
-from repro.netsim.simulator import Simulator, Timer
+from repro.netsim.simulator import Simulator
+from repro.netsim.transport import (
+    AttemptInfo,
+    ExchangeReport,
+    RetryPolicy,
+    Transport,
+)
 
 
 class DoHStatus(enum.Enum):
@@ -93,8 +103,8 @@ class DoHClient:
         self._trust_store = trust_store
         self._rng = rng or random.Random(0)
         self._method = method
-        self._timeout = timeout
-        self._retries = retries
+        self._policy = RetryPolicy(timeout=timeout, retries=retries)
+        self._transport = Transport(host, simulator, rng=self._rng)
         self._stats = DoHClientStats()
 
     @property
@@ -105,13 +115,13 @@ class DoHClient:
               qname: "Name | str", qtype: RRType,
               callback: DoHCallback) -> None:
         """Issue one DoH query; ``callback`` fires exactly once."""
-        txid = self._rng.randrange(1 << 16)
+        txid = self._transport.draw_txid()
         message = make_query(txid, Name(qname), qtype)
         _DoHQuery(self, server, server_name, message, callback).start()
 
 
 class _DoHQuery:
-    """One in-flight DoH query over a fresh TLS connection."""
+    """One in-flight DoH query, one fresh TLS connection per attempt."""
 
     def __init__(self, client: DoHClient, server: Endpoint, server_name: str,
                  query: Message, callback: DoHCallback) -> None:
@@ -120,18 +130,21 @@ class _DoHQuery:
         self._server_name = server_name
         self._query = query
         self._callback = callback
-        self._started_at = client._simulator.now
-        self._finished = False
-        self._attempts_left = client._retries
-        self._connection: TlsClientConnection = None  # set in _open
-        self._timer = Timer(client._simulator, self._on_timeout,
-                            label="doh-query")
+        self._connection: TlsClientConnection = None  # set per attempt
+        self._exchange = None  # set in start()
 
     def start(self) -> None:
         self._client._stats.queries += 1
-        self._open_connection()
+        self._exchange = self._client._transport.supervise(
+            begin_attempt=self._open_connection,
+            on_complete=self._on_exchange_complete,
+            policy=self._client._policy, label="doh-query")
 
-    def _open_connection(self) -> None:
+    @property
+    def _finished(self) -> bool:
+        return self._exchange is not None and self._exchange.finished
+
+    def _open_connection(self, attempt: AttemptInfo) -> None:
         """Open (or reopen, on retry) a fresh TLS connection."""
         if self._connection is not None:
             self._connection.close()
@@ -141,7 +154,6 @@ class _DoHQuery:
         self._connection.on_established(self._send_request)
         self._connection.on_data(self._on_response_bytes)
         self._connection.on_failure(self._on_tls_failure)
-        self._timer.start(self._client._timeout)
         self._connection.connect()
 
     def _send_request(self) -> None:
@@ -213,21 +225,16 @@ class _DoHQuery:
         self._finish(DoHQueryOutcome(DoHStatus.TLS_FAILURE,
                                      failure_reason=reason))
 
-    def _on_timeout(self) -> None:
-        if self._finished:
-            return
-        if self._attempts_left > 0:
-            self._attempts_left -= 1
-            self._open_connection()
-            return
-        self._client._stats.timeouts += 1
-        self._finish(DoHQueryOutcome(DoHStatus.TIMEOUT))
-
     def _finish(self, outcome: DoHQueryOutcome) -> None:
-        if self._finished:
-            return
-        self._finished = True
-        outcome.latency = self._client._simulator.now - self._started_at
-        self._timer.cancel()
+        """Hand the terminal outcome to the transport supervisor (which
+        suppresses anything arriving after the first decision)."""
+        self._exchange.resolve(outcome)
+
+    def _on_exchange_complete(self, report: ExchangeReport) -> None:
+        outcome = report.value
+        if report.timed_out:
+            self._client._stats.timeouts += 1
+            outcome = DoHQueryOutcome(DoHStatus.TIMEOUT)
+        outcome.latency = report.elapsed
         self._connection.close()
         self._callback(outcome)

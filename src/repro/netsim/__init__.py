@@ -13,7 +13,10 @@ on. It provides:
   bound sockets and timer support;
 * :mod:`repro.netsim.internet` — the assembled network, including the
   interposition points used by :mod:`repro.attacks` (on-path taps and
-  off-path spoofed injection).
+  off-path spoofed injection);
+* :mod:`repro.netsim.transport` — the unified request/response engine
+  (timeouts, backoff retries, transaction IDs, duplicate suppression)
+  every protocol client rides on.
 
 Determinism: all randomness (loss, jitter) is drawn from named streams of
 a :class:`repro.util.RngRegistry`, so a scenario is exactly reproducible
@@ -23,22 +26,37 @@ from its root seed.
 from repro.netsim.address import Endpoint, IPAddress, ip
 from repro.netsim.host import Host
 from repro.netsim.internet import DeliveryReceipt, Internet, LinkTap, TapAction, TapVerdict
-from repro.netsim.link import Link, LinkProfile
+from repro.netsim.link import FaultModel, Link, LinkProfile
 from repro.netsim.packet import Datagram
 from repro.netsim.simulator import Event, Simulator
 from repro.netsim.socket import UdpSocket
 from repro.netsim.topology import Topology
+from repro.netsim.transport import (
+    AttemptInfo,
+    DatagramExchange,
+    ExchangeReport,
+    PendingExchange,
+    RetryPolicy,
+    Transport,
+)
 
 __all__ = [
+    "AttemptInfo",
     "Endpoint",
     "IPAddress",
     "ip",
     "Host",
     "Internet",
+    "DatagramExchange",
     "DeliveryReceipt",
+    "ExchangeReport",
+    "FaultModel",
     "LinkTap",
+    "PendingExchange",
+    "RetryPolicy",
     "TapAction",
     "TapVerdict",
+    "Transport",
     "Link",
     "LinkProfile",
     "Datagram",

@@ -70,6 +70,17 @@ class Host:
         return list(self._addresses)
 
     @property
+    def randomize_ports(self) -> bool:
+        """Whether ephemeral ports are drawn randomly (RFC 6056)."""
+        return self._randomize_ports
+
+    @randomize_ports.setter
+    def randomize_ports(self, value: bool) -> None:
+        # Mutable so attack experiments can weaken a deployed host's
+        # stack without rebuilding the scenario around it.
+        self._randomize_ports = bool(value)
+
+    @property
     def primary_address(self) -> IPAddress:
         return self._addresses[0]
 

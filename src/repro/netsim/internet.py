@@ -84,6 +84,7 @@ class DeliveryReceipt:
     dropped_by: Optional[str] = None  # link name, "tap:<link>", "no-route",
     # "no-host", or "no-socket"
     rewritten: bool = False
+    duplicated: bool = False  # a link fault delivered a second copy
     route_nodes: List[str] = field(default_factory=list)
 
     @property
@@ -116,6 +117,7 @@ class Internet:
         self._keep_receipts = False
         self._datagrams_sent = 0
         self._datagrams_delivered = 0
+        self._datagrams_duplicated = 0
         self._bytes_sent = 0
 
     # ------------------------------------------------------------------
@@ -222,6 +224,11 @@ class Internet:
         return self._datagrams_delivered
 
     @property
+    def datagrams_duplicated(self) -> int:
+        """Extra copies delivered because of link-fault duplication."""
+        return self._datagrams_duplicated
+
+    @property
     def bytes_sent(self) -> int:
         return self._bytes_sent
 
@@ -257,17 +264,28 @@ class Internet:
             return receipt
 
         total_delay = 0.0
+        duplicate_gap: Optional[float] = None
+        duplicating_link: Optional[Link] = None
         current = datagram
         for link in links:
             receipt.hops += 1
             # Natural loss first, then attacker taps: a dropped packet
             # never reaches the tap further down the same hop.
             dropped = link.sample_drop()
+            gap = None if dropped else link.sample_duplicate()
             link.account(current.size, dropped)
             if dropped:
                 receipt.dropped_by = link.name
                 self._finish(receipt)
                 return receipt
+            if gap is not None and duplicate_gap is None:
+                # At most one extra copy per trip, trailing the
+                # original by the first duplicating hop's gap. The
+                # link's duplicate counter is charged only if the trip
+                # survives the remaining hops (a downstream drop or tap
+                # discards the copy along with the original).
+                duplicate_gap = gap
+                duplicating_link = link
             total_delay += link.sample_delay()
             action = self._run_taps(link, current)
             if action.verdict is TapVerdict.DROP:
@@ -296,6 +314,20 @@ class Internet:
 
         self._simulator.schedule_at(arrival, deliver,
                                     label=f"deliver#{final.packet_id}")
+        if duplicate_gap is not None:
+            receipt.duplicated = True
+            duplicating_link.count_duplicate()
+
+            def deliver_copy() -> None:
+                # The copy rides outside the receipt: accounting for
+                # the original delivery stays untouched, the transport
+                # layer's suppression decides what the copy means.
+                if destination_host.deliver(final):
+                    self._datagrams_duplicated += 1
+
+            self._simulator.schedule_at(
+                arrival + duplicate_gap, deliver_copy,
+                label=f"deliver-dup#{final.packet_id}")
         return receipt
 
     def _run_taps(self, link: Link, datagram: Datagram) -> TapAction:

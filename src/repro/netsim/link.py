@@ -1,15 +1,21 @@
-"""Network links with latency, jitter and loss.
+"""Network links with latency, jitter, loss and injectable faults.
 
 A :class:`Link` joins two topology nodes. Its :class:`LinkProfile`
-captures the performance characteristics; per-packet latency and loss
-are drawn from a named random stream so runs are reproducible.
+captures the *intrinsic* performance characteristics; an optional
+:class:`FaultModel` layers *imposed* degradation (extra loss, bounded
+jitter, reordering displacement, duplication) on top — the knobs the
+paper's availability experiments sweep. Per-packet decisions are drawn
+from named random streams so runs are reproducible: the profile draws
+from the link's own stream and the fault model from a separate
+``("fault", a, b)`` stream, which keeps a fault-free run bit-identical
+to one built before fault models existed.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
 
 from repro.util.validation import check_non_negative, check_probability
 
@@ -58,6 +64,109 @@ class LinkProfile:
         return cls(latency=latency, jitter=latency / 4.0, loss=loss)
 
 
+@dataclass(frozen=True)
+class FaultModel:
+    """Composable fault injection for one link.
+
+    All effects are applied *independently per packet*, after the
+    link's intrinsic profile, drawing from the link's dedicated fault
+    stream in a fixed order (loss → duplication → jitter → reorder) so
+    traces are reproducible from the seed alone.
+
+    :param loss_rate: extra per-packet drop probability.
+    :param jitter_s: extra uniform jitter in ``[0, jitter_s]`` seconds
+        added to every surviving packet.
+    :param reorder_window: displacement bound — with probability
+        ``reorder_rate`` a packet is held back an extra uniform
+        ``[0, reorder_window]`` seconds, letting later packets overtake
+        it (how real queues reorder).
+    :param reorder_rate: fraction of packets subject to the hold-back
+        (only consulted when ``reorder_window`` is positive).
+    :param duplicate_rate: per-packet probability that the link also
+        delivers a second copy.
+    :param duplicate_gap_s: how far behind the original the copy runs.
+    """
+
+    loss_rate: float = 0.0
+    jitter_s: float = 0.0
+    reorder_window: float = 0.0
+    reorder_rate: float = 0.25
+    duplicate_rate: float = 0.0
+    duplicate_gap_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        check_probability(self.loss_rate, "loss_rate")
+        check_non_negative(self.jitter_s, "jitter_s")
+        check_non_negative(self.reorder_window, "reorder_window")
+        check_probability(self.reorder_rate, "reorder_rate")
+        check_probability(self.duplicate_rate, "duplicate_rate")
+        check_non_negative(self.duplicate_gap_s, "duplicate_gap_s")
+
+    @property
+    def active(self) -> bool:
+        """Whether this model perturbs anything at all."""
+        return (self.loss_rate > 0.0 or self.jitter_s > 0.0
+                or self.reorder_window > 0.0 or self.duplicate_rate > 0.0)
+
+    def compose(self, other: "FaultModel") -> "FaultModel":
+        """Stack two fault models as if applied by independent stages:
+        losses and duplications combine as independent events, jitter
+        adds, and the wider reordering stage dominates.
+
+        A model whose reordering (or duplication) is inactive
+        contributes nothing to the combined rate/gap — its defaults for
+        the dependent knobs are placeholders, not effects — so an
+        all-defaults ``FaultModel()`` is a compose identity.
+        """
+        self_reorder = self.reorder_rate if self.reorder_window > 0.0 else 0.0
+        other_reorder = (other.reorder_rate
+                         if other.reorder_window > 0.0 else 0.0)
+        duplicating = [model for model in (self, other)
+                       if model.duplicate_rate > 0.0]
+        return FaultModel(
+            loss_rate=1.0 - (1.0 - self.loss_rate) * (1.0 - other.loss_rate),
+            jitter_s=self.jitter_s + other.jitter_s,
+            reorder_window=max(self.reorder_window, other.reorder_window),
+            reorder_rate=1.0 - (1.0 - self_reorder) * (1.0 - other_reorder),
+            duplicate_rate=1.0 - (1.0 - self.duplicate_rate)
+            * (1.0 - other.duplicate_rate),
+            duplicate_gap_s=(max(m.duplicate_gap_s for m in duplicating)
+                             if duplicating else self.duplicate_gap_s),
+        )
+
+    def scaled(self, factor: float) -> "FaultModel":
+        """A model with the loss/duplication probabilities scaled (and
+        clamped); convenient for sweeping severity as one axis."""
+        check_non_negative(factor, "factor")
+        return replace(
+            self,
+            loss_rate=min(1.0, self.loss_rate * factor),
+            duplicate_rate=min(1.0, self.duplicate_rate * factor),
+        )
+
+    # ------------------------------------------------------------------
+    # Per-packet sampling (called by the owning Link, in order).
+    # ------------------------------------------------------------------
+
+    def sample_drop(self, rng: random.Random) -> bool:
+        return self.loss_rate > 0.0 and rng.random() < self.loss_rate
+
+    def sample_extra_delay(self, rng: random.Random) -> float:
+        extra = 0.0
+        if self.jitter_s > 0.0:
+            extra += rng.uniform(0.0, self.jitter_s)
+        if self.reorder_window > 0.0 and rng.random() < self.reorder_rate:
+            extra += rng.uniform(0.0, self.reorder_window)
+        return extra
+
+    def sample_duplicate(self, rng: random.Random) -> Optional[float]:
+        """Gap (seconds) behind the original for a duplicate copy, or
+        ``None`` when this packet is not duplicated."""
+        if self.duplicate_rate > 0.0 and rng.random() < self.duplicate_rate:
+            return self.duplicate_gap_s
+        return None
+
+
 class Link:
     """A bidirectional link between two topology node names.
 
@@ -74,8 +183,11 @@ class Link:
         self._b = b
         self._profile = profile
         self._rng = rng
+        self._fault: Optional[FaultModel] = None
+        self._fault_rng: Optional[random.Random] = None
         self._packets_carried = 0
         self._packets_dropped = 0
+        self._packets_duplicated = 0
         self._bytes_carried = 0
 
     @property
@@ -101,19 +213,55 @@ class Link:
         return self._packets_dropped
 
     @property
+    def packets_duplicated(self) -> int:
+        return self._packets_duplicated
+
+    @property
     def bytes_carried(self) -> int:
         return self._bytes_carried
+
+    # ------------------------------------------------------------------
+    # Fault injection.
+    # ------------------------------------------------------------------
+
+    @property
+    def fault(self) -> Optional[FaultModel]:
+        """The installed fault model, if any."""
+        return self._fault
+
+    def install_fault(self, model: Optional[FaultModel],
+                      rng: Optional[random.Random] = None) -> None:
+        """Install (or, with ``None``, clear) a fault model.
+
+        The model draws from its own ``rng`` so installing or removing
+        faults never perturbs the link's intrinsic latency/loss stream.
+        """
+        if model is not None and model.active and rng is None:
+            raise ValueError("an active fault model needs its own rng")
+        self._fault = model if model is not None and model.active else None
+        self._fault_rng = rng if self._fault is not None else None
 
     def sample_delay(self) -> float:
         """Draw the per-packet one-way delay for this hop."""
         jitter = self._rng.uniform(0.0, self._profile.jitter) if self._profile.jitter else 0.0
-        return self._profile.latency + jitter
+        delay = self._profile.latency + jitter
+        if self._fault is not None:
+            delay += self._fault.sample_extra_delay(self._fault_rng)
+        return delay
 
     def sample_drop(self) -> bool:
         """Decide whether this hop drops the packet."""
-        if self._profile.loss == 0.0:
-            return False
-        return self._rng.random() < self._profile.loss
+        if self._profile.loss and self._rng.random() < self._profile.loss:
+            return True
+        if self._fault is not None:
+            return self._fault.sample_drop(self._fault_rng)
+        return False
+
+    def sample_duplicate(self) -> Optional[float]:
+        """Gap behind the original for a duplicated copy, or ``None``."""
+        if self._fault is None:
+            return None
+        return self._fault.sample_duplicate(self._fault_rng)
 
     def account(self, size: int, dropped: bool) -> None:
         """Record traffic statistics for this hop."""
@@ -121,6 +269,12 @@ class Link:
         self._bytes_carried += size
         if dropped:
             self._packets_dropped += 1
+
+    def count_duplicate(self) -> None:
+        """Charge one duplicated copy to this link (called by the
+        :class:`~repro.netsim.internet.Internet` once the duplicated
+        trip survives every downstream hop)."""
+        self._packets_duplicated += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Link({self._a}--{self._b}, {self._profile.latency * 1000:.1f}ms"

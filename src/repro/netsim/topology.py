@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
-from repro.netsim.link import Link, LinkProfile
+from repro.netsim.link import FaultModel, Link, LinkProfile
 from repro.util.rng import RngRegistry
 
 
@@ -76,6 +76,23 @@ class Topology:
     def link_between(self, a: str, b: str) -> Optional[Link]:
         """The direct link between two nodes, if any."""
         return self._links.get(self._key(a, b))
+
+    def set_fault_model(self, a: str, b: str,
+                        model: Optional[FaultModel]) -> Link:
+        """Install (or clear, with ``None``) a fault model on a link.
+
+        The model's randomness comes from the registry's dedicated
+        ``("fault", a, b)`` stream, so fault decisions are reproducible
+        and never perturb the link's intrinsic latency/loss stream.
+        """
+        key = self._key(a, b)
+        link = self._links.get(key)
+        if link is None:
+            raise KeyError(f"no link {a}--{b}")
+        rng = (self._rng_registry.stream("fault", *key)
+               if model is not None and model.active else None)
+        link.install_fault(model, rng)
+        return link
 
     def remove_link(self, a: str, b: str) -> None:
         """Remove a link (e.g. to simulate a partition)."""

@@ -1,4 +1,9 @@
-"""SNTP-style sampling client: one query, one offset sample."""
+"""SNTP-style sampling client: one query, one offset sample.
+
+The timeout plumbing rides on :class:`repro.netsim.transport.Transport`;
+this module only knows NTP — the transaction is identified by the
+origin timestamp echoed by the server, not by a transport-drawn ID.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +13,13 @@ from typing import Callable, Optional
 from repro.netsim.address import Endpoint, IPAddress
 from repro.netsim.host import Host
 from repro.netsim.packet import Datagram
-from repro.netsim.simulator import Simulator, Timer
+from repro.netsim.simulator import Simulator
+from repro.netsim.transport import (
+    AttemptInfo,
+    ExchangeReport,
+    RetryPolicy,
+    Transport,
+)
 from repro.ntp.clock import SimClock
 from repro.ntp.packet import (
     MODE_SERVER,
@@ -51,7 +62,8 @@ class NtpClient:
         self._host = host
         self._simulator = simulator
         self._clock = clock
-        self._timeout = timeout
+        self._policy = RetryPolicy(timeout=timeout)
+        self._transport = Transport(host, simulator)
         self._queries = 0
         self._timeouts = 0
 
@@ -71,42 +83,38 @@ class NtpClient:
                callback: SampleCallback) -> None:
         """Measure offset/delay against one server; fires once."""
         address = IPAddress(server)
+        destination = Endpoint(address, NTP_PORT)
         self._queries += 1
-        state = {"done": False}
-        socket = self._host.ephemeral_socket()
-        t1 = self._clock.now()
-        request = NtpPacket(origin=t1)
+        state = {"t1": 0.0}
 
-        def finish(sample: NtpSample) -> None:
-            if state["done"]:
-                return
-            state["done"] = True
-            timer.cancel()
-            socket.close()
-            callback(sample)
+        def build_request(attempt: AttemptInfo) -> bytes:
+            state["t1"] = self._clock.now()
+            return NtpPacket(origin=state["t1"]).encode()
 
-        def on_datagram(datagram: Datagram) -> None:
-            if state["done"]:
-                return
+        def classify(datagram: Datagram,
+                     attempt: AttemptInfo) -> Optional[NtpSample]:
             try:
                 reply = NtpPacket.decode(datagram.payload)
             except NtpFormatError:
-                return
-            if reply.mode != MODE_SERVER or reply.origin != t1:
-                return  # not our transaction
-            if datagram.src != Endpoint(address, NTP_PORT):
-                return
+                return None
+            if reply.mode != MODE_SERVER or reply.origin != state["t1"]:
+                return None  # not our transaction
+            if datagram.src != destination:
+                return None
             t4 = self._clock.now()
-            offset, delay = offset_and_delay(t1, reply.receive,
+            offset, delay = offset_and_delay(state["t1"], reply.receive,
                                              reply.transmit, t4)
-            finish(NtpSample(server=address, offset=offset, delay=delay))
+            return NtpSample(server=address, offset=offset, delay=delay)
 
-        def on_timeout() -> None:
-            self._timeouts += 1
-            finish(NtpSample(server=address, offset=None, delay=None,
-                             timed_out=True))
+        def on_complete(report: ExchangeReport) -> None:
+            if report.timed_out:
+                self._timeouts += 1
+                callback(NtpSample(server=address, offset=None, delay=None,
+                                   timed_out=True))
+                return
+            callback(report.value)
 
-        socket.on_datagram(on_datagram)
-        timer = Timer(self._simulator, on_timeout, label="ntp-sample")
-        timer.start(self._timeout)
-        socket.sendto(Endpoint(address, NTP_PORT), request.encode())
+        self._transport.exchange(
+            destination, build_request=build_request, classify=classify,
+            on_complete=on_complete, policy=self._policy,
+            label="ntp-sample", want_txid=False)

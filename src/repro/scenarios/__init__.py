@@ -10,6 +10,7 @@ experiment code stays declarative.
 from repro.scenarios.builders import PoolScenario, build_pool_scenario
 from repro.scenarios.workload import PoolDirectory
 from repro.scenarios.presets import (
+    degraded_network_scenario,
     figure1_scenario,
     large_scale_scenario,
     lossy_network_scenario,
@@ -19,6 +20,7 @@ __all__ = [
     "PoolScenario",
     "build_pool_scenario",
     "PoolDirectory",
+    "degraded_network_scenario",
     "figure1_scenario",
     "large_scale_scenario",
     "lossy_network_scenario",

@@ -37,7 +37,7 @@ from repro.doh.tls import CertificateAuthority, TrustStore
 from repro.netsim.address import IPAddress, ip
 from repro.netsim.host import Host
 from repro.netsim.internet import Internet
-from repro.netsim.link import LinkProfile
+from repro.netsim.link import FaultModel, LinkProfile
 from repro.netsim.simulator import Simulator
 from repro.netsim.topology import Topology
 from repro.scenarios.workload import PoolDirectory
@@ -73,6 +73,7 @@ class PoolScenario:
     pool_zone: Zone = None
     dns_servers: Dict[str, AuthoritativeServer] = field(default_factory=dict)
     root_hints: List = field(default_factory=list)
+    access_fault: Optional[FaultModel] = None  # installed on the client edge
 
     @property
     def provider_endpoints(self) -> List:
@@ -143,8 +144,21 @@ def build_pool_scenario(
     resolver_config: Optional[ResolverConfig] = None,
     access_link: Optional[LinkProfile] = None,
     pool_ttl: int = 60,
+    loss_rate: float = 0.0,
+    jitter_s: float = 0.0,
+    reorder_window: float = 0.0,
+    duplicate_rate: float = 0.0,
+    fault_model: Optional[FaultModel] = None,
 ) -> PoolScenario:
-    """Build the Figure 1 world. See module docstring for contents."""
+    """Build the Figure 1 world. See module docstring for contents.
+
+    The ``loss_rate`` / ``jitter_s`` / ``reorder_window`` /
+    ``duplicate_rate`` knobs (or a whole ``fault_model``, composed with
+    them) degrade the *client access link* — the hop every DoH exchange
+    crosses — and exist primarily as campaign grid axes for the paper's
+    availability experiments (E6). A fault-free build draws nothing
+    from the fault streams, so default scenarios stay bit-identical.
+    """
     if num_providers < 1:
         raise ValueError("need at least one provider")
     registry = RngRegistry(seed)
@@ -157,6 +171,15 @@ def build_pool_scenario(
     topology.add_link("dns-root-edge", "us-east", LinkProfile.metro())
     topology.add_link("dns-org-edge", "eu-west", LinkProfile.metro())
     topology.add_link("ntpns-edge", "us-west", LinkProfile.metro())
+    access_fault = FaultModel(loss_rate=loss_rate, jitter_s=jitter_s,
+                              reorder_window=reorder_window,
+                              duplicate_rate=duplicate_rate)
+    if fault_model is not None:
+        access_fault = access_fault.compose(fault_model)
+    if access_fault.active:
+        topology.set_fault_model("client-edge", "eu-central", access_fault)
+    else:
+        access_fault = None
     internet = Internet(simulator, topology, registry)
 
     # --- DNS tree -----------------------------------------------------
@@ -237,4 +260,5 @@ def build_pool_scenario(
         client=client, providers=providers, authority=authority,
         trust_store=trust_store, directory=directory, pool_zone=pool_zone,
         dns_servers=dns_servers, root_hints=root_hints,
+        access_fault=access_fault,
     )

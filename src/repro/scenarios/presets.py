@@ -32,6 +32,24 @@ def lossy_network_scenario(loss: float, seed: int = 1) -> PoolScenario:
     )
 
 
+def degraded_network_scenario(loss_rate: float = 0.0, jitter_s: float = 0.0,
+                              reorder_window: float = 0.0,
+                              duplicate_rate: float = 0.0,
+                              seed: int = 1) -> PoolScenario:
+    """Figure 1 with a :class:`repro.netsim.link.FaultModel` on the
+    client access link. The fault knobs are the campaign grid axes the
+    availability experiments sweep (E6's ``loss_rate``, plus jitter,
+    reordering and duplication); resolvers keep the patient retry
+    configuration of :func:`lossy_network_scenario`."""
+    return build_pool_scenario(
+        seed=seed, num_providers=3, pool_size=20,
+        loss_rate=loss_rate, jitter_s=jitter_s,
+        reorder_window=reorder_window, duplicate_rate=duplicate_rate,
+        resolver_config=ResolverConfig(query_timeout=1.0,
+                                       max_retries_per_server=3),
+    )
+
+
 # ----------------------------------------------------------------------
 # Registry (used by the campaign engine to reference presets by name,
 # so grid parameters stay plain picklable strings).
@@ -41,6 +59,7 @@ PRESETS = {
     "figure1": figure1_scenario,
     "large-scale": large_scale_scenario,
     "lossy-network": lossy_network_scenario,
+    "degraded-network": degraded_network_scenario,
     "custom": build_pool_scenario,
 }
 
