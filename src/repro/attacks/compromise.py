@@ -121,8 +121,11 @@ def compromise_provider(deployment: ProviderDeployment,
     experiment accounting).
     """
     malicious = _MaliciousResolver(deployment.doh_server.resolver, config)
-    # The DoH front-end holds the only reference used for lookups.
+    # Hook every interface the provider serves: the DoH front-end's
+    # resolver reference and the recursion engine behind the provider's
+    # plain-DNS port (population-scale clients query the latter).
     deployment.doh_server._resolver = malicious  # noqa: SLF001 - attack model
+    deployment.resolver.serve_engine = malicious
     return malicious
 
 

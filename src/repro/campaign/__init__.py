@@ -52,6 +52,7 @@ from repro.campaign.trials import (
     offpath_spray_trial,
     overhead_trial,
     pool_attack_trial,
+    population_trial,
     timeshift_trial,
 )
 
@@ -74,6 +75,7 @@ __all__ = [
     "point_key",
     "pool_attack_trial",
     "pool_fraction_trial",
+    "population_trial",
     "timeshift_trial",
     "trial_seed",
 ]

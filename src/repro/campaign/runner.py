@@ -26,7 +26,10 @@ Long sweeps get two conveniences:
   configuration). Re-running an identical campaign is a no-op: the
   records are rehydrated from the cache (``mode == "cached"``, hit
   logged on the ``repro.campaign`` logger) and any drift in the code or
-  the grid changes the hash and forces recomputation.
+  the grid changes the hash and forces recomputation. The directory is
+  bounded: after every write an LRU sweep (mtime order; hits refresh a
+  file's mtime) evicts the least-recently-used entries above
+  ``cache_max_bytes``, logging each eviction.
 """
 
 from __future__ import annotations
@@ -136,15 +139,24 @@ class CampaignRunner:
     :param cache_dir: directory for content-hashed result caching; when
         set, rerunning an identical campaign loads its records instead
         of recomputing them.
+    :param cache_max_bytes: size cap on ``cache_dir``. After each cache
+        write, least-recently-used entries (by mtime; cache hits touch
+        their file) are evicted until the directory fits. ``None``
+        disables the sweep.
     :param on_progress: default progress callback (see
         :class:`CampaignProgress`); :meth:`run` can override per run.
     """
+
+    #: Default cache size cap: plenty for every stock benchmark's
+    #: records while keeping an unattended results/.cache bounded.
+    DEFAULT_CACHE_MAX_BYTES = 64 * 1024 * 1024
 
     def __init__(self, trial_fn: TrialFn, *, trials_per_point: int = 1,
                  base_seed: int = 0, workers: Optional[int] = None,
                  chunk_size: Optional[int] = None,
                  confidence: float = 0.95, name: str = "campaign",
                  cache_dir: "Optional[Path | str]" = None,
+                 cache_max_bytes: Optional[int] = DEFAULT_CACHE_MAX_BYTES,
                  on_progress: Optional[ProgressCallback] = None) -> None:
         if trials_per_point < 1:
             raise ValueError("trials_per_point must be >= 1")
@@ -152,6 +164,8 @@ class CampaignRunner:
             raise ValueError("workers must be >= 0")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if cache_max_bytes is not None and cache_max_bytes < 1:
+            raise ValueError("cache_max_bytes must be >= 1 (or None)")
         self._trial_fn = trial_fn
         self._trials_per_point = trials_per_point
         self._base_seed = int(base_seed)
@@ -160,6 +174,7 @@ class CampaignRunner:
         self._confidence = confidence
         self._name = name
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._cache_max_bytes = cache_max_bytes
         self._on_progress = on_progress
 
     # ------------------------------------------------------------------
@@ -198,6 +213,7 @@ class CampaignRunner:
         if cached is not None:
             logger.info("campaign %r: cache hit (%d records at %s); "
                         "skipping execution", name, len(cached), cache_path)
+            self._touch_cache(cache_path)
             if progress is not None:
                 progress(CampaignProgress(name=name, completed=len(specs),
                                           total=len(specs), elapsed_s=0.0,
@@ -333,6 +349,51 @@ class CampaignRunner:
             cache_path.write_text(json.dumps(payload, sort_keys=True))
         except OSError:  # caching is best-effort, never fatal
             logger.warning("campaign cache write failed at %s", cache_path)
+            return
+        self._sweep_cache()
+
+    @staticmethod
+    def _touch_cache(cache_path: Optional[Path]) -> None:
+        """Refresh a hit entry's mtime so the LRU sweep keeps it."""
+        if cache_path is None:
+            return
+        try:
+            os.utime(cache_path, None)
+        except OSError:
+            pass
+
+    def _sweep_cache(self) -> None:
+        """Evict least-recently-used cache files above the size cap.
+
+        mtime is the recency signal: writes create files and hits touch
+        them, so eviction order tracks actual use. Ties break on name
+        for determinism. Best-effort like the rest of the cache — a
+        vanished file (concurrent campaign) is simply skipped.
+        """
+        if self._cache_dir is None or self._cache_max_bytes is None:
+            return
+        entries = []
+        for path in self._cache_dir.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path.name, stat.st_size, path))
+        total = sum(size for _, _, size, _ in entries)
+        if total <= self._cache_max_bytes:
+            return
+        for _, _, size, path in sorted(entries):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            logger.info(
+                "campaign cache: evicted %s (%d bytes, LRU sweep; "
+                "%d bytes still cached, cap %d)",
+                path, size, total, self._cache_max_bytes)
+            if total <= self._cache_max_bytes:
+                return
 
     def _resolve_workers(self, spec_count: int) -> int:
         workers = self._workers

@@ -41,7 +41,11 @@ from repro.ntp.chronos import ChronosClient, ChronosConfig
 from repro.ntp.client import NtpClient
 from repro.ntp.clock import SimClock
 from repro.ntp.pool import deploy_ntp_fleet
-from repro.scenarios.builders import PoolScenario, build_pool_scenario
+from repro.scenarios.builders import (
+    PoolScenario,
+    build_pool_scenario,
+    build_population_scenario,
+)
 from repro.scenarios.presets import get_preset
 
 
@@ -177,6 +181,7 @@ def pool_attack_trial(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
     return {
         "ok": 1.0 if pool.ok else 0.0,
         "degraded": 1.0 if pool.degraded else 0.0,
+        "elapsed": pool.elapsed,
         "pool_size": float(len(pool.addresses)),
         "truncate_length": float(pool.truncate_length),
         "attacker_share": _share(pool.addresses, forged),
@@ -185,6 +190,62 @@ def pool_attack_trial(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
         "voted_size": float(len(voted)),
         "voted_attacker_share": _share(voted, forged),
         "benign_fraction": benign_fraction,
+    }
+
+
+# ----------------------------------------------------------------------
+# P1 — population-scale fleets measured through the telemetry registry.
+# ----------------------------------------------------------------------
+
+# ``seed`` is campaign-derived and ``registry`` must stay per-trial (a
+# shared one would fold metrics across trials and break the
+# serial==parallel bit-identity), so neither is a valid grid axis.
+_POPULATION_KEYS = frozenset(
+    inspect.signature(build_population_scenario).parameters) - {"seed",
+                                                                "registry"}
+
+
+def population_trial(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    """One whole client population in one world.
+
+    Every parameter is a keyword of
+    :func:`repro.scenarios.builders.build_population_scenario`
+    (``num_clients``, ``rounds``, ``corrupted``, ``behavior``,
+    ``churn_rate``, ``arrival``, fault axes, ...), so campaign grids
+    sweep the population surface directly. Metrics are read from the
+    scenario's private telemetry registry after the run, which is what
+    keeps serial and sharded campaign executions bit-identical: each
+    trial owns its registry and folds nothing across trials.
+
+    Returned metrics: ``victim_fraction`` (of rounds that completed an
+    NTP sync, how many synced against an attacker server),
+    ``availability``, ``shifted_fraction``, ``sync_fraction``, clock
+    error stats, churn counts, and network/transport totals from the
+    registry (datagrams, bytes, stub timeouts).
+    """
+    unknown = set(params) - _POPULATION_KEYS
+    if unknown:
+        raise ValueError(
+            f"unrecognised trial parameters: {sorted(unknown)} "
+            f"(not accepted by build_population_scenario)")
+    scenario = build_population_scenario(seed=seed, **dict(params))
+    outcomes = scenario.run()
+    registry = scenario.telemetry
+    return {
+        "victim_fraction": outcomes.victim_fraction,
+        "availability": outcomes.availability,
+        "shifted_fraction": outcomes.shifted_fraction,
+        "sync_fraction": (outcomes.syncs / outcomes.rounds_ok
+                          if outcomes.rounds_ok else 0.0),
+        "mean_abs_clock_error": outcomes.mean_abs_clock_error,
+        "p90_abs_clock_error": outcomes.p90_abs_clock_error,
+        "rounds": float(outcomes.rounds),
+        "rounds_ok": float(outcomes.rounds_ok),
+        "churn_leaves": float(outcomes.churn_leaves),
+        "churn_joins": float(outcomes.churn_joins),
+        "datagrams": registry.value("net.datagrams_sent"),
+        "bytes": registry.value("net.bytes_sent"),
+        "stub_timeouts": registry.value("dns.stub.timeouts"),
     }
 
 

@@ -70,6 +70,42 @@ def combine_answer_lists(
     return pool, truncate_length, contributions
 
 
+def combine_with_quorum(
+    answer_lists: Dict[str, Optional[Sequence[IPAddress]]],
+    min_answers: Optional[int] = None,
+    policy: TruncationPolicy = TruncationPolicy.SHORTEST,
+) -> Optional[List[IPAddress]]:
+    """Algorithm 1's availability gate plus truncate-and-combine.
+
+    The single authoritative statement of the strict-vs-quorum
+    semantics :class:`SecurePoolGenerator` implements (and E6
+    measures), shared with the population layer so fleet clients can
+    never drift from the single-client trials:
+
+    * ``answer_lists`` maps resolver name → its answer, with ``None``
+      for a resolver that failed to answer at all;
+    * strict (``min_answers=None``): every resolver must have answered,
+      and one empty answer truncates the pool to nothing — §II fn.2's
+      documented DoS;
+    * quorum: zero-record answers are discarded like failures
+      (``ignore_empty_answers`` pairing) and at least ``min_answers``
+      usable answers are required.
+
+    Returns the combined pool, or ``None`` when no usable pool exists.
+    """
+    usable = {
+        name: addresses for name, addresses in answer_lists.items()
+        if addresses is not None and (min_answers is None or addresses)
+    }
+    required = len(answer_lists) if min_answers is None else min_answers
+    if len(usable) < required:
+        return None
+    pool, truncate_length, _ = combine_answer_lists(usable, policy)
+    if truncate_length == 0:
+        return None
+    return pool
+
+
 # ----------------------------------------------------------------------
 # Network-facing generator.
 # ----------------------------------------------------------------------
@@ -202,6 +238,9 @@ class SecurePoolGenerator:
 
     def _combine(self, answers: List[ResolverAnswer],
                  started_at: float) -> GeneratedPool:
+        # The gate below is the rich-metadata (contributions, failed
+        # resolvers, dual-stack) form of ``combine_with_quorum``; any
+        # change to the strict/quorum semantics must land in both.
         def usable(answer: ResolverAnswer) -> bool:
             if not answer.ok:
                 return False

@@ -30,8 +30,35 @@ from repro.netsim.transport import (
     RetryPolicy,
     Transport,
 )
+from repro.telemetry.registry import current_registry
 
 DNS_PORT = 53
+
+
+def validate_reply(datagram: Datagram, txid: int, server: Endpoint,
+                   qname: Name, qtype: RRType) -> Optional[Message]:
+    """The DNS reply acceptance predicate both client stacks share.
+
+    Returns the decoded response only when it parses, is a response,
+    echoes the transaction ID and the single expected question, and
+    arrives from the queried server's endpoint — exactly the checks a
+    real implementation performs, no more. This is the security surface
+    the paper's off-path attacker races; keeping the stub resolver and
+    the recursive resolver on one copy keeps them in lockstep. Callers
+    count their own rejection statistics.
+    """
+    try:
+        response = Message.decode(datagram.payload)
+    except WireFormatError:
+        return None
+    if (not response.is_response
+            or response.txid != txid
+            or datagram.src != server
+            or len(response.questions) != 1
+            or response.questions[0].qname != qname
+            or response.questions[0].qtype != qtype):
+        return None
+    return response
 
 
 @dataclass
@@ -90,6 +117,7 @@ class StubResolver:
         self._transport = Transport(host, simulator,
                                     rng=rng or random.Random(0))
         self._stats = StubStats()
+        self._telemetry = current_registry()
 
     @property
     def stats(self) -> StubStats:
@@ -112,30 +140,35 @@ class StubResolver:
 
         def classify(datagram: Datagram,
                      attempt: AttemptInfo) -> Optional[Message]:
-            try:
-                response = Message.decode(datagram.payload)
-            except WireFormatError:
-                self._stats.spoofs_rejected += 1
-                return None
-            if (not response.is_response
-                    or response.txid != attempt.txid
-                    or datagram.src != self._server
-                    or len(response.questions) != 1
-                    or response.questions[0].qname != qname
-                    or response.questions[0].qtype != qtype):
+            response = validate_reply(datagram, attempt.txid, self._server,
+                                      qname, qtype)
+            if response is None:
                 self._stats.spoofs_rejected += 1
                 return None
             self._stats.responses += 1
             if datagram.spoofed:
                 self._stats.poisoned_acceptances += 1
+                if self._telemetry is not None:
+                    self._telemetry.counter("dns.stub.poisoned").inc()
             return response
 
         def on_complete(report: ExchangeReport) -> None:
+            if self._telemetry is not None:
+                # Per attempt, mirroring StubStats.queries.
+                self._telemetry.counter("dns.stub.queries").inc(
+                    report.attempts)
+                if report.rejected_replies:
+                    self._telemetry.counter("dns.stub.spoofs_rejected").inc(
+                        report.rejected_replies)
             if report.timed_out:
                 self._stats.timeouts += 1
+                if self._telemetry is not None:
+                    self._telemetry.counter("dns.stub.timeouts").inc()
                 callback(StubOutcome(response=None, timed_out=True,
                                      attempts=report.attempts))
                 return
+            if self._telemetry is not None:
+                self._telemetry.counter("dns.stub.responses").inc()
             callback(StubOutcome(response=report.value,
                                  attempts=report.attempts))
 

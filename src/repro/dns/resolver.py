@@ -15,6 +15,14 @@ surface is modelled faithfully:
 Resolution is iterative (root hints → referrals → answer) with CNAME
 chasing, per-server retry, negative caching, and counters for every
 security-relevant event (spoofed responses rejected, etc.).
+
+Upstream timeout/retry supervision rides on
+:class:`repro.netsim.transport.Transport`: one
+:meth:`~repro.netsim.transport.Transport.exchange` per queried server
+covers that server's whole retry budget (fresh ephemeral socket and
+TXID per attempt, exponential backoff per
+:attr:`ResolverConfig.retry_backoff`); a server answering with a
+SERVFAIL-class rcode advances straight to the next server.
 """
 
 from __future__ import annotations
@@ -25,7 +33,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.dns.cache import DnsCache
-from repro.dns.message import Message, Question, ResourceRecord, make_query, make_response
+from repro.dns.client import validate_reply
+from repro.dns.message import Message, ResourceRecord, make_query, make_response
 from repro.dns.name import Name
 from repro.dns.rcode import RCode
 from repro.dns.rdata import CNAMERdata, NSRdata
@@ -34,7 +43,14 @@ from repro.dns.wire import WireFormatError
 from repro.netsim.address import Endpoint, IPAddress
 from repro.netsim.host import Host
 from repro.netsim.packet import Datagram
-from repro.netsim.simulator import Simulator, Timer
+from repro.netsim.simulator import Simulator
+from repro.netsim.transport import (
+    AttemptInfo,
+    DatagramExchange,
+    ExchangeReport,
+    RetryPolicy,
+    Transport,
+)
 
 DNS_PORT = 53
 
@@ -46,10 +62,17 @@ class ResolverConfig:
     ``txid_bits`` exists so attack experiments can shrink the TXID space
     (the real space is 16 bits; classic pre-randomisation resolvers
     effectively had far less entropy).
+
+    ``retry_backoff`` multiplies the per-attempt timeout on every retry
+    against the same server (capped by ``retry_max_timeout``), so a
+    patient configuration waits longer each time instead of hammering a
+    congested path at a fixed cadence.
     """
 
     query_timeout: float = 2.0
     max_retries_per_server: int = 1
+    retry_backoff: float = 1.5
+    retry_max_timeout: Optional[float] = 8.0
     max_referral_depth: int = 16
     max_cname_chain: int = 8
     max_ns_resolution_depth: int = 4
@@ -62,6 +85,18 @@ class ResolverConfig:
     def __post_init__(self) -> None:
         if not 1 <= self.txid_bits <= 16:
             raise ValueError("txid_bits must be in [1, 16]")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1.0")
+
+    def retry_policy(self) -> RetryPolicy:
+        """The transport schedule for one server's retry budget."""
+        max_timeout = self.retry_max_timeout
+        if max_timeout is not None and max_timeout < self.query_timeout:
+            max_timeout = self.query_timeout
+        return RetryPolicy(timeout=self.query_timeout,
+                           retries=self.max_retries_per_server,
+                           backoff=self.retry_backoff,
+                           max_timeout=max_timeout)
 
 
 class ResolveStatus(enum.Enum):
@@ -134,8 +169,14 @@ class RecursiveResolver:
                                max_entries=self._config.cache_max_entries)
         self._stats = ResolverStats()
         self._sequential_txid = 0
+        self._transport = Transport(host, simulator)
+        self._retry_policy = self._config.retry_policy()
         self._serve_socket = host.bind(self._config.serve_port,
                                        self._handle_client_query)
+        # The engine answering plain-DNS clients on :53; attack code
+        # swaps this (like the DoH front-end's resolver reference) so a
+        # compromised provider lies on every interface it serves.
+        self.serve_engine: "RecursiveResolver" = self
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -183,7 +224,7 @@ class RecursiveResolver:
             response = self.outcome_to_response(query, outcome)
             self._serve_socket.reply(datagram, response.encode())
 
-        self.resolve(question.qname, question.qtype, respond)
+        self.serve_engine.resolve(question.qname, question.qtype, respond)
 
     @staticmethod
     def outcome_to_response(query: Message, outcome: ResolveOutcome) -> Message:
@@ -240,14 +281,11 @@ class _Resolution:
         self._zone = Name.root()
         self._servers: List[Tuple[Name, IPAddress]] = list(resolver._root_hints)
         self._server_index = 0
-        self._retries_left = self._config.max_retries_per_server
         self._referrals = 0
         self._cname_chain = cname_depth
         self._upstream_queries = 0
         self._finished = False
-        self._socket = None
-        self._timer: Optional[Timer] = None
-        self._expected: Optional[Tuple[int, Endpoint, Question]] = None
+        self._exchange: Optional[DatagramExchange] = None
 
     # ------------------------------------------------------------------
     # Driving.
@@ -288,63 +326,61 @@ class _Resolution:
                                         upstream_queries=self._upstream_queries))
             return
         _, server_address = self._servers[self._server_index]
-        txid = self._resolver._next_txid()
-        query = make_query(txid, self._qname, self._qtype,
-                           recursion_desired=False)
-        self._close_socket()
-        self._socket = self._resolver._host.ephemeral_socket(self._on_datagram)
         server_endpoint = Endpoint(server_address, DNS_PORT)
-        self._expected = (txid, server_endpoint, query.question)
-        self._upstream_queries += 1
-        self._resolver._stats.upstream_queries += 1
-        self._socket.sendto(server_endpoint, query.encode())
-        self._timer = Timer(self._sim, self._on_timeout, label="dns-query")
-        self._timer.start(self._config.query_timeout)
+        # The transport owns this server's whole retry budget: fresh
+        # ephemeral socket and TXID per attempt, backoff per the
+        # resolver's policy. TXIDs come from the resolver's own stream
+        # (sequential-TXID weak stacks included), so the exchange draws
+        # them in build_request rather than asking the transport.
+        expected: Dict[str, object] = {}
 
-    def _advance_server(self) -> None:
-        if self._retries_left > 0:
-            self._retries_left -= 1
-        else:
-            self._server_index += 1
-            self._retries_left = self._config.max_retries_per_server
-        self._query_current_server()
+        def build_request(attempt: AttemptInfo) -> bytes:
+            txid = self._resolver._next_txid()
+            query = make_query(txid, self._qname, self._qtype,
+                               recursion_desired=False)
+            expected["txid"] = txid
+            self._upstream_queries += 1
+            self._resolver._stats.upstream_queries += 1
+            return query.encode()
 
-    def _on_timeout(self) -> None:
-        if self._finished:
-            return
-        self._resolver._stats.timeouts += 1
-        self._advance_server()
-
-    # ------------------------------------------------------------------
-    # Response validation — the off-path attack surface.
-    # ------------------------------------------------------------------
-
-    def _on_datagram(self, datagram: Datagram) -> None:
-        if self._finished or self._expected is None:
-            return
-        txid, server_endpoint, question = self._expected
-        try:
-            response = Message.decode(datagram.payload)
-        except WireFormatError:
-            self._resolver._stats.spoofs_rejected += 1
-            return
-        if (not response.is_response
-                or response.txid != txid
-                or datagram.src != server_endpoint
-                or len(response.questions) != 1
-                or response.questions[0].qname != question.qname
-                or response.questions[0].qtype != question.qtype):
+        def classify(datagram: Datagram,
+                     attempt: AttemptInfo) -> Optional[Message]:
             # Wrong TXID / source / question: a real resolver drops it
             # and keeps waiting — this is what the attacker races.
-            self._resolver._stats.spoofs_rejected += 1
-            return
-        self._resolver._stats.responses_accepted += 1
-        if datagram.spoofed:
-            # Accounting only: an off-path forgery beat the checks.
-            self._resolver._stats.poisoned_acceptances += 1
-        if self._timer is not None:
-            self._timer.cancel()
-        self._handle_response(response)
+            response = validate_reply(datagram, expected["txid"],
+                                      server_endpoint, self._qname,
+                                      self._qtype)
+            if response is None:
+                self._resolver._stats.spoofs_rejected += 1
+                return None
+            self._resolver._stats.responses_accepted += 1
+            if datagram.spoofed:
+                # Accounting only: an off-path forgery beat the checks.
+                self._resolver._stats.poisoned_acceptances += 1
+            return response
+
+        def on_complete(report: ExchangeReport) -> None:
+            self._exchange = None
+            if self._finished:
+                return
+            if report.timed_out:
+                # Every attempt in the budget timed out.
+                self._resolver._stats.timeouts += report.attempts
+                self._next_server()
+                return
+            # Attempts before the accepted one each burned a timeout.
+            self._resolver._stats.timeouts += report.attempts - 1
+            self._handle_response(report.value)
+
+        self._exchange = self._resolver._transport.exchange(
+            server_endpoint, build_request=build_request, classify=classify,
+            on_complete=on_complete, policy=self._resolver._retry_policy,
+            label="resolver-query", want_txid=False)
+
+    def _next_server(self) -> None:
+        """Advance to the next candidate server with a fresh budget."""
+        self._server_index += 1
+        self._query_current_server()
 
     # ------------------------------------------------------------------
     # Response classification.
@@ -353,7 +389,9 @@ class _Resolution:
     def _handle_response(self, response: Message) -> None:
         if response.rcode in (RCode.SERVFAIL, RCode.REFUSED, RCode.NOTIMP,
                               RCode.FORMERR):
-            self._advance_server()
+            # A server that answers-but-fails will keep failing; spend
+            # the remaining patience on the next candidate instead.
+            self._next_server()
             return
 
         in_bailiwick = self._bailiwick_filter(response)
@@ -400,7 +438,6 @@ class _Resolution:
                 self._zone = zone
                 self._servers = servers
                 self._server_index = 0
-                self._retries_left = self._config.max_retries_per_server
                 self._query_current_server()
                 return
             if glueless and self._ns_depth < self._config.max_ns_resolution_depth:
@@ -495,7 +532,6 @@ class _Resolution:
             self._zone = zone
             self._servers = servers
             self._server_index = 0
-            self._retries_left = self._config.max_retries_per_server
             self._query_current_server()
 
         _Resolution(self._resolver, ns_name, RRType.A, continue_with,
@@ -540,12 +576,8 @@ class _Resolution:
         if self._finished:
             return
         self._finished = True
-        if self._timer is not None:
-            self._timer.cancel()
-        self._close_socket()
+        if self._exchange is not None:
+            # Abandon any in-flight exchange (releases its socket).
+            self._exchange.pending.cancel()
+            self._exchange = None
         self._callback(outcome)
-
-    def _close_socket(self) -> None:
-        if self._socket is not None:
-            self._socket.close()
-            self._socket = None

@@ -36,6 +36,7 @@ from repro.netsim.transport import (
     RetryPolicy,
     Transport,
 )
+from repro.telemetry.registry import current_registry
 
 
 class DoHStatus(enum.Enum):
@@ -106,6 +107,7 @@ class DoHClient:
         self._policy = RetryPolicy(timeout=timeout, retries=retries)
         self._transport = Transport(host, simulator, rng=self._rng)
         self._stats = DoHClientStats()
+        self._telemetry = current_registry()
 
     @property
     def stats(self) -> DoHClientStats:
@@ -236,5 +238,12 @@ class _DoHQuery:
             self._client._stats.timeouts += 1
             outcome = DoHQueryOutcome(DoHStatus.TIMEOUT)
         outcome.latency = report.elapsed
+        telemetry = self._client._telemetry
+        if telemetry is not None:
+            telemetry.counter("doh.queries").inc()
+            telemetry.counter("doh.outcomes",
+                              status=outcome.status.value).inc()
+            if outcome.ok:
+                telemetry.histogram("doh.latency").observe(outcome.latency)
         self._connection.close()
         self._callback(outcome)

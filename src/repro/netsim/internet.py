@@ -27,6 +27,7 @@ from repro.netsim.link import Link
 from repro.netsim.packet import Datagram
 from repro.netsim.simulator import Simulator
 from repro.netsim.topology import RoutingError, Topology
+from repro.telemetry.registry import current_registry
 from repro.util.rng import RngRegistry
 
 
@@ -119,6 +120,16 @@ class Internet:
         self._datagrams_delivered = 0
         self._datagrams_duplicated = 0
         self._bytes_sent = 0
+        # Telemetry instruments are resolved once here; with no
+        # registry installed the delivery path stays untouched.
+        telemetry = current_registry()
+        self._telemetry = telemetry
+        if telemetry is not None:
+            self._t_sent = telemetry.counter("net.datagrams_sent")
+            self._t_bytes = telemetry.counter("net.bytes_sent")
+            self._t_delivered = telemetry.counter("net.datagrams_delivered")
+            self._t_dropped = telemetry.counter("net.datagrams_dropped")
+            self._t_latency = telemetry.histogram("net.delivery_latency")
 
     # ------------------------------------------------------------------
     # Wiring.
@@ -342,6 +353,18 @@ class Internet:
         if schedule and receipt.arrival_time is None:
             # Dropped in-flight: notify observers right away.
             pass
+        if self._telemetry is not None:
+            self._t_sent.inc()
+            self._t_bytes.inc(receipt.datagram.size)
+            if receipt.delivered:
+                self._t_delivered.inc()
+                latency = receipt.latency
+                if latency is not None:
+                    self._t_latency.observe(latency)
+            else:
+                self._t_dropped.inc()
+                self._telemetry.counter(
+                    "net.drops", reason=receipt.dropped_by or "unknown").inc()
         if self._keep_receipts:
             self._receipts.append(receipt)
         for observer in self._observers:

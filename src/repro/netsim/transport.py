@@ -38,6 +38,7 @@ from repro.netsim.address import Endpoint
 from repro.netsim.packet import Datagram
 from repro.netsim.simulator import Simulator, Timer
 from repro.netsim.socket import UdpSocket
+from repro.telemetry.registry import current_registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.host import Host
@@ -328,6 +329,9 @@ class Transport:
         self._txid_bits = txid_bits
         self._exchanges_started = 0
         self._exchanges_timed_out = 0
+        # Captured once at construction: with no registry installed the
+        # per-exchange publish below is skipped entirely.
+        self._telemetry = current_registry()
 
     @property
     def host(self) -> "Host":
@@ -365,7 +369,7 @@ class Transport:
         self._exchanges_started += 1
         exchange = DatagramExchange(
             self, destination, build_request, classify,
-            self._count_timeouts(on_complete), policy, label, want_txid)
+            self._finalize(on_complete, label), policy, label, want_txid)
         return exchange.start()
 
     def supervise(self, *, begin_attempt: Callable[[AttemptInfo], None],
@@ -379,12 +383,37 @@ class Transport:
         self._exchanges_started += 1
         pending = PendingExchange(
             self._simulator, policy, begin_attempt,
-            self._count_timeouts(on_complete), label=label)
+            self._finalize(on_complete, label), label=label)
         return pending.start()
 
-    def _count_timeouts(self, on_complete: CompletionCallback) -> CompletionCallback:
+    def _finalize(self, on_complete: CompletionCallback,
+                  label: str) -> CompletionCallback:
         def wrapped(report: ExchangeReport) -> None:
             if report.timed_out:
                 self._exchanges_timed_out += 1
+            if self._telemetry is not None:
+                self._publish(report, label)
             on_complete(report)
         return wrapped
+
+    def _publish(self, report: ExchangeReport, label: str) -> None:
+        """One completed exchange's metrics, keyed by exchange label."""
+        metrics = self._telemetry
+        metrics.counter("transport.exchanges", label=label).inc()
+        metrics.counter("transport.attempts", label=label).inc(report.attempts)
+        if report.timed_out:
+            metrics.counter("transport.timeouts", label=label).inc()
+        elif report.rtt is not None:
+            metrics.histogram("transport.rtt", label=label).observe(report.rtt)
+        if report.bytes_sent:
+            metrics.counter("transport.bytes_sent",
+                            label=label).inc(report.bytes_sent)
+        if report.bytes_received:
+            metrics.counter("transport.bytes_received",
+                            label=label).inc(report.bytes_received)
+        if report.rejected_replies:
+            metrics.counter("transport.rejected_replies",
+                            label=label).inc(report.rejected_replies)
+        if report.suppressed_replies:
+            metrics.counter("transport.suppressed_replies",
+                            label=label).inc(report.suppressed_replies)

@@ -21,6 +21,7 @@ from repro.netsim.transport import (
     Transport,
 )
 from repro.ntp.clock import SimClock
+from repro.telemetry.registry import current_registry
 from repro.ntp.packet import (
     MODE_SERVER,
     NTP_PORT,
@@ -66,6 +67,7 @@ class NtpClient:
         self._transport = Transport(host, simulator)
         self._queries = 0
         self._timeouts = 0
+        self._telemetry = current_registry()
 
     @property
     def clock(self) -> SimClock:
@@ -107,12 +109,24 @@ class NtpClient:
             return NtpSample(server=address, offset=offset, delay=delay)
 
         def on_complete(report: ExchangeReport) -> None:
+            telemetry = self._telemetry
+            if telemetry is not None:
+                telemetry.counter("ntp.samples").inc()
             if report.timed_out:
                 self._timeouts += 1
+                if telemetry is not None:
+                    telemetry.counter("ntp.timeouts").inc()
                 callback(NtpSample(server=address, offset=None, delay=None,
                                    timed_out=True))
                 return
-            callback(report.value)
+            sample: NtpSample = report.value
+            if telemetry is not None and sample.ok:
+                telemetry.histogram("ntp.delay").observe(sample.delay)
+                telemetry.histogram("ntp.offset_abs").observe(
+                    abs(sample.offset))
+                telemetry.timeseries("ntp.offset").record(
+                    self._simulator.now, sample.offset)
+            callback(sample)
 
         self._transport.exchange(
             destination, build_request=build_request, classify=classify,

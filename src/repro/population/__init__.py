@@ -1,0 +1,31 @@
+"""Population-scale client fleets over the simulated internet.
+
+Where :mod:`repro.ntp.pool` deploys the *server* side of pool.ntp.org,
+this package deploys the *client* side: thousands of resolve→sync
+clients with arrival processes and churn, measured through the
+streaming telemetry registry. See :mod:`repro.population.fleet`.
+"""
+
+from repro.population.arrivals import (
+    ArrivalProcess,
+    PeriodicArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+from repro.population.fleet import (
+    BatchDispatcher,
+    ClientFleet,
+    FleetConfig,
+    PopulationOutcomes,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BatchDispatcher",
+    "ClientFleet",
+    "FleetConfig",
+    "PeriodicArrivals",
+    "PoissonArrivals",
+    "PopulationOutcomes",
+    "make_arrivals",
+]

@@ -1,0 +1,96 @@
+"""Arrival processes driving when population clients act.
+
+Each client owns one :class:`ArrivalProcess` fed by a dedicated RNG
+stream, so the timing of one client's rounds never perturbs another's
+randomness — the property behind the fleet's churn-reproducibility
+guarantee.
+
+Two processes cover the paper's population models:
+
+* :class:`PeriodicArrivals` — fixed cadence with a deterministic phase
+  (clients spread uniformly over the first period, like a fleet of
+  cron-driven SNTP clients);
+* :class:`PoissonArrivals` — exponential interarrivals (memoryless
+  human-driven or event-driven query load).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+class ArrivalProcess:
+    """Yields successive gaps (seconds) between a client's rounds."""
+
+    def first_delay(self) -> float:
+        """Delay from fleet start to the client's first round."""
+        raise NotImplementedError
+
+    def next_delay(self) -> float:
+        """Delay from one round to the next."""
+        raise NotImplementedError
+
+
+class PeriodicArrivals(ArrivalProcess):
+    """Fixed-period rounds with a per-client phase.
+
+    :param period: seconds between rounds.
+    :param phase: offset of the first round inside ``[0, period)``;
+        spreading phases over the fleet avoids thundering herds.
+    """
+
+    def __init__(self, period: float, phase: float = 0.0) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        if not 0.0 <= phase < period:
+            raise ValueError(f"phase must be in [0, {period}), got {phase}")
+        self._period = period
+        self._phase = phase
+
+    def first_delay(self) -> float:
+        return self._phase
+
+    def next_delay(self) -> float:
+        return self._period
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Exponential interarrivals with the given mean.
+
+    :param mean_interval: mean seconds between rounds (rate = 1/mean).
+    :param rng: the client's dedicated arrival stream.
+    """
+
+    def __init__(self, mean_interval: float, rng: random.Random) -> None:
+        if mean_interval <= 0:
+            raise ValueError(
+                f"mean_interval must be > 0, got {mean_interval}")
+        self._mean = mean_interval
+        self._rng = rng
+
+    def first_delay(self) -> float:
+        # The stationary view: the first event is exponentially
+        # distributed too (PASTA), which also spreads the fleet out.
+        return self._rng.expovariate(1.0 / self._mean)
+
+    def next_delay(self) -> float:
+        return self._rng.expovariate(1.0 / self._mean)
+
+
+def make_arrivals(kind: str, mean_interval: float, index: int, count: int,
+                  rng: Optional[random.Random] = None) -> ArrivalProcess:
+    """Build client ``index``-of-``count``'s arrival process.
+
+    ``kind`` is ``"periodic"`` (phase ``index/count`` of the period) or
+    ``"poisson"`` (needs ``rng``).
+    """
+    if kind == "periodic":
+        return PeriodicArrivals(mean_interval,
+                                phase=mean_interval * index / max(count, 1))
+    if kind == "poisson":
+        if rng is None:
+            raise ValueError("poisson arrivals need an rng")
+        return PoissonArrivals(mean_interval, rng)
+    raise ValueError(f"unknown arrival kind {kind!r}; "
+                     f"known: ['periodic', 'poisson']")

@@ -1,0 +1,487 @@
+"""A population of NTP clients living inside one simulated internet.
+
+The paper's claims are population statements — what fraction of *all*
+clients ends up on attacker servers, how availability degrades under the
+empty-answer DoS — but the single-client trials re-derive those
+aggregates statistically across worlds. :class:`ClientFleet` instead
+stands up N client hosts in one world (mirroring the server-side
+:func:`repro.ntp.pool.deploy_ntp_fleet`) and measures them through the
+telemetry registry, so one simulation yields the population curve
+directly.
+
+Each client runs the paper's distributed-resolver lookup as rounds:
+query the pool domain through every configured provider, apply
+Algorithm 1's truncate-and-combine, pick one pool server, and discipline
+its clock with one SNTP exchange. Clients ride the plain-DNS stub
+(:class:`repro.dns.client.StubResolver`) rather than per-query TLS —
+the provider-corruption threat model lives behind the recursion engine
+(see ``RecursiveResolver.serve_engine``), so the DNS-layer outcome is
+identical to the DoH path while the hot loop stays cheap enough for
+thousands of clients.
+
+Scale machinery:
+
+* **Batched dispatch** — client wake-ups are coalesced into quantized
+  virtual-time bins (:class:`BatchDispatcher`); one simulator event
+  drains a whole bin, so the event heap carries O(bins), not O(clients),
+  round-trigger entries.
+* **Dedicated RNG streams** — every client draws arrivals, churn and
+  server selection from its own named streams of the scenario's
+  :class:`~repro.util.rng.RngRegistry`, so fleet behaviour is
+  reproducible from the seed alone and independent of dispatch order.
+* **Streaming telemetry** — nothing per-client is accumulated in Python
+  lists; every observation folds into the registry's counters,
+  histograms and virtual-time series, and population outcomes are read
+  back from there.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.pool import combine_with_quorum
+from repro.dns.client import StubOutcome, StubResolver
+from repro.dns.name import Name
+from repro.dns.rrtype import RRType
+from repro.netsim.address import IPAddress
+from repro.netsim.host import Host
+from repro.netsim.internet import Internet
+from repro.netsim.simulator import Simulator
+from repro.ntp.client import NtpClient, NtpSample
+from repro.ntp.clock import SimClock
+from repro.population.arrivals import ArrivalProcess, make_arrivals
+from repro.telemetry.registry import MetricsRegistry, use_registry
+from repro.util.rng import RngRegistry
+
+
+class BatchDispatcher:
+    """Coalesces many wake-ups into one simulator event per time bin.
+
+    ``call_after(delay, fn)`` rounds the target instant *up* to the next
+    multiple of ``quantum`` and appends ``fn`` to that bin; the first
+    callback into a bin schedules the single simulator event that later
+    drains it. Within a bin, callbacks run in registration order —
+    deterministic, and cache-friendly because a thousand clients waking
+    in the same 50 ms share one heap entry instead of a thousand.
+    """
+
+    def __init__(self, simulator: Simulator, quantum: float = 0.05) -> None:
+        if quantum <= 0:
+            raise ValueError(f"quantum must be > 0, got {quantum}")
+        self._simulator = simulator
+        self._quantum = quantum
+        self._bins: Dict[int, List[Callable[[], None]]] = {}
+        self._dispatched = 0
+        self._batches = 0
+
+    @property
+    def dispatched(self) -> int:
+        """Callbacks delivered so far."""
+        return self._dispatched
+
+    @property
+    def batches(self) -> int:
+        """Simulator events it took to deliver them."""
+        return self._batches
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        target = self._simulator.now + delay
+        index = math.ceil(target / self._quantum)
+        batch = self._bins.get(index)
+        if batch is None:
+            self._bins[index] = batch = []
+            when = max(index * self._quantum, self._simulator.now)
+            self._simulator.schedule_at(when, lambda: self._drain(index),
+                                        label="fleet-batch")
+        batch.append(fn)
+
+    def _drain(self, index: int) -> None:
+        self._batches += 1
+        for fn in self._bins.pop(index):
+            self._dispatched += 1
+            fn()
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape and behaviour of a client population.
+
+    :param num_clients: fleet size.
+    :param rounds: resolve→sync rounds each client performs.
+    :param mean_interval: seconds between one client's rounds (the
+        period for ``periodic`` arrivals, the mean for ``poisson``).
+    :param arrival: ``"periodic"`` or ``"poisson"``.
+    :param resolve_every: re-query DNS every k-th round; between
+        re-resolutions a client reuses its cached pool (real SNTP
+        clients do not hit DNS per packet).
+    :param churn_rate: per-round probability that a client leaves after
+        the round and rejoins ``rejoin_delay`` seconds later with its
+        pool cache dropped (forcing a re-resolve).
+    :param min_answers: ``None`` for the paper's strict all-must-answer
+        combination; an integer for the E6 quorum extension.
+    :param initial_clock_error: clients start with clock errors uniform
+        in ±this (seconds).
+    :param shift_threshold: |clock error| beyond which a synced client
+        counts as successfully time-shifted.
+    :param dns_timeout / dns_retries / ntp_timeout: client patience.
+    :param time_bin: width (virtual seconds) of the telemetry time bins
+        for the population's victim/availability curves.
+    :param dispatch_quantum: batching bin for round wake-ups.
+    """
+
+    #: Ceiling of the fleet's ``10.120+`` address scheme: 256 hosts per
+    #: /24 block times the 10.120-10.255 second-octet range.
+    MAX_CLIENTS = 136 * 256 * 200
+
+    num_clients: int = 50
+    rounds: int = 3
+    mean_interval: float = 16.0
+    arrival: str = "periodic"
+    resolve_every: int = 1
+    churn_rate: float = 0.0
+    rejoin_delay: float = 30.0
+    min_answers: Optional[int] = None
+    initial_clock_error: float = 0.050
+    shift_threshold: float = 1.0
+    dns_timeout: float = 3.0
+    dns_retries: int = 1
+    ntp_timeout: float = 1.0
+    time_bin: float = 10.0
+    dispatch_quantum: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_clients <= self.MAX_CLIENTS:
+            raise ValueError(
+                f"num_clients must be in [1, {self.MAX_CLIENTS}] "
+                f"(the fleet's 10.120.0.0+ address range)")
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if self.resolve_every < 1:
+            raise ValueError("resolve_every must be >= 1")
+        if not 0.0 <= self.churn_rate <= 1.0:
+            raise ValueError("churn_rate must be in [0, 1]")
+        if self.min_answers is not None and self.min_answers < 1:
+            raise ValueError("min_answers must be >= 1 (or None for the "
+                             "strict all-must-answer semantics)")
+
+
+@dataclass
+class PopulationOutcomes:
+    """Population-level results, read straight from the registry."""
+
+    clients: int
+    rounds: int                    # rounds attempted
+    rounds_ok: int                 # rounds that produced a pool
+    syncs: int                     # successful NTP exchanges
+    victim_rounds: int             # synced against an attacker server
+    availability: float            # rounds_ok / rounds
+    victim_fraction: float         # victim_rounds / syncs
+    shifted_fraction: float        # synced rounds ending |err| > threshold
+    mean_abs_clock_error: float
+    p90_abs_clock_error: float
+    churn_leaves: int
+    churn_joins: int
+    victim_curve: List[Tuple[float, float]] = field(default_factory=list)
+    availability_curve: List[Tuple[float, float]] = field(default_factory=list)
+
+
+class _FleetClient:
+    """One population member: host + clock + stubs + SNTP."""
+
+    __slots__ = ("fleet", "index", "host", "clock", "stubs", "ntp",
+                 "arrivals", "churn_rng", "select_rng", "pool",
+                 "rounds_done")
+
+    def __init__(self, fleet: "ClientFleet", index: int, host: Host,
+                 clock: SimClock, stubs: List[StubResolver],
+                 ntp: NtpClient, arrivals: ArrivalProcess,
+                 churn_rng, select_rng) -> None:
+        self.fleet = fleet
+        self.index = index
+        self.host = host
+        self.clock = clock
+        self.stubs = stubs
+        self.ntp = ntp
+        self.arrivals = arrivals
+        self.churn_rng = churn_rng
+        self.select_rng = select_rng
+        self.pool: Optional[List[IPAddress]] = None
+        self.rounds_done = 0
+
+
+class ClientFleet:
+    """N resolve→sync clients deployed on an existing topology.
+
+    :param internet: the scenario's packet fabric.
+    :param providers: resolver addresses clients query (all of them,
+        per Algorithm 1's distributed lookup).
+    :param pool_domain: the name whose answers form each client's pool.
+    :param rng: the scenario's seed universe; the fleet draws every
+        client stream from it under the ``("population", ...)`` names.
+    :param nodes: topology nodes clients attach to, round-robin
+        (default: every node). Scenario builders pass dedicated access
+        edges here so link faults reach the whole population.
+    :param config: fleet shape and behaviour.
+    :param attacker_addresses: addresses that count a synced client as
+        a victim (forged answers and attacker-enrolled pool members).
+    :param registry: telemetry sink; a private one is created when not
+        supplied. All client-side instruments (protocol counters
+        included) are captured against it.
+    """
+
+    def __init__(self, internet: Internet, providers: Sequence[IPAddress],
+                 pool_domain: "Name | str", rng: RngRegistry,
+                 nodes: Optional[Sequence[str]] = None,
+                 config: Optional[FleetConfig] = None,
+                 attacker_addresses: Sequence["IPAddress | str"] = (),
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if not providers:
+            raise ValueError("fleet needs at least one provider")
+        self._internet = internet
+        self._simulator = internet.simulator
+        self._providers = [IPAddress(p) for p in providers]
+        self._pool_domain = Name(pool_domain)
+        self._nodes = list(nodes) if nodes else internet.topology.nodes
+        self._rng = rng
+        self._config = config or FleetConfig()
+        self._attackers: Set[IPAddress] = {
+            IPAddress(a) for a in attacker_addresses}
+        self.registry = registry or MetricsRegistry()
+        self._dispatcher = BatchDispatcher(
+            self._simulator, self._config.dispatch_quantum)
+        self._started = False
+        self._build_instruments()
+        self._clients = [self._build_client(index)
+                         for index in range(self._config.num_clients)]
+        self._active_count = len(self._clients)
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    def _build_instruments(self) -> None:
+        reg = self.registry
+        bin_width = self._config.time_bin
+        self._m_rounds = reg.counter("pop.rounds")
+        self._m_rounds_ok = reg.counter("pop.rounds_ok")
+        self._m_rounds_failed = reg.counter("pop.rounds_failed")
+        self._m_victims = reg.counter("pop.victim_rounds")
+        self._m_syncs = reg.counter("pop.syncs")
+        self._m_sync_timeouts = reg.counter("pop.sync_timeouts")
+        self._m_leaves = reg.counter("pop.churn_leaves")
+        self._m_joins = reg.counter("pop.churn_joins")
+        self._m_active = reg.gauge("pop.active_clients")
+        self._ts_victim = reg.timeseries("pop.victim_fraction", bin_width)
+        self._ts_avail = reg.timeseries("pop.availability", bin_width)
+        self._ts_shifted = reg.timeseries("pop.shifted", bin_width)
+        self._h_abs_error = reg.histogram("pop.clock_abs_error")
+        # Pin the NTP client series' binning before any client exists.
+        reg.timeseries("ntp.offset", bin_width)
+
+    def _build_client(self, index: int) -> _FleetClient:
+        config = self._config
+        tag = str(index)
+        # 200 clients per /24, 256 blocks per second octet, octets
+        # 10.120-10.255: room for FleetConfig.MAX_CLIENTS addresses
+        # clear of every infrastructure range.
+        block, slot = divmod(index, 200)
+        address = IPAddress(
+            f"10.{120 + block // 256}.{block % 256}.{slot + 1}")
+        host = self._internet.add_host(Host(
+            f"pop-{index}", self._nodes[index % len(self._nodes)], [address],
+            rng=self._rng.stream("population", tag, "ports")))
+        client_rng = self._rng.stream("population", tag, "client")
+        clock = SimClock(
+            lambda: self._simulator.now,
+            offset=client_rng.uniform(-config.initial_clock_error,
+                                      config.initial_clock_error))
+        # Protocol objects capture the fleet's registry, so transport
+        # and stub/NTP counters land next to the population metrics.
+        with use_registry(self.registry):
+            stubs = [StubResolver(host, self._simulator, provider,
+                                  timeout=config.dns_timeout,
+                                  retries=config.dns_retries,
+                                  rng=self._rng.stream("population", tag,
+                                                       "txid", str(pi)))
+                     for pi, provider in enumerate(self._providers)]
+            ntp = NtpClient(host, self._simulator, clock,
+                            timeout=config.ntp_timeout)
+        arrivals = make_arrivals(
+            config.arrival, config.mean_interval, index, config.num_clients,
+            rng=self._rng.stream("population", tag, "arrival"))
+        return _FleetClient(
+            self, index, host, clock, stubs, ntp, arrivals,
+            churn_rng=self._rng.stream("population", tag, "churn"),
+            select_rng=self._rng.stream("population", tag, "select"))
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> FleetConfig:
+        return self._config
+
+    @property
+    def clients(self) -> int:
+        return len(self._clients)
+
+    @property
+    def dispatcher(self) -> BatchDispatcher:
+        return self._dispatcher
+
+    def client_clock_errors(self) -> List[float]:
+        """Current per-client clock errors (diagnostics/tests)."""
+        return [client.clock.error() for client in self._clients]
+
+    # ------------------------------------------------------------------
+    # Driving.
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ClientFleet":
+        """Schedule every client's first round; returns self."""
+        if self._started:
+            raise RuntimeError("fleet already started")
+        self._started = True
+        self._m_active.set(self._active_count, at=self._simulator.now)
+        for client in self._clients:
+            self._dispatcher.call_after(client.arrivals.first_delay(),
+                                        lambda c=client: self._round(c))
+        return self
+
+    def run(self, max_events: int = 5_000_000) -> PopulationOutcomes:
+        """Start (if needed), drain the simulation, report outcomes."""
+        if not self._started:
+            self.start()
+        self._simulator.run_until_idle(max_events=max_events)
+        return self.outcomes()
+
+    # ------------------------------------------------------------------
+    # One client round.
+    # ------------------------------------------------------------------
+
+    def _round(self, client: _FleetClient) -> None:
+        self._m_rounds.inc()
+        needs_resolve = (client.pool is None
+                         or client.rounds_done % self._config.resolve_every == 0)
+        if needs_resolve:
+            self._resolve(client)
+        else:
+            self._after_resolve(client, client.pool)
+
+    def _resolve(self, client: _FleetClient) -> None:
+        """Algorithm 1's fan-out: one query per provider, then combine."""
+        outcomes: Dict[int, StubOutcome] = {}
+        expected = len(client.stubs)
+
+        def on_outcome(provider_index: int, outcome: StubOutcome) -> None:
+            outcomes[provider_index] = outcome
+            if len(outcomes) == expected:
+                client.pool = self._combine(outcomes)
+                self._after_resolve(client, client.pool)
+
+        for provider_index, stub in enumerate(client.stubs):
+            stub.query(self._pool_domain, RRType.A,
+                       lambda outcome, pi=provider_index:
+                       on_outcome(pi, outcome))
+
+    def _combine(self, outcomes: Dict[int, StubOutcome]) -> Optional[List[IPAddress]]:
+        """Truncate-and-combine under strict or quorum semantics —
+        delegated to :func:`repro.core.pool.combine_with_quorum` so the
+        population can never drift from the single-client trials."""
+        return combine_with_quorum(
+            {str(index): outcome.addresses if outcome.ok else None
+             for index, outcome in sorted(outcomes.items())},
+            min_answers=self._config.min_answers)
+
+    def _after_resolve(self, client: _FleetClient,
+                       pool: Optional[List[IPAddress]]) -> None:
+        now = self._simulator.now
+        self._ts_avail.record(now, 1.0 if pool else 0.0)
+        if not pool:
+            self._m_rounds_failed.inc()
+            client.pool = None
+            self._schedule_next(client)
+            return
+        self._m_rounds_ok.inc()
+        pick = client.select_rng.choice(pool)
+        client.ntp.sample(
+            pick,
+            lambda sample: self._after_sync(client, sample,
+                                            attacker=pick in self._attackers))
+
+    def _after_sync(self, client: _FleetClient, sample: NtpSample,
+                    attacker: bool) -> None:
+        if sample.ok:
+            self._m_syncs.inc()
+            # A victim is a client that actually *synced* against an
+            # attacker server; a timed-out exchange shifts nothing.
+            self._ts_victim.record(self._simulator.now,
+                                   1.0 if attacker else 0.0)
+            if attacker:
+                self._m_victims.inc()
+            client.clock.step(sample.offset)
+            error = abs(client.clock.error())
+            self._h_abs_error.observe(error)
+            self._ts_shifted.record(
+                self._simulator.now,
+                1.0 if error > self._config.shift_threshold else 0.0)
+        else:
+            self._m_sync_timeouts.inc()
+        self._schedule_next(client)
+
+    def _schedule_next(self, client: _FleetClient) -> None:
+        client.rounds_done += 1
+        if client.rounds_done >= self._config.rounds:
+            return
+        config = self._config
+        if config.churn_rate and client.churn_rng.random() < config.churn_rate:
+            # Leave now, rejoin later with the pool cache dropped (the
+            # rejoin is a fresh resolve — "churn forces re-resolution").
+            self._m_leaves.inc()
+            client.pool = None
+            self._active_count -= 1
+            self._m_active.set(self._active_count, at=self._simulator.now)
+
+            def rejoin() -> None:
+                self._m_joins.inc()
+                self._active_count += 1
+                self._m_active.set(self._active_count,
+                                   at=self._simulator.now)
+                self._round(client)
+
+            self._dispatcher.call_after(config.rejoin_delay, rejoin)
+            return
+        self._dispatcher.call_after(client.arrivals.next_delay(),
+                                    lambda: self._round(client))
+
+    # ------------------------------------------------------------------
+    # Outcomes (read back from the registry).
+    # ------------------------------------------------------------------
+
+    def outcomes(self) -> PopulationOutcomes:
+        rounds = self._m_rounds.value
+        rounds_ok = self._m_rounds_ok.value
+        syncs = self._m_syncs.value
+        victims = self._m_victims.value
+        histogram = self._h_abs_error
+        return PopulationOutcomes(
+            clients=len(self._clients),
+            rounds=rounds,
+            rounds_ok=rounds_ok,
+            syncs=syncs,
+            victim_rounds=victims,
+            availability=rounds_ok / rounds if rounds else 0.0,
+            victim_fraction=victims / syncs if syncs else 0.0,
+            shifted_fraction=self._ts_shifted.mean(),
+            mean_abs_clock_error=histogram.mean,
+            p90_abs_clock_error=histogram.quantile(0.90),
+            churn_leaves=self._m_leaves.value,
+            churn_joins=self._m_joins.value,
+            victim_curve=self._ts_victim.series(),
+            availability_curve=self._ts_avail.series(),
+        )

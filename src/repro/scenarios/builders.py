@@ -126,6 +126,162 @@ class PoolScenario:
         return results[0]
 
 
+@dataclass
+class PopulationScenario:
+    """A Figure 1 world plus a measured client population.
+
+    Wraps the :class:`PoolScenario` with the server fleet behind the
+    pool name, an optional provider compromise, and a
+    :class:`repro.population.ClientFleet` whose outcomes stream into
+    ``telemetry``.
+    """
+
+    pool: PoolScenario
+    fleet: "ClientFleet"            # noqa: F821 - forward ref (see below)
+    ntp_fleet: "NtpFleet"           # noqa: F821
+    telemetry: "MetricsRegistry"    # noqa: F821
+    attacker_addresses: List[IPAddress] = field(default_factory=list)
+
+    @property
+    def simulator(self) -> Simulator:
+        return self.pool.simulator
+
+    @property
+    def internet(self) -> Internet:
+        return self.pool.internet
+
+    def run(self, max_events: int = 5_000_000):
+        """Drive the whole population to completion; returns the
+        :class:`repro.population.PopulationOutcomes`."""
+        return self.fleet.run(max_events=max_events)
+
+    def outcomes(self):
+        return self.fleet.outcomes()
+
+
+def build_population_scenario(
+    seed: int = 1,
+    num_clients: int = 50,
+    rounds: int = 3,
+    mean_interval: float = 16.0,
+    arrival: str = "periodic",
+    resolve_every: int = 1,
+    churn_rate: float = 0.0,
+    rejoin_delay: float = 30.0,
+    min_answers: Optional[int] = None,
+    corrupted: int = 0,
+    behavior: str = "substitute",
+    forged: tuple = (),
+    lie_offset: float = 10.0,
+    num_providers: int = 3,
+    pool_size: int = 20,
+    answers_per_query: int = 4,
+    pool_ttl: int = 60,
+    loss_rate: float = 0.0,
+    jitter_s: float = 0.0,
+    reorder_window: float = 0.0,
+    duplicate_rate: float = 0.0,
+    initial_clock_error: float = 0.050,
+    shift_threshold: float = 1.0,
+    time_bin: float = 10.0,
+    registry=None,
+) -> PopulationScenario:
+    """Build the population world: Figure 1's infrastructure, the NTP
+    server fleet behind the pool name (attacker servers included), an
+    optional provider compromise, and ``num_clients`` resolve→sync
+    clients driven by ``arrival``/``churn_rate`` processes.
+
+    Every component is constructed under one fresh (or caller-supplied)
+    :class:`~repro.telemetry.MetricsRegistry`, so transport, network
+    and population metrics for this world land in one place and nothing
+    leaks across scenarios. All parameters are plain scalars/tuples —
+    the signature doubles as the campaign grid surface for
+    :func:`repro.campaign.trials.population_trial`.
+    """
+    # Imported here: scenarios is imported by the attack/population
+    # layers themselves, so module-level imports would cycle.
+    from repro.attacks.compromise import (
+        CompromiseConfig,
+        CompromisedResolverBehavior,
+        corrupt_first_k,
+    )
+    from repro.ntp.pool import deploy_ntp_fleet
+    from repro.population.fleet import ClientFleet, FleetConfig
+    from repro.telemetry.registry import MetricsRegistry, use_registry
+
+    if not 0 <= corrupted <= num_providers:
+        raise ValueError(
+            f"corrupted must be in [0, {num_providers}], got {corrupted}")
+    if min_answers is not None and not 1 <= min_answers <= num_providers:
+        raise ValueError(
+            f"min_answers must be in [1, {num_providers}] or None, "
+            f"got {min_answers}")
+    behavior = (behavior if isinstance(behavior, CompromisedResolverBehavior)
+                else CompromisedResolverBehavior(behavior))
+    forged_list = [IPAddress(a) for a in forged]
+    needs_addresses = corrupted > 0 and behavior in (
+        CompromisedResolverBehavior.SUBSTITUTE,
+        CompromisedResolverBehavior.INFLATE)
+    if needs_addresses and not forged_list:
+        forged_list = [IPAddress(f"203.0.113.{i + 1}")
+                       for i in range(answers_per_query)]
+
+    registry = registry or MetricsRegistry()
+    with use_registry(registry):
+        pool_scenario = build_pool_scenario(
+            seed=seed, num_providers=num_providers, pool_size=pool_size,
+            answers_per_query=answers_per_query, pool_ttl=pool_ttl,
+            loss_rate=loss_rate, jitter_s=jitter_s,
+            reorder_window=reorder_window, duplicate_rate=duplicate_rate)
+        # Population access edges: one per backbone region, so the
+        # fleet keeps geographic spread while *every* client's traffic
+        # crosses a link carrying the scenario's access fault — the
+        # fault axes degrade the whole population, not just the single
+        # Figure 1 client's edge.
+        topology = pool_scenario.internet.topology
+        regions = [node for node in topology.nodes
+                   if not node.endswith("-edge")]
+        access_nodes = []
+        for region in regions:
+            node = f"pop-edge-{region}"
+            topology.add_link(node, region, LinkProfile.metro())
+            if pool_scenario.access_fault is not None:
+                topology.set_fault_model(node, region,
+                                         pool_scenario.access_fault)
+            access_nodes.append(node)
+        if corrupted:
+            corrupt_first_k(
+                pool_scenario.providers, corrupted,
+                CompromiseConfig(target=pool_scenario.pool_domain,
+                                 behavior=behavior,
+                                 forged_addresses=forged_list))
+        # Servers stay on the backbone regions: a pool server co-located
+        # on a population access edge would let its clients sync without
+        # ever crossing the faulted access link.
+        ntp_fleet = deploy_ntp_fleet(
+            pool_scenario.internet, pool_scenario.directory,
+            pool_scenario.rng, regions=regions,
+            malicious_lie_offset=lie_offset,
+            extra_addresses=forged_list)
+        attackers = forged_list + pool_scenario.directory.malicious
+        fleet = ClientFleet(
+            pool_scenario.internet,
+            [deployment.address for deployment in pool_scenario.providers],
+            pool_scenario.pool_domain, pool_scenario.rng,
+            nodes=access_nodes,
+            config=FleetConfig(
+                num_clients=num_clients, rounds=rounds,
+                mean_interval=mean_interval, arrival=arrival,
+                resolve_every=resolve_every, churn_rate=churn_rate,
+                rejoin_delay=rejoin_delay, min_answers=min_answers,
+                initial_clock_error=initial_clock_error,
+                shift_threshold=shift_threshold, time_bin=time_bin),
+            attacker_addresses=attackers, registry=registry)
+    return PopulationScenario(pool=pool_scenario, fleet=fleet,
+                              ntp_fleet=ntp_fleet, telemetry=registry,
+                              attacker_addresses=attackers)
+
+
 def _make_benign_pool(pool_size: int, dual_stack: bool) -> List[str]:
     addresses = [f"172.16.{index // 250}.{index % 250 + 1}"
                  for index in range(pool_size)]

@@ -1,0 +1,39 @@
+"""Streaming, deterministic telemetry for the simulation stack.
+
+The transport, network fabric and protocol clients publish counters,
+histograms and virtual-time series into an optional
+:class:`MetricsRegistry`; with none installed they publish nothing and
+cost nothing. See :mod:`repro.telemetry.registry` for the scoping
+contract and :mod:`repro.telemetry.metrics` for the determinism/merge
+guarantees the campaign layer relies on.
+"""
+
+from repro.telemetry.metrics import (
+    BUCKETS_PER_DECADE,
+    Counter,
+    Gauge,
+    LogBucketHistogram,
+    TimeSeries,
+    bucket_index,
+    bucket_upper_edge,
+)
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    current_registry,
+    install_registry,
+    use_registry,
+)
+
+__all__ = [
+    "BUCKETS_PER_DECADE",
+    "Counter",
+    "Gauge",
+    "LogBucketHistogram",
+    "MetricsRegistry",
+    "TimeSeries",
+    "bucket_index",
+    "bucket_upper_edge",
+    "current_registry",
+    "install_registry",
+    "use_registry",
+]

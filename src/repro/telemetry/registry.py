@@ -1,0 +1,206 @@
+"""The metrics registry and its process-wide installation point.
+
+A :class:`MetricsRegistry` names instruments by ``(name, labels)`` and
+memoises them, so every publisher incrementing
+``registry.counter("net.datagrams_sent")`` shares one accumulator.
+
+Publishers do not take a registry parameter; they look up the *active*
+registry (:func:`current_registry`) once, at construction time, and
+publish only when one was installed. With no registry installed (the
+default) instrumented components skip telemetry entirely — a single
+``is None`` test at construction, zero work per event — which keeps
+every pre-telemetry run bit-identical and cost-identical.
+
+The simulation stack is single-threaded and campaign workers are
+processes, so a module global is a correct (and the cheapest possible)
+scoping mechanism; :func:`use_registry` restores the previous registry
+on exit so nested scopes compose.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    LogBucketHistogram,
+    TimeSeries,
+)
+
+_KINDS = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": LogBucketHistogram,
+}
+
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, object]) -> _Key:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def _render_key(key: _Key) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class MetricsRegistry:
+    """A deterministic namespace of metric instruments.
+
+    Instruments are created on first use and memoised by
+    ``(name, labels)``. Snapshots render every instrument's state with
+    sorted keys, so two runs that made the same observations produce
+    byte-identical snapshots — the property the telemetry tests pin.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[_Key, object] = {}
+        self._kinds: Dict[_Key, str] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument accessors.
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, **labels) -> LogBucketHistogram:
+        return self._get("histogram", name, labels)
+
+    def timeseries(self, name: str, bin_width: float = 1.0,
+                   **labels) -> TimeSeries:
+        """The named series; ``bin_width`` applies on first creation
+        only (pre-create a series to pin its binning)."""
+        key = _key(name, labels)
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if self._kinds[key] != "timeseries":
+                raise TypeError(
+                    f"metric {_render_key(key)} already registered as "
+                    f"{self._kinds[key]}")
+            return existing  # type: ignore[return-value]
+        series = TimeSeries(bin_width)
+        self._instruments[key] = series
+        self._kinds[key] = "timeseries"
+        return series
+
+    def _get(self, kind: str, name: str, labels: Dict[str, object]):
+        key = _key(name, labels)
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if self._kinds[key] != kind:
+                raise TypeError(
+                    f"metric {_render_key(key)} already registered as "
+                    f"{self._kinds[key]}, requested as {kind}")
+            return existing
+        instrument = _KINDS[kind]()
+        self._instruments[key] = instrument
+        self._kinds[key] = kind
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Reading.
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> list:
+        """Rendered instrument names, sorted."""
+        return sorted(_render_key(key) for key in self._instruments)
+
+    def value(self, name: str, default: float = 0.0, **labels) -> float:
+        """A counter/gauge's current value (``default`` when absent)."""
+        instrument = self._instruments.get(_key(name, labels))
+        if instrument is None:
+            return default
+        return instrument.value  # type: ignore[attr-defined]
+
+    def get(self, name: str, **labels):
+        """The raw instrument, or ``None`` when never touched."""
+        return self._instruments.get(_key(name, labels))
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic state of every instrument, grouped by kind."""
+        grouped: Dict[str, Dict[str, object]] = {}
+        for key in sorted(self._instruments):
+            kind = self._kinds[key]
+            grouped.setdefault(kind, {})[_render_key(key)] = (
+                self._instruments[key].state())  # type: ignore[attr-defined]
+        return grouped
+
+    def snapshot_json(self) -> str:
+        """The snapshot as canonical JSON (byte-comparable).
+
+        Strict JSON: any NaN/Infinity sneaking into instrument state
+        raises here instead of silently producing unparseable output.
+        """
+        return json.dumps(self.snapshot(), sort_keys=True, allow_nan=False)
+
+    # ------------------------------------------------------------------
+    # Merging (sharded accumulation).
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's instruments into this one.
+
+        Instruments that exist on both sides are merged pairwise (same
+        kind required); instruments unique to ``other`` are merged into
+        fresh empty instruments so the result never aliases state.
+        Returns ``self`` for chaining.
+        """
+        for key, theirs in other._instruments.items():
+            kind = other._kinds[key]
+            mine = self._instruments.get(key)
+            if mine is None:
+                if kind == "timeseries":
+                    mine = TimeSeries(theirs.bin_width)  # type: ignore[attr-defined]
+                else:
+                    mine = _KINDS[kind]()
+                self._instruments[key] = mine
+                self._kinds[key] = kind
+            elif self._kinds[key] != kind:
+                raise TypeError(
+                    f"metric {_render_key(key)} is {self._kinds[key]} "
+                    f"here but {kind} in the merged registry")
+            mine.merge(theirs)  # type: ignore[attr-defined]
+        return self
+
+
+# ----------------------------------------------------------------------
+# The active registry.
+# ----------------------------------------------------------------------
+
+_active: Optional[MetricsRegistry] = None
+
+
+def current_registry() -> Optional[MetricsRegistry]:
+    """The installed registry, or ``None`` (telemetry off)."""
+    return _active
+
+
+def install_registry(registry: Optional[MetricsRegistry]) -> None:
+    """Install ``registry`` as the active one (``None`` disables)."""
+    global _active
+    _active = registry
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope ``registry`` as active; restores the previous on exit."""
+    previous = _active
+    install_registry(registry)
+    try:
+        yield registry
+    finally:
+        install_registry(previous)

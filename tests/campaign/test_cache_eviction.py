@@ -1,0 +1,81 @@
+"""The results cache's size cap and LRU sweep."""
+
+import json
+import logging
+import os
+import time
+
+from repro.campaign import CampaignRunner, ParameterGrid, advantage_bits_trial
+
+GRID = ParameterGrid({"n": (3, 5)}, fixed={"p_attack": 0.5},
+                     name="evict_probe")
+
+
+def _plant(cache_dir, name: str, size: int, age_s: float):
+    """Create a fake cache entry of ``size`` bytes, ``age_s`` old."""
+    path = cache_dir / name
+    path.write_text("x" * size)
+    stamp = time.time() - age_s
+    os.utime(path, (stamp, stamp))
+    return path
+
+
+def test_lru_sweep_evicts_oldest_first(tmp_path, caplog):
+    oldest = _plant(tmp_path, "a-old.json", 4000, age_s=300)
+    newer = _plant(tmp_path, "b-new.json", 4000, age_s=100)
+    runner = CampaignRunner(advantage_bits_trial, base_seed=1,
+                            cache_dir=tmp_path, cache_max_bytes=6000)
+    with caplog.at_level(logging.INFO, logger="repro.campaign"):
+        runner.run(GRID)
+    assert not oldest.exists()
+    assert newer.exists()
+    # The just-written entry is the most recent; it always survives.
+    written = [p for p in tmp_path.glob("evict_probe-*.json")]
+    assert len(written) == 1
+    assert any("evicted" in record.message for record in caplog.records)
+
+
+def test_sweep_keeps_directory_under_cap(tmp_path):
+    for index in range(6):
+        _plant(tmp_path, f"entry-{index}.json", 3000, age_s=600 - index)
+    CampaignRunner(advantage_bits_trial, base_seed=1, cache_dir=tmp_path,
+                   cache_max_bytes=5000).run(GRID)
+    total = sum(p.stat().st_size for p in tmp_path.glob("*.json"))
+    assert total <= 5000
+
+
+def test_cache_hit_refreshes_mtime_for_lru(tmp_path):
+    runner = CampaignRunner(advantage_bits_trial, base_seed=1,
+                            cache_dir=tmp_path)
+    runner.run(GRID)
+    (path,) = tmp_path.glob("evict_probe-*.json")
+    stale = time.time() - 900
+    os.utime(path, (stale, stale))
+    result = runner.run(GRID)
+    assert result.mode == "cached"
+    assert path.stat().st_mtime > stale + 300
+
+
+def test_no_cap_disables_sweep(tmp_path):
+    planted = _plant(tmp_path, "keep.json", 50_000, age_s=900)
+    CampaignRunner(advantage_bits_trial, base_seed=1, cache_dir=tmp_path,
+                   cache_max_bytes=None).run(GRID)
+    assert planted.exists()
+
+
+def test_sweep_ignores_unreadable_entries(tmp_path):
+    CampaignRunner(advantage_bits_trial, base_seed=1, cache_dir=tmp_path,
+                   cache_max_bytes=1).run(GRID)
+    # Even with an absurd cap the just-run campaign still returned
+    # records and left at most the newest file behind.
+    leftovers = list(tmp_path.glob("*.json"))
+    assert len(leftovers) <= 1
+
+
+def test_cache_entries_are_valid_json_after_sweep(tmp_path):
+    runner = CampaignRunner(advantage_bits_trial, base_seed=1,
+                            cache_dir=tmp_path, cache_max_bytes=10_000_000)
+    runner.run(GRID)
+    for path in tmp_path.glob("*.json"):
+        payload = json.loads(path.read_text())
+        assert "records" in payload

@@ -141,3 +141,31 @@ class TestCombineProperties:
         lengths = [len(v) for v in answer_lists.values()]
         median_k = TruncationPolicy.MEDIAN.truncate_length(lengths)
         assert min(lengths) <= median_k <= max(lengths)
+
+
+class TestCombineWithQuorum:
+    """The shared availability gate (strict vs quorum, E6 / fleet)."""
+
+    def test_strict_requires_every_answer(self):
+        from repro.core.pool import combine_with_quorum
+        answers = {"r1": addresses(1, 2), "r2": addresses(3, 4), "r3": None}
+        assert combine_with_quorum(answers) is None
+
+    def test_strict_empty_answer_is_the_dos(self):
+        from repro.core.pool import combine_with_quorum
+        answers = {"r1": addresses(1, 2), "r2": [], "r3": addresses(3, 4)}
+        assert combine_with_quorum(answers) is None
+
+    def test_quorum_discards_empty_and_failed(self):
+        from repro.core.pool import combine_with_quorum
+        answers = {"r1": addresses(1, 2), "r2": [], "r3": None}
+        pool = combine_with_quorum(answers, min_answers=1)
+        assert pool == addresses(1, 2)
+        assert combine_with_quorum(answers, min_answers=2) is None
+
+    def test_all_answered_matches_plain_combine(self):
+        from repro.core.pool import combine_with_quorum
+        answers = {"r1": addresses(1, 2, 3), "r2": addresses(4, 5),
+                   "r3": addresses(6, 7)}
+        pool, _, _ = combine_answer_lists(answers)
+        assert combine_with_quorum(answers) == pool

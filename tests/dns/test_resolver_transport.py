@@ -1,0 +1,101 @@
+"""The recursive resolver's transport ride: backoff, budgets, stats."""
+
+import pytest
+
+from repro.dns.resolver import ResolveStatus, ResolverConfig
+from repro.dns.rrtype import RRType
+from repro.netsim.transport import RetryPolicy
+
+from tests.dns.conftest import build_dns_world
+
+
+def resolve_sync(world, qname, qtype=RRType.A):
+    results = []
+    world.resolver.resolve(qname, qtype, results.append)
+    world.simulator.run()
+    assert len(results) == 1
+    return results[0]
+
+
+class TestRetryPolicyDerivation:
+    def test_backoff_enabled_by_default(self):
+        policy = ResolverConfig().retry_policy()
+        assert isinstance(policy, RetryPolicy)
+        assert policy.backoff > 1.0
+
+    def test_schedule_backs_off_and_caps(self):
+        config = ResolverConfig(query_timeout=1.0, max_retries_per_server=3,
+                                retry_backoff=2.0, retry_max_timeout=3.0)
+        policy = config.retry_policy()
+        timeouts = [policy.timeout_for(a)
+                    for a in range(1, policy.max_attempts + 1)]
+        assert timeouts == [1.0, 2.0, 3.0, 3.0]
+
+    def test_cap_never_undercuts_first_timeout(self):
+        policy = ResolverConfig(query_timeout=5.0,
+                                retry_max_timeout=1.0).retry_policy()
+        assert policy.timeout_for(1) == 5.0
+
+    def test_backoff_validation(self):
+        with pytest.raises(ValueError):
+            ResolverConfig(retry_backoff=0.5)
+
+
+class TestBackoffBehaviour:
+    def test_dead_server_burns_the_backed_off_budget(self):
+        world = build_dns_world(
+            resolver_config=ResolverConfig(query_timeout=1.0,
+                                           max_retries_per_server=2,
+                                           retry_backoff=2.0,
+                                           retry_max_timeout=None))
+        world.internet.topology.remove_link("core", "root-net")
+        outcome = resolve_sync(world, "pool.ntppool.org")
+        assert outcome.status is ResolveStatus.SERVFAIL
+        # One root server, three attempts: 1 + 2 + 4 virtual seconds.
+        assert world.simulator.now == pytest.approx(7.0)
+        assert world.resolver.stats.timeouts == 3
+        assert world.resolver.stats.upstream_queries == 3
+
+    def test_fixed_timeout_schedule_still_available(self):
+        world = build_dns_world(
+            resolver_config=ResolverConfig(query_timeout=1.0,
+                                           max_retries_per_server=2,
+                                           retry_backoff=1.0))
+        world.internet.topology.remove_link("core", "root-net")
+        resolve_sync(world, "pool.ntppool.org")
+        assert world.simulator.now == pytest.approx(3.0)
+
+
+class TestStatsParity:
+    def test_success_path_counts_no_timeouts(self):
+        world = build_dns_world()
+        outcome = resolve_sync(world, "pool.ntppool.org")
+        assert outcome.ok
+        assert world.resolver.stats.timeouts == 0
+        assert world.resolver.stats.upstream_queries == 3
+        assert world.resolver.stats.responses_accepted == 3
+
+    def test_lossy_path_counts_each_burned_attempt(self):
+        from repro.netsim.link import LinkProfile
+        world = build_dns_world(
+            seed=11,
+            resolver_config=ResolverConfig(query_timeout=0.3,
+                                           max_retries_per_server=8),
+            link_profile=LinkProfile(latency=0.01, loss=0.2))
+        outcome = resolve_sync(world, "pool.ntppool.org")
+        assert outcome.ok
+        stats = world.resolver.stats
+        # Every upstream query beyond the accepted answers timed out.
+        assert stats.timeouts == stats.upstream_queries - stats.responses_accepted
+
+    def test_fresh_txid_and_port_per_attempt(self):
+        world = build_dns_world(
+            resolver_config=ResolverConfig(query_timeout=0.5,
+                                           max_retries_per_server=1,
+                                           randomize_txid=False))
+        world.internet.topology.remove_link("core", "root-net")
+        resolve_sync(world, "pool.ntppool.org")
+        # Sequential-TXID mode draws one TXID per attempt, so the
+        # counter advanced once per upstream query.
+        assert world.resolver._sequential_txid == \
+            world.resolver.stats.upstream_queries

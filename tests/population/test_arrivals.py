@@ -1,0 +1,58 @@
+"""Arrival processes: phases, distributions, determinism."""
+
+import random
+
+import pytest
+
+from repro.population import (
+    PeriodicArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+
+
+class TestPeriodic:
+    def test_phase_then_fixed_period(self):
+        arrivals = PeriodicArrivals(16.0, phase=4.0)
+        assert arrivals.first_delay() == 4.0
+        assert arrivals.next_delay() == 16.0
+        assert arrivals.next_delay() == 16.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicArrivals(0.0)
+        with pytest.raises(ValueError):
+            PeriodicArrivals(10.0, phase=10.0)
+
+
+class TestPoisson:
+    def test_mean_matches_configuration(self):
+        arrivals = PoissonArrivals(8.0, random.Random(1))
+        gaps = [arrivals.next_delay() for _ in range(4000)]
+        mean = sum(gaps) / len(gaps)
+        assert 7.0 < mean < 9.0
+
+    def test_deterministic_under_fixed_seed(self):
+        a = PoissonArrivals(8.0, random.Random(5))
+        b = PoissonArrivals(8.0, random.Random(5))
+        assert [a.next_delay() for _ in range(10)] == \
+               [b.next_delay() for _ in range(10)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0, random.Random(1))
+
+
+class TestFactory:
+    def test_periodic_spreads_phases_over_the_fleet(self):
+        firsts = [make_arrivals("periodic", 10.0, index, 5).first_delay()
+                  for index in range(5)]
+        assert firsts == [0.0, 2.0, 4.0, 6.0, 8.0]
+
+    def test_poisson_requires_rng(self):
+        with pytest.raises(ValueError):
+            make_arrivals("poisson", 10.0, 0, 5)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown arrival kind"):
+            make_arrivals("burst", 10.0, 0, 5)
