@@ -9,37 +9,47 @@ answer; pool collapses — the documented DoS) and (b) the quorum
 extension (min_answers=2) that trades the hard guarantee (the bound
 degrades from 1/3 to 1/2 share for a remaining attacker) for liveness.
 
-Declared as a campaign grid that additionally sweeps the new
-``loss_rate`` fault axis on the client access link: availability under
-the quorum extension now degrades *gracefully* with natural loss, while
-the strict reading stays all-or-nothing — the paper's availability
-trade-off measured under imperfect networks.
+Declared in grid-over-spec form: one base spec (Figure 1 with the
+patient degraded-network resolver configuration) whose dotted paths —
+``network.fault.loss_rate`` × ``provider.corrupted`` ×
+``pool.min_answers`` — the campaign sweeps through
+:func:`repro.campaign.spec_trial`: availability under the quorum
+extension degrades *gracefully* with natural loss, while the strict
+reading stays all-or-nothing — the paper's availability trade-off
+measured under imperfect networks.
 """
 
-from repro.campaign import CampaignRunner, ParameterGrid, pool_attack_trial
+from repro.campaign import CampaignRunner, ParameterGrid, spec_trial
+from repro.scenarios.presets import degraded_network_spec
+from repro.scenarios.spec import set_path
 
 from benchmarks.conftest import CACHE_DIR, run_once
 
 LOSS_RATES = (0.0, 0.15, 0.30)
 MODES = {None: "strict (paper)", 2: "quorum ≥ 2"}
 
-GRID = ParameterGrid(
-    {"loss_rate": LOSS_RATES, "corrupted": (0, 1, 2),
-     "min_answers": tuple(MODES)},
-    fixed={"num_providers": 3, "answers_per_query": 4, "behavior": "empty"},
+BASE_SPEC = set_path(degraded_network_spec(), "provider.behavior", "empty")
+
+GRID = ParameterGrid.over_spec(
+    BASE_SPEC,
+    {"network.fault.loss_rate": LOSS_RATES,
+     "provider.corrupted": (0, 1, 2),
+     "pool.min_answers": tuple(MODES)},
     name="e6_dos_cost",
 )
 
-RUNNER = CampaignRunner(pool_attack_trial, trials_per_point=4,
+RUNNER = CampaignRunner(spec_trial, trials_per_point=4,
                         base_seed=400, cache_dir=CACHE_DIR)
 
-SMOKE_GRID = ParameterGrid(
-    {"loss_rate": (0.0,), "corrupted": (0, 1), "min_answers": tuple(MODES)},
-    fixed={"num_providers": 3, "answers_per_query": 4, "behavior": "empty"},
+SMOKE_GRID = ParameterGrid.over_spec(
+    BASE_SPEC,
+    {"network.fault.loss_rate": (0.0,),
+     "provider.corrupted": (0, 1),
+     "pool.min_answers": tuple(MODES)},
     name="e6_dos_cost_smoke",
 )
 
-SMOKE_RUNNER = CampaignRunner(pool_attack_trial, base_seed=400,
+SMOKE_RUNNER = CampaignRunner(spec_trial, base_seed=400,
                               cache_dir=CACHE_DIR)
 
 
@@ -65,9 +75,9 @@ def bench_e6_dos_cost(benchmark, emit_table, smoke, results_dir):
         pool_size = summary["pool_size"].mean / ok if ok else 0.0
         benign = summary["benign_fraction"].mean / ok if ok else 0.0
         rows.append([
-            f"{summary.params['loss_rate']:.0%}",
-            summary.params["corrupted"],
-            MODES[summary.params["min_answers"]],
+            f"{summary.params['network.fault.loss_rate']:.0%}",
+            summary.params["provider.corrupted"],
+            MODES[summary.params["pool.min_answers"]],
             availability_label(ok),
             round(pool_size),
             f"{benign:.0%}" if ok > 0.0 else "-",
@@ -85,28 +95,32 @@ def bench_e6_dos_cost(benchmark, emit_table, smoke, results_dir):
               "extension keeps liveness while silent resolvers — "
               "attacker-emptied or loss-starved — stay below "
               "N - min_answers, degrading gracefully as the link decays. "
-              "Size/benign columns are conditioned on produced pools.")
+              "Size/benign columns are conditioned on produced pools. "
+              "Each point's full ScenarioSpec is recorded in the JSON "
+              "export.")
 
-    def ok_at(**subset) -> float:
-        return result.metric("ok", **subset).mean
+    def ok_at(loss, corrupted, min_answers) -> float:
+        return result.metric("ok", **{
+            "network.fault.loss_rate": loss,
+            "provider.corrupted": corrupted,
+            "pool.min_answers": min_answers}).mean
 
     # The documented DoS: strict semantics collapse under any EMPTY
     # corruption, at every loss rate.
     for loss in (LOSS_RATES if not smoke else (0.0,)):
-        assert ok_at(loss_rate=loss, corrupted=1, min_answers=None) == 0.0
+        assert ok_at(loss, 1, None) == 0.0
         # Quorum with 2 EMPTY resolvers is below min_answers: also DoS.
         if not smoke:
-            assert ok_at(loss_rate=loss, corrupted=2, min_answers=2) == 0.0
+            assert ok_at(loss, 2, 2) == 0.0
     # On a clean link the quorum extension restores liveness fully.
-    assert ok_at(loss_rate=0.0, corrupted=0, min_answers=None) == 1.0
-    assert ok_at(loss_rate=0.0, corrupted=1, min_answers=2) == 1.0
-    assert result.metric("degraded",
-                         loss_rate=0.0, corrupted=1, min_answers=2).mean == 1.0
+    assert ok_at(0.0, 0, None) == 1.0
+    assert ok_at(0.0, 1, 2) == 1.0
+    assert result.metric("degraded", **{
+        "network.fault.loss_rate": 0.0, "provider.corrupted": 1,
+        "pool.min_answers": 2}).mean == 1.0
     if not smoke:
         # The availability trend: a decaying access link erodes the
         # strict reading faster than the quorum extension.
         worst = LOSS_RATES[-1]
-        assert (ok_at(loss_rate=worst, corrupted=0, min_answers=None)
-                <= ok_at(loss_rate=0.0, corrupted=0, min_answers=None))
-        assert (ok_at(loss_rate=worst, corrupted=0, min_answers=2)
-                >= ok_at(loss_rate=worst, corrupted=0, min_answers=None))
+        assert ok_at(worst, 0, None) <= ok_at(0.0, 0, None)
+        assert ok_at(worst, 0, 2) >= ok_at(worst, 0, None)

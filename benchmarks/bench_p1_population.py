@@ -3,10 +3,18 @@
 The single-client experiments (E2) measure the attacker's pool share
 for one client per world and aggregate across trials. This benchmark
 stands up whole fleets (hundreds to a thousand clients in one simulated
-internet, via :func:`repro.scenarios.builders.build_population_scenario`)
-and reads the *population* quantities straight from the streaming
-telemetry pipeline: the fraction of clients that synced against an
-attacker server, availability, and the clock-error distribution.
+internet) and reads the *population* quantities straight from the
+streaming telemetry pipeline: the fraction of clients that synced
+against an attacker server, availability, and the clock-error
+distribution.
+
+Declared in grid-over-spec form: one base
+:func:`repro.scenarios.spec.population_spec` with the campaign sweeping
+dotted spec paths (``fleet.size`` × ``provider.corrupted``) through
+:func:`repro.campaign.spec_trial`, so every point's full world
+description lands verbatim in ``results/p1_population.json`` — along
+with each trial's telemetry snapshot (``include_telemetry``), which the
+bench asserts against the scalar metrics.
 
 Claims reproduced at population scale:
 
@@ -23,34 +31,40 @@ from repro.campaign import (
     CampaignRunner,
     ParameterGrid,
     pool_attack_trial,
-    population_trial,
+    spec_trial,
 )
+from repro.scenarios.spec import population_spec
 
 from benchmarks.conftest import CACHE_DIR, run_once
 
 NUM_PROVIDERS = 3
 CORRUPTED = (0, 1, 2, 3)
-# Same forged set build_population_scenario synthesises by default, so
+# Same forged set the population compiler synthesises by default, so
 # the single-client reference measures exactly the same attack.
 FORGED = tuple(f"203.0.113.{i + 1}" for i in range(4))
 
-GRID = ParameterGrid(
-    {"num_clients": (250, 1000), "corrupted": CORRUPTED},
-    fixed={"rounds": 5, "mean_interval": 16.0, "arrival": "periodic",
-           "churn_rate": 0.05, "num_providers": NUM_PROVIDERS},
+BASE_SPEC = population_spec(rounds=5, mean_interval=16.0,
+                            arrival="periodic", churn_rate=0.05,
+                            num_providers=NUM_PROVIDERS)
+
+GRID = ParameterGrid.over_spec(
+    BASE_SPEC,
+    {"fleet.size": (250, 1000), "provider.corrupted": CORRUPTED},
     name="p1_population",
 )
-RUNNER = CampaignRunner(population_trial, trials_per_point=1,
-                        base_seed=1000, cache_dir=CACHE_DIR)
+RUNNER = CampaignRunner(spec_trial, trials_per_point=1, base_seed=1000,
+                        include_telemetry=True, cache_dir=CACHE_DIR)
 
-SMOKE_GRID = ParameterGrid(
-    {"corrupted": (0, 1, 2)},
-    fixed={"num_clients": 200, "rounds": 3, "churn_rate": 0.05,
-           "num_providers": NUM_PROVIDERS},
+SMOKE_BASE = population_spec(rounds=3, churn_rate=0.05,
+                             num_providers=NUM_PROVIDERS)
+SMOKE_GRID = ParameterGrid.over_spec(
+    SMOKE_BASE,
+    {"provider.corrupted": (0, 1, 2)},
+    fixed={"fleet.size": 200},
     name="p1_population_smoke",
 )
-SMOKE_RUNNER = CampaignRunner(population_trial, base_seed=1000,
-                              cache_dir=CACHE_DIR)
+SMOKE_RUNNER = CampaignRunner(spec_trial, base_seed=1000,
+                              include_telemetry=True, cache_dir=CACHE_DIR)
 
 # Single-client E2 reference sweep (attacker share of one generated
 # pool per world) for the full-grid trend comparison.
@@ -72,8 +86,8 @@ def bench_p1_population(benchmark, emit_table, smoke, results_dir):
     rows = []
     for summary in result.summaries:
         rows.append([
-            summary.params["num_clients"],
-            f"{summary.params['corrupted']}/{NUM_PROVIDERS}",
+            summary.params["fleet.size"],
+            f"{summary.params['provider.corrupted']}/{NUM_PROVIDERS}",
             f"{summary['victim_fraction'].mean:.3f}",
             f"{summary['availability'].mean:.0%}",
             f"{summary['shifted_fraction'].mean:.3f}",
@@ -88,21 +102,31 @@ def bench_p1_population(benchmark, emit_table, smoke, results_dir):
         ["clients", "corrupted", "victim fraction", "availability",
          "shifted", "mean |clock err|", "churn", "datagrams"],
         rows,
-        notes="Each row is one world: N clients resolving pool.ntp.org "
-              "through all providers (Algorithm 1 combine), syncing "
-              "once per round against a pool pick. Victim fraction "
-              "tracks corrupted/N — the population-scale statement of "
-              "the single-client E2 share bound. Metrics stream from "
-              "the telemetry registry, not per-client accumulators.")
+        notes="Each row is one world, described end-to-end by the "
+              "ScenarioSpec recorded in the JSON export: N clients "
+              "resolving pool.ntp.org through all providers "
+              "(Algorithm 1 combine), syncing once per round against a "
+              "pool pick. Victim fraction tracks corrupted/N — the "
+              "population-scale statement of the single-client E2 "
+              "share bound. Metrics stream from the telemetry "
+              "registry, whose snapshot rides in the JSON too.")
+
+    # The exported registry snapshots agree with the scalar metrics
+    # (one trial per point, so the totals must match exactly).
+    for summary in result.summaries:
+        snapshot = summary.telemetry[0]
+        assert (snapshot["counter"]["net.datagrams_sent"]
+                == summary["datagrams"].mean), summary.point_key
 
     def victim(**subset) -> float:
         return result.metric("victim_fraction", **subset).mean
 
-    sizes = ((200,) if smoke
-             else tuple(GRID.axes["num_clients"]))
-    corrupted_values = SMOKE_GRID.axes["corrupted"] if smoke else CORRUPTED
+    sizes = (200,) if smoke else tuple(GRID.axes["fleet.size"])
+    corrupted_values = (SMOKE_GRID.axes["provider.corrupted"]
+                        if smoke else CORRUPTED)
     for size in sizes:
-        fractions = [victim(num_clients=size, corrupted=c)
+        fractions = [victim(**{"fleet.size": size,
+                               "provider.corrupted": c})
                      for c in corrupted_values]
         # The acceptance gate: monotone in the corrupted fraction.
         assert fractions == sorted(fractions), (
@@ -110,8 +134,9 @@ def bench_p1_population(benchmark, emit_table, smoke, results_dir):
         assert fractions[0] == 0.0
         # Fault-free worlds lose no rounds.
         for c in corrupted_values:
-            assert result.metric("availability",
-                                 num_clients=size, corrupted=c).mean == 1.0
+            assert result.metric(
+                "availability",
+                **{"fleet.size": size, "provider.corrupted": c}).mean == 1.0
 
     if not smoke:
         # The 1k-client fleet reproduces the single-client E2 trend:
@@ -119,23 +144,26 @@ def bench_p1_population(benchmark, emit_table, smoke, results_dir):
         reference = E2_REFERENCE_RUNNER.run(E2_REFERENCE_GRID)
         for c in CORRUPTED:
             single = reference.metric("attacker_share", corrupted=c).mean
-            fleet = victim(num_clients=1000, corrupted=c)
+            fleet = victim(**{"fleet.size": 1000, "provider.corrupted": c})
             assert abs(fleet - single) < 0.05, (
                 f"corrupted={c}: population {fleet:.3f} vs "
                 f"single-client {single:.3f}")
 
     # Serial and parallel campaign execution of a fault-free population
     # run are bit-identical (no shared cache, so both really execute).
-    check_grid = ParameterGrid(
-        {"corrupted": (0, 2)},
-        fixed={"num_clients": 60 if smoke else 120, "rounds": 2,
-               "num_providers": NUM_PROVIDERS},
+    check_grid = ParameterGrid.over_spec(
+        population_spec(rounds=2, num_providers=NUM_PROVIDERS),
+        {"provider.corrupted": (0, 2)},
+        fixed={"fleet.size": 60 if smoke else 120},
         name="p1_serial_parallel",
     )
-    serial = CampaignRunner(population_trial, base_seed=77,
+    serial = CampaignRunner(spec_trial, base_seed=77,
                             workers=0).run(check_grid)
-    parallel = CampaignRunner(population_trial, base_seed=77,
+    parallel = CampaignRunner(spec_trial, base_seed=77,
                               workers=4).run(check_grid)
     assert ([record.metrics for record in serial.records]
             == [record.metrics for record in parallel.records]), (
         "population campaign records differ between serial and parallel")
+    assert ([record.telemetry for record in serial.records]
+            == [record.telemetry for record in parallel.records]), (
+        "telemetry snapshots differ between serial and parallel")

@@ -21,17 +21,16 @@ from repro.dns.client import StubResolver
 from repro.dns.resolver import ResolverConfig
 from repro.dns.rrtype import RRType
 from repro.netsim.address import Endpoint, IPAddress
-from repro.scenarios import build_pool_scenario
+from repro.scenarios import materialize, pool_spec
 
 FORGED = [f"203.0.113.{i + 1}" for i in range(4)]
 
 
 def act1_and_2_offpath() -> None:
     for hardened in (False, True):
-        scenario = build_pool_scenario(
-            seed=5,
+        scenario = materialize(pool_spec(
             resolver_config=None if hardened else ResolverConfig(
-                txid_bits=6, randomize_txid=False))
+                txid_bits=6, randomize_txid=False)), seed=5)
         victim = scenario.providers[0]
         if not hardened:
             victim.host._randomize_ports = False
@@ -57,7 +56,7 @@ def act1_and_2_offpath() -> None:
 
 
 def act3_onpath() -> None:
-    scenario = build_pool_scenario(seed=6)
+    scenario = materialize(pool_spec(), seed=6)
     mitm = OnPathAttacker(scenario.internet,
                           ["client-edge--eu-central"])
     mitm.poison_a_records(scenario.pool_domain, FORGED)
@@ -80,7 +79,7 @@ def act3_onpath() -> None:
 
 def act4_overpopulation() -> None:
     for policy in (TruncationPolicy.NONE, TruncationPolicy.SHORTEST):
-        scenario = build_pool_scenario(seed=8, answers_per_query=4)
+        scenario = materialize(pool_spec(answers_per_query=4), seed=8)
         attack = OverPopulationAttack(scenario, corrupted=1, inflate_to=20)
         result = attack.run(policy)
         verdict = ("ATTACKER MAJORITY"

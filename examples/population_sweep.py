@@ -10,22 +10,24 @@ straight from the streaming telemetry registry.
 Run:  python examples/population_sweep.py
 """
 
-from repro.scenarios.builders import build_population_scenario
+from repro.scenarios import materialize, population_spec, set_path
+
+BASE = population_spec(
+    num_clients=300,          # one world, three hundred clients
+    rounds=4,                 # resolve→sync rounds per client
+    arrival="poisson",        # memoryless client wake-ups
+    churn_rate=0.1,           # clients leave and rejoin
+)
 
 
 def main() -> None:
     print("corrupted  victim fraction  availability  mean |clock err|  churn")
     print("---------  ---------------  ------------  ----------------  -----")
     for corrupted in (0, 1, 2, 3):
-        scenario = build_population_scenario(
-            seed=2026,
-            num_clients=300,          # one world, three hundred clients
-            rounds=4,                 # resolve→sync rounds per client
-            arrival="poisson",        # memoryless client wake-ups
-            churn_rate=0.1,           # clients leave and rejoin
-            corrupted=corrupted,      # providers serving forged answers
-        )
-        outcomes = scenario.run()
+        # One declarative world per point: the base spec with the
+        # corrupted-provider axis swept by dotted path.
+        spec = set_path(BASE, "provider.corrupted", corrupted)
+        outcomes = materialize(spec, seed=2026).run()
         print(f"{corrupted}/3        "
               f"{outcomes.victim_fraction:15.3f}  "
               f"{outcomes.availability:12.0%}  "

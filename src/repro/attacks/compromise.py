@@ -120,11 +120,13 @@ def compromise_provider(deployment: ProviderDeployment,
     Returns the malicious engine (exposes ``poisoned_answers`` for
     experiment accounting).
     """
-    malicious = _MaliciousResolver(deployment.doh_server.resolver, config)
+    malicious = _MaliciousResolver(deployment.resolver, config)
     # Hook every interface the provider serves: the DoH front-end's
-    # resolver reference and the recursion engine behind the provider's
-    # plain-DNS port (population-scale clients query the latter).
-    deployment.doh_server._resolver = malicious  # noqa: SLF001 - attack model
+    # resolver reference (when one is deployed) and the recursion engine
+    # behind the provider's plain-DNS port (population-scale clients
+    # query the latter).
+    if deployment.doh_server is not None:
+        deployment.doh_server._resolver = malicious  # noqa: SLF001 - attack model
     deployment.resolver.serve_engine = malicious
     return malicious
 

@@ -24,7 +24,7 @@ from repro.attacks.compromise import (
 from repro.core.policy import TruncationPolicy
 from repro.core.pool import GeneratedPool, PoolGeneratorConfig
 from repro.netsim.address import IPAddress
-from repro.scenarios.builders import PoolScenario
+from repro.scenarios import PoolScenario
 
 
 @dataclass

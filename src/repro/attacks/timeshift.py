@@ -39,7 +39,7 @@ from repro.ntp.chronos import ChronosClient, ChronosConfig
 from repro.ntp.client import NtpClient, NtpSample
 from repro.ntp.clock import SimClock
 from repro.ntp.pool import deploy_ntp_fleet
-from repro.scenarios.builders import build_pool_scenario
+from repro.scenarios.spec import materialize, pool_spec
 
 ATTACKER_NTP_ADDRESSES = [f"203.0.113.{i + 1}" for i in range(12)]
 CLIENT_ACCESS_LINK = "client-edge--eu-central"
@@ -88,10 +88,9 @@ class TimeShiftExperiment:
     # ------------------------------------------------------------------
 
     def _build_world(self):
-        scenario = build_pool_scenario(seed=self._seed,
-                                       num_providers=self._num_providers,
-                                       pool_size=self._pool_size,
-                                       answers_per_query=4)
+        scenario = materialize(pool_spec(num_providers=self._num_providers,
+                                         pool_size=self._pool_size,
+                                         answers_per_query=4), self._seed)
         fleet = deploy_ntp_fleet(
             scenario.internet, scenario.directory, scenario.rng,
             malicious_lie_offset=self._lie,

@@ -53,6 +53,7 @@ from repro.campaign.trials import (
     overhead_trial,
     pool_attack_trial,
     population_trial,
+    spec_trial,
     timeshift_trial,
 )
 
@@ -76,6 +77,7 @@ __all__ = [
     "pool_attack_trial",
     "pool_fraction_trial",
     "population_trial",
+    "spec_trial",
     "timeshift_trial",
     "trial_seed",
 ]

@@ -15,14 +15,20 @@ import json
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.util.stats import RunningStats, normal_ci
 
 
 @dataclass(frozen=True)
 class TrialRecord:
-    """The outcome of one trial at one grid point."""
+    """The outcome of one trial at one grid point.
+
+    ``telemetry`` carries the trial's
+    :meth:`repro.telemetry.MetricsRegistry.snapshot_json` when the
+    trial function exported one (see
+    :class:`Aggregator` ``include_telemetry``).
+    """
 
     point_index: int
     point_key: str
@@ -30,6 +36,7 @@ class TrialRecord:
     trial: int = 0
     seed: int = 0
     metrics: Mapping[str, float] = field(default_factory=dict, hash=False)
+    telemetry: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -59,7 +66,12 @@ class MetricSummary:
 
 @dataclass(frozen=True)
 class PointSummary:
-    """All metric summaries for one grid point."""
+    """All metric summaries for one grid point.
+
+    ``telemetry`` maps trial index to that trial's parsed registry
+    snapshot — populated only by an :class:`Aggregator` constructed
+    with ``include_telemetry=True``.
+    """
 
     point_index: int
     point_key: str
@@ -67,6 +79,7 @@ class PointSummary:
     trials: int = 0
     metrics: Mapping[str, MetricSummary] = field(default_factory=dict,
                                                  hash=False)
+    telemetry: Mapping[int, Any] = field(default_factory=dict, hash=False)
 
     def __getitem__(self, metric: str) -> MetricSummary:
         return self.metrics[metric]
@@ -82,17 +95,25 @@ class Aggregator:
 
     :param confidence: confidence level for the normal-approximation
         interval on each metric's mean.
+    :param include_telemetry: keep each trial's registry snapshot (the
+        ``telemetry`` JSON trial functions may attach to their records)
+        and export it per point, so ``results/<name>.json`` lets
+        benches assert on transport-level aggregates directly.
     """
 
-    def __init__(self, confidence: float = 0.95) -> None:
+    def __init__(self, confidence: float = 0.95,
+                 include_telemetry: bool = False) -> None:
         if not 0.0 < confidence < 1.0:
             raise ValueError(f"confidence must be in (0, 1), got {confidence}")
         self._confidence = confidence
+        self._include_telemetry = include_telemetry
         # point_key -> (point_index, params, trial count)
         self._points: Dict[str, Tuple[int, Mapping[str, Any], int]] = {}
         self._stats: Dict[Tuple[str, str], RunningStats] = {}
         # Metric names in first-seen order per point key.
         self._metric_order: Dict[str, List[str]] = {}
+        # point_key -> {trial index: parsed snapshot}
+        self._telemetry: Dict[str, Dict[int, Any]] = {}
 
     def add(self, record: TrialRecord) -> None:
         """Fold one trial record into the running summaries."""
@@ -103,6 +124,9 @@ class Aggregator:
             self._metric_order[record.point_key] = []
         else:
             self._points[record.point_key] = (entry[0], entry[1], entry[2] + 1)
+        if self._include_telemetry and record.telemetry is not None:
+            self._telemetry.setdefault(record.point_key, {})[record.trial] = (
+                json.loads(record.telemetry))
         order = self._metric_order[record.point_key]
         for metric, value in record.metrics.items():
             stats_key = (record.point_key, metric)
@@ -132,17 +156,25 @@ class Aggregator:
                     minimum=stats.minimum, maximum=stats.maximum)
             result.append(PointSummary(point_index=index, point_key=key,
                                        params=params, trials=trials,
-                                       metrics=metrics))
+                                       metrics=metrics,
+                                       telemetry=self._telemetry.get(key, {})))
         result.sort(key=lambda summary: summary.point_index)
         return result
 
 
 def json_value(value: Any) -> Any:
-    """Make one parameter value JSON-serialisable."""
+    """Make one parameter value JSON-serialisable.
+
+    Spec objects (anything exposing ``to_dict``) render as their full
+    nested dict, which is what makes grid-over-spec result files
+    self-describing.
+    """
     if isinstance(value, enum.Enum):
         return value.value
     if isinstance(value, (bool, int, float, str)) or value is None:
         return value
+    if hasattr(value, "to_dict"):
+        return json_value(value.to_dict())
     if isinstance(value, (list, tuple)):
         return [json_value(item) for item in value]
     if isinstance(value, Mapping):
@@ -194,6 +226,10 @@ class CampaignResult:
                     "trials": summary.trials,
                     "metrics": {metric: stats.to_json()
                                 for metric, stats in summary.metrics.items()},
+                    **({"telemetry": {str(trial): snapshot
+                                      for trial, snapshot
+                                      in sorted(summary.telemetry.items())}}
+                       if summary.telemetry else {}),
                 }
                 for summary in self.summaries
             ],

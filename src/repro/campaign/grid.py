@@ -105,6 +105,7 @@ class ParameterGrid:
             raise ValueError(f"parameters both axis and fixed: {sorted(overlap)}")
         self._explicit: Optional[List[Dict[str, Any]]] = None
         self._predicates: List[Predicate] = []
+        self._base_spec: Optional[Any] = None
         self.name = name
 
     @classmethod
@@ -127,6 +128,45 @@ class ParameterGrid:
                 raise ValueError(
                     f"parameters both point and fixed: {sorted(overlap)}")
         return grid
+
+    @classmethod
+    def over_spec(cls, spec: Any, axes: Mapping[str, Sequence[Any]],
+                  fixed: Optional[Params] = None,
+                  name: str = "") -> "ParameterGrid":
+        """A grid whose axes (and fixed parameters) are *dotted spec
+        paths* into a base :class:`repro.scenarios.spec.ScenarioSpec`.
+
+        >>> from repro.scenarios.spec import population_spec
+        >>> grid = ParameterGrid.over_spec(
+        ...     population_spec(),
+        ...     {"fleet.size": (250, 1000), "provider.corrupted": (0, 1)})
+        >>> grid.points()[1].params["spec"].provider.corrupted
+        1
+
+        Every expanded point's ``params`` carries the axis values under
+        their dotted names (so point keys — and therefore per-trial
+        seeds — depend only on what the sweep varies) plus the fully
+        materialized per-point spec under the reserved key ``"spec"``,
+        which is what :func:`repro.campaign.trials.spec_trial` compiles
+        and what result/cache JSON records verbatim.  Paths are applied
+        fixed-first, then axes in declaration order; every path is
+        validated against the base spec at declaration time.
+        """
+        from repro.scenarios.spec import get_path
+        grid = cls(axes, fixed=fixed, name=name)
+        reserved = {"spec"} & (set(grid._axes) | set(grid._fixed))
+        if reserved:
+            raise ValueError("'spec' is reserved for the expanded "
+                             "per-point spec; rename the parameter")
+        for path in list(grid._fixed) + list(grid._axes):
+            get_path(spec, path)   # raises on a path the spec lacks
+        grid._base_spec = spec
+        return grid
+
+    @property
+    def base_spec(self) -> Optional[Any]:
+        """The spec swept by :meth:`over_spec`, if any."""
+        return self._base_spec
 
     @property
     def axes(self) -> Dict[str, Tuple[Any, ...]]:
@@ -176,6 +216,9 @@ class ParameterGrid:
                 continue
             params = dict(self._fixed)
             params.update(raw)
+            if self._base_spec is not None:
+                from repro.scenarios.spec import apply_paths
+                params["spec"] = apply_paths(self._base_spec, params)
             expanded.append(GridPoint(index=len(expanded), params=params,
                                       key=point_key(raw)))
         if not expanded:

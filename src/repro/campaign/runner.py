@@ -108,15 +108,24 @@ def _source_tree_fingerprint() -> str:
 
 
 def _execute_spec(spec: _Spec) -> TrialRecord:
-    """Run one trial spec (module-level so worker processes can run it)."""
+    """Run one trial spec (module-level so worker processes can run it).
+
+    A trial function may return a bare scalar, a metrics mapping, or a
+    ``(metrics, telemetry_json)`` pair — the last attaches the trial's
+    registry snapshot to its record for ``include_telemetry`` exports.
+    """
     trial_fn, point_index, point_key, params, trial, seed = spec
     outcome = trial_fn(params, seed)
+    telemetry = None
+    if isinstance(outcome, tuple):
+        outcome, telemetry = outcome
     if isinstance(outcome, Mapping):
         metrics = {name: float(value) for name, value in outcome.items()}
     else:
         metrics = {"value": float(outcome)}
     return TrialRecord(point_index=point_index, point_key=point_key,
-                       params=params, trial=trial, seed=seed, metrics=metrics)
+                       params=params, trial=trial, seed=seed, metrics=metrics,
+                       telemetry=telemetry)
 
 
 class CampaignRunner:
@@ -135,6 +144,9 @@ class CampaignRunner:
         to spreading the specs roughly four chunks per worker, so slow
         grid points do not serialise the whole campaign behind them.
     :param confidence: confidence level for aggregate intervals.
+    :param include_telemetry: export each trial's registry snapshot
+        (when the trial function attaches one) into the aggregated
+        result and its JSON — see ``Aggregator``.
     :param name: campaign label carried into the result/JSON.
     :param cache_dir: directory for content-hashed result caching; when
         set, rerunning an identical campaign loads its records instead
@@ -154,7 +166,8 @@ class CampaignRunner:
     def __init__(self, trial_fn: TrialFn, *, trials_per_point: int = 1,
                  base_seed: int = 0, workers: Optional[int] = None,
                  chunk_size: Optional[int] = None,
-                 confidence: float = 0.95, name: str = "campaign",
+                 confidence: float = 0.95,
+                 include_telemetry: bool = False, name: str = "campaign",
                  cache_dir: "Optional[Path | str]" = None,
                  cache_max_bytes: Optional[int] = DEFAULT_CACHE_MAX_BYTES,
                  on_progress: Optional[ProgressCallback] = None) -> None:
@@ -172,6 +185,7 @@ class CampaignRunner:
         self._workers = workers
         self._chunk_size = chunk_size
         self._confidence = confidence
+        self._include_telemetry = include_telemetry
         self._name = name
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._cache_max_bytes = cache_max_bytes
@@ -250,7 +264,8 @@ class CampaignRunner:
 
     def _finalise(self, name: str, records: List[TrialRecord],
                   mode: str) -> CampaignResult:
-        aggregator = Aggregator(confidence=self._confidence)
+        aggregator = Aggregator(confidence=self._confidence,
+                                include_telemetry=self._include_telemetry)
         aggregator.extend(records)
         return CampaignResult(
             name=name, base_seed=self._base_seed,
@@ -330,17 +345,28 @@ class CampaignRunner:
             records.append(TrialRecord(
                 point_index=point_index, point_key=key, params=params,
                 trial=trial, seed=seed,
-                metrics={str(k): float(v) for k, v in metrics.items()}))
+                metrics={str(k): float(v) for k, v in metrics.items()},
+                telemetry=entry.get("telemetry")))
         return records
 
     def _write_cache(self, cache_path: Optional[Path],
                      records: List[TrialRecord]) -> None:
         if cache_path is None:
             return
+        from repro.campaign.aggregate import json_value
+
         payload = {
+            # Self-description: each record carries its parameters
+            # (specs render as their full nested dict), so a cache file
+            # alone says exactly which worlds produced it.  Only
+            # point_key/trial/seed/metrics/telemetry are read back.
             "records": [
                 {"point_key": record.point_key, "trial": record.trial,
-                 "seed": record.seed, "metrics": dict(record.metrics)}
+                 "seed": record.seed, "metrics": dict(record.metrics),
+                 "params": {name: json_value(value)
+                            for name, value in record.params.items()},
+                 **({"telemetry": record.telemetry}
+                    if record.telemetry is not None else {})}
                 for record in records
             ],
         }

@@ -41,12 +41,16 @@ from repro.ntp.chronos import ChronosClient, ChronosConfig
 from repro.ntp.client import NtpClient
 from repro.ntp.clock import SimClock
 from repro.ntp.pool import deploy_ntp_fleet
-from repro.scenarios.builders import (
-    PoolScenario,
-    build_pool_scenario,
-    build_population_scenario,
-)
+from repro.scenarios import PoolScenario
 from repro.scenarios.presets import get_preset
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    effective_forged,
+    get_path,
+    materialize,
+    pool_spec,
+    population_spec,
+)
 
 
 def build_scenario(params: Mapping[str, Any], seed: int) -> PoolScenario:
@@ -113,6 +117,31 @@ def _share(addresses, forged: set) -> float:
     return sum(1 for a in addresses if a in forged) / len(addresses)
 
 
+def _pool_generation_metrics(scenario: PoolScenario, pool,
+                             forged: set) -> Dict[str, float]:
+    """The standard metric set for one Algorithm 1 generation (shared
+    by :func:`pool_attack_trial` and single-client :func:`spec_trial`)."""
+    voted = (MajorityVoteCombiner().combine(pool.contributions)
+             if pool.contributions else [])
+    v4 = [a for a in pool.addresses if a.family == 4]
+    v6 = [a for a in pool.addresses if a.family == 6]
+    benign_fraction = (scenario.directory.benign_fraction(pool.addresses)
+                       if pool.addresses else 0.0)
+    return {
+        "ok": 1.0 if pool.ok else 0.0,
+        "degraded": 1.0 if pool.degraded else 0.0,
+        "elapsed": pool.elapsed,
+        "pool_size": float(len(pool.addresses)),
+        "truncate_length": float(pool.truncate_length),
+        "attacker_share": _share(pool.addresses, forged),
+        "v4_share": _share(v4, forged),
+        "v6_share": _share(v6, forged),
+        "voted_size": float(len(voted)),
+        "voted_attacker_share": _share(voted, forged),
+        "benign_fraction": benign_fraction,
+    }
+
+
 def pool_attack_trial(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
     """One end-to-end pool generation under resolver compromise.
 
@@ -171,64 +200,21 @@ def pool_attack_trial(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
         ignore_empty_answers=min_answers is not None)
     pool = scenario.generate_pool_sync(
         scenario.make_generator(config=generator_config))
-
-    voted = (MajorityVoteCombiner().combine(pool.contributions)
-             if pool.contributions else [])
-    v4 = [a for a in pool.addresses if a.family == 4]
-    v6 = [a for a in pool.addresses if a.family == 6]
-    benign_fraction = (scenario.directory.benign_fraction(pool.addresses)
-                       if pool.addresses else 0.0)
-    return {
-        "ok": 1.0 if pool.ok else 0.0,
-        "degraded": 1.0 if pool.degraded else 0.0,
-        "elapsed": pool.elapsed,
-        "pool_size": float(len(pool.addresses)),
-        "truncate_length": float(pool.truncate_length),
-        "attacker_share": _share(pool.addresses, forged),
-        "v4_share": _share(v4, forged),
-        "v6_share": _share(v6, forged),
-        "voted_size": float(len(voted)),
-        "voted_attacker_share": _share(voted, forged),
-        "benign_fraction": benign_fraction,
-    }
+    return _pool_generation_metrics(scenario, pool, forged)
 
 
 # ----------------------------------------------------------------------
 # P1 — population-scale fleets measured through the telemetry registry.
 # ----------------------------------------------------------------------
 
-# ``seed`` is campaign-derived and ``registry`` must stay per-trial (a
+# ``seed`` is campaign-derived and the registry must stay per-trial (a
 # shared one would fold metrics across trials and break the
 # serial==parallel bit-identity), so neither is a valid grid axis.
-_POPULATION_KEYS = frozenset(
-    inspect.signature(build_population_scenario).parameters) - {"seed",
-                                                                "registry"}
+_POPULATION_KEYS = frozenset(inspect.signature(population_spec).parameters)
 
 
-def population_trial(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
-    """One whole client population in one world.
-
-    Every parameter is a keyword of
-    :func:`repro.scenarios.builders.build_population_scenario`
-    (``num_clients``, ``rounds``, ``corrupted``, ``behavior``,
-    ``churn_rate``, ``arrival``, fault axes, ...), so campaign grids
-    sweep the population surface directly. Metrics are read from the
-    scenario's private telemetry registry after the run, which is what
-    keeps serial and sharded campaign executions bit-identical: each
-    trial owns its registry and folds nothing across trials.
-
-    Returned metrics: ``victim_fraction`` (of rounds that completed an
-    NTP sync, how many synced against an attacker server),
-    ``availability``, ``shifted_fraction``, ``sync_fraction``, clock
-    error stats, churn counts, and network/transport totals from the
-    registry (datagrams, bytes, stub timeouts).
-    """
-    unknown = set(params) - _POPULATION_KEYS
-    if unknown:
-        raise ValueError(
-            f"unrecognised trial parameters: {sorted(unknown)} "
-            f"(not accepted by build_population_scenario)")
-    scenario = build_population_scenario(seed=seed, **dict(params))
+def _population_metrics(scenario) -> Dict[str, float]:
+    """The standard metric set for one driven population world."""
     outcomes = scenario.run()
     registry = scenario.telemetry
     return {
@@ -247,6 +233,101 @@ def population_trial(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
         "bytes": registry.value("net.bytes_sent"),
         "stub_timeouts": registry.value("dns.stub.timeouts"),
     }
+
+
+def population_trial(params: Mapping[str, Any], seed: int):
+    """One whole client population in one world.
+
+    Every parameter is a keyword of
+    :func:`repro.scenarios.spec.population_spec` (``num_clients``,
+    ``rounds``, ``corrupted``, ``behavior``, ``churn_rate``,
+    ``arrival``, fault axes, ...), so campaign grids sweep the
+    population surface directly. Metrics are read from the scenario's
+    private telemetry registry after the run, which is what keeps
+    serial and sharded campaign executions bit-identical: each trial
+    owns its registry and folds nothing across trials.
+
+    Returned metrics: ``victim_fraction`` (of rounds that completed an
+    NTP sync, how many synced against an attacker server),
+    ``availability``, ``shifted_fraction``, ``sync_fraction``, clock
+    error stats, churn counts, and network/transport totals from the
+    registry (datagrams, bytes, stub timeouts).  The trial also attaches
+    the registry's snapshot JSON to its record, exported by runners
+    configured with ``include_telemetry=True``.
+    """
+    unknown = set(params) - _POPULATION_KEYS
+    if unknown:
+        raise ValueError(
+            f"unrecognised trial parameters: {sorted(unknown)} "
+            f"(not accepted by population_spec)")
+    scenario = materialize(population_spec(**dict(params)), seed)
+    metrics = _population_metrics(scenario)
+    return metrics, scenario.telemetry.snapshot_json()
+
+
+# ----------------------------------------------------------------------
+# The generic grid-over-spec trial.
+# ----------------------------------------------------------------------
+
+
+def spec_trial(params: Mapping[str, Any], seed: int):
+    """One trial of whatever world ``params["spec"]`` describes.
+
+    The bridge for :meth:`repro.campaign.ParameterGrid.over_spec`
+    grids: each point carries its fully applied
+    :class:`~repro.scenarios.spec.ScenarioSpec` under the reserved
+    ``"spec"`` key (a spec object or its ``to_dict`` form) plus its
+    swept dotted paths, which are validated against the spec so a
+    point whose sweep silently failed to land cannot run.
+
+    Population specs run the whole fleet and report the
+    :func:`population_trial` metric set; single-client specs run one
+    Algorithm 1 generation under the spec's combine policy
+    (``pool.truncation`` / ``pool.min_answers`` /
+    ``pool.dual_stack_policy``) and report the
+    :func:`pool_attack_trial` metric set.  Either way the registry
+    snapshot rides along when the world has telemetry.
+    """
+    if "spec" not in params:
+        raise ValueError("spec_trial needs params['spec'] "
+                         "(use ParameterGrid.over_spec)")
+    spec = params["spec"]
+    if isinstance(spec, Mapping):
+        spec = ScenarioSpec.from_dict(spec)
+    for name, value in params.items():
+        if name == "spec":
+            continue
+        applied = get_path(spec, name)   # raises on a path the spec lacks
+        expected = tuple(value) if isinstance(value, list) else value
+        if applied != expected:
+            raise ValueError(
+                f"spec path {name!r} carries {applied!r} but the grid "
+                f"point says {expected!r}; was the spec edited after "
+                f"expansion?")
+
+    world = materialize(spec, seed)
+    if spec.fleet is not None:
+        metrics = _population_metrics(world)
+        return metrics, world.telemetry.snapshot_json()
+
+    # Score attacker shares against what the compiler actually serves:
+    # the spec's forged set plus the default synthesis for corruption
+    # behaviours that need addresses but declared none.
+    forged = {IPAddress(a) for a in effective_forged(spec)}
+    for attack in spec.attacks:
+        forged.update(IPAddress(a) for a in attack.param("forged", ()))
+    min_answers = spec.pool.min_answers
+    generator_config = PoolGeneratorConfig(
+        truncation=TruncationPolicy(spec.pool.truncation),
+        dual_stack=_coerce_dual_stack(spec.pool.dual_stack_policy),
+        min_answers=min_answers,
+        ignore_empty_answers=min_answers is not None)
+    pool = world.generate_pool_sync(
+        world.make_generator(config=generator_config))
+    metrics = _pool_generation_metrics(world, pool, forged)
+    if world.telemetry is not None:
+        return metrics, world.telemetry.snapshot_json()
+    return metrics
 
 
 # ----------------------------------------------------------------------
@@ -384,10 +465,10 @@ def offpath_spray_trial(params: Mapping[str, Any],
                          f"known: {sorted(_OFFPATH_KEYS)}")
     txid_bits = int(params.get("txid_bits", 8))
     covered_bits = int(params["covered_bits"])
-    scenario = build_pool_scenario(
-        seed=seed, num_providers=1,
+    scenario = materialize(pool_spec(
+        num_providers=1,
         resolver_config=ResolverConfig(txid_bits=txid_bits,
-                                       randomize_txid=True))
+                                       randomize_txid=True)), seed)
     victim = scenario.providers[0]
     victim.host.randomize_ports = False
     poisoner = OffPathPoisoner(scenario.internet,

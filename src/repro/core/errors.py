@@ -14,3 +14,17 @@ class PoolGenerationError(RuntimeError):
 
 class ConfigurationError(ValueError):
     """Invalid generator/resolver-set configuration."""
+
+
+class UnknownPresetError(ConfigurationError):
+    """A scenario preset name not present in the registry.
+
+    Carries the valid names so a typo'd campaign axis fails with an
+    actionable message instead of a bare ``KeyError``.
+    """
+
+    def __init__(self, name: str, known) -> None:
+        self.name = name
+        self.known = sorted(known)
+        super().__init__(
+            f"unknown scenario preset {name!r}; known: {self.known}")

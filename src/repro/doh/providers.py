@@ -63,14 +63,15 @@ def synthetic_profiles(count: int, regions: List[str],
 
 @dataclass
 class ProviderDeployment:
-    """A live provider: host + resolver + DoH front-end + identity."""
+    """A live provider: host + resolver, and — unless deployed in
+    plain-DNS serving mode — a DoH front-end with a TLS identity."""
 
     profile: DoHProviderProfile
     host: Host
     resolver: RecursiveResolver
-    doh_server: DoHServer
-    certificate: Certificate
-    keypair: KeyPair
+    doh_server: Optional[DoHServer] = None
+    certificate: Optional[Certificate] = None
+    keypair: Optional[KeyPair] = None
 
     @property
     def name(self) -> str:
@@ -78,6 +79,10 @@ class ProviderDeployment:
 
     @property
     def endpoint(self) -> Endpoint:
+        if self.doh_server is None:
+            raise ValueError(
+                f"provider {self.name!r} serves plain DNS only "
+                f"(no DoH endpoint)")
         return self.doh_server.endpoint
 
     @property

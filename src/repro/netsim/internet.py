@@ -130,6 +130,13 @@ class Internet:
             self._t_delivered = telemetry.counter("net.datagrams_delivered")
             self._t_dropped = telemetry.counter("net.datagrams_dropped")
             self._t_latency = telemetry.histogram("net.delivery_latency")
+            # Per-link drop series are created lazily on the first drop
+            # a link produces, so fault-free runs leave the registry's
+            # snapshot byte-identical to pre-series builds.
+            self._t_link_drops = {}
+
+    #: Bin width (virtual seconds) of the per-link drop time series.
+    LINK_DROP_BIN = 1.0
 
     # ------------------------------------------------------------------
     # Wiring.
@@ -363,8 +370,14 @@ class Internet:
                     self._t_latency.observe(latency)
             else:
                 self._t_dropped.inc()
-                self._telemetry.counter(
-                    "net.drops", reason=receipt.dropped_by or "unknown").inc()
+                where = receipt.dropped_by or "unknown"
+                self._telemetry.counter("net.drops", reason=where).inc()
+                series = self._t_link_drops.get(where)
+                if series is None:
+                    series = self._telemetry.timeseries(
+                        "net.link_drops", self.LINK_DROP_BIN, link=where)
+                    self._t_link_drops[where] = series
+                series.record(self._simulator.now, 1.0)
         if self._keep_receipts:
             self._receipts.append(receipt)
         for observer in self._observers:

@@ -56,6 +56,19 @@ from repro.telemetry.registry import MetricsRegistry, use_registry
 from repro.util.rng import RngRegistry
 
 
+def _doh_addresses(outcome) -> Optional[List[IPAddress]]:
+    """A DoH query outcome's answer addresses, with the same semantics
+    the stub path feeds the combiner: ``None`` for a failed resolver,
+    a (possibly empty) address list for an answer."""
+    from repro.dns.rcode import RCode
+    if not outcome.ok or outcome.message is None:
+        return None
+    if outcome.message.rcode is not RCode.NOERROR:
+        return None
+    return [record.rdata.address for record in outcome.message.answers
+            if record.rrtype in (RRType.A, RRType.AAAA)]
+
+
 class BatchDispatcher:
     """Coalesces many wake-ups into one simulator event per time bin.
 
@@ -123,6 +136,13 @@ class FleetConfig:
         pool cache dropped (forcing a re-resolve).
     :param min_answers: ``None`` for the paper's strict all-must-answer
         combination; an integer for the E6 quorum extension.
+    :param transport: ``"udp"`` — one plain-DNS stub query per provider
+        (cheap, spoofable, the default) — or ``"doh"`` — one RFC 8484
+        query over a fresh TLS connection per provider per resolve, so
+        every client pays the per-query handshake cost the paper's
+        distributed lookup implies.  DoH mode needs the fleet to be
+        given provider ``endpoints``/``server_names`` and a
+        ``trust_store``.
     :param initial_clock_error: clients start with clock errors uniform
         in ±this (seconds).
     :param shift_threshold: |clock error| beyond which a synced client
@@ -145,6 +165,7 @@ class FleetConfig:
     churn_rate: float = 0.0
     rejoin_delay: float = 30.0
     min_answers: Optional[int] = None
+    transport: str = "udp"
     initial_clock_error: float = 0.050
     shift_threshold: float = 1.0
     dns_timeout: float = 3.0
@@ -167,6 +188,9 @@ class FleetConfig:
         if self.min_answers is not None and self.min_answers < 1:
             raise ValueError("min_answers must be >= 1 (or None for the "
                              "strict all-must-answer semantics)")
+        if self.transport not in ("udp", "doh"):
+            raise ValueError(
+                f"transport must be 'udp' or 'doh', got {self.transport!r}")
 
 
 @dataclass
@@ -190,21 +214,22 @@ class PopulationOutcomes:
 
 
 class _FleetClient:
-    """One population member: host + clock + stubs + SNTP."""
+    """One population member: host + clock + stubs (or DoH) + SNTP."""
 
-    __slots__ = ("fleet", "index", "host", "clock", "stubs", "ntp",
+    __slots__ = ("fleet", "index", "host", "clock", "stubs", "doh", "ntp",
                  "arrivals", "churn_rng", "select_rng", "pool",
                  "rounds_done")
 
     def __init__(self, fleet: "ClientFleet", index: int, host: Host,
                  clock: SimClock, stubs: List[StubResolver],
                  ntp: NtpClient, arrivals: ArrivalProcess,
-                 churn_rng, select_rng) -> None:
+                 churn_rng, select_rng, doh=None) -> None:
         self.fleet = fleet
         self.index = index
         self.host = host
         self.clock = clock
         self.stubs = stubs
+        self.doh = doh                # DoHClient in transport="doh" mode
         self.ntp = ntp
         self.arrivals = arrivals
         self.churn_rng = churn_rng
@@ -231,6 +256,10 @@ class ClientFleet:
     :param registry: telemetry sink; a private one is created when not
         supplied. All client-side instruments (protocol counters
         included) are captured against it.
+    :param endpoints: the providers' DoH endpoints (required in
+        ``transport="doh"`` mode, parallel to ``providers``).
+    :param server_names: the providers' TLS names (DoH mode).
+    :param trust_store: CAs the clients trust (DoH mode).
     """
 
     def __init__(self, internet: Internet, providers: Sequence[IPAddress],
@@ -238,7 +267,10 @@ class ClientFleet:
                  nodes: Optional[Sequence[str]] = None,
                  config: Optional[FleetConfig] = None,
                  attacker_addresses: Sequence["IPAddress | str"] = (),
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 endpoints: Optional[Sequence] = None,
+                 server_names: Optional[Sequence[str]] = None,
+                 trust_store=None) -> None:
         if not providers:
             raise ValueError("fleet needs at least one provider")
         self._internet = internet
@@ -248,6 +280,18 @@ class ClientFleet:
         self._nodes = list(nodes) if nodes else internet.topology.nodes
         self._rng = rng
         self._config = config or FleetConfig()
+        if self._config.transport == "doh":
+            if endpoints is None or server_names is None or trust_store is None:
+                raise ValueError(
+                    "transport='doh' needs endpoints, server_names and "
+                    "a trust_store")
+            if not len(endpoints) == len(server_names) == len(self._providers):
+                raise ValueError(
+                    "endpoints/server_names must parallel providers")
+        self._endpoints = list(endpoints) if endpoints is not None else None
+        self._server_names = (list(server_names)
+                              if server_names is not None else None)
+        self._trust_store = trust_store
         self._attackers: Set[IPAddress] = {
             IPAddress(a) for a in attacker_addresses}
         self.registry = registry or MetricsRegistry()
@@ -301,13 +345,23 @@ class ClientFleet:
                                       config.initial_clock_error))
         # Protocol objects capture the fleet's registry, so transport
         # and stub/NTP counters land next to the population metrics.
+        doh = None
         with use_registry(self.registry):
-            stubs = [StubResolver(host, self._simulator, provider,
-                                  timeout=config.dns_timeout,
-                                  retries=config.dns_retries,
-                                  rng=self._rng.stream("population", tag,
-                                                       "txid", str(pi)))
-                     for pi, provider in enumerate(self._providers)]
+            if config.transport == "doh":
+                from repro.doh.client import DoHClient
+                stubs: List[StubResolver] = []
+                doh = DoHClient(host, self._simulator, self._trust_store,
+                                rng=self._rng.stream("population", tag,
+                                                     "doh"),
+                                timeout=config.dns_timeout,
+                                retries=config.dns_retries)
+            else:
+                stubs = [StubResolver(host, self._simulator, provider,
+                                      timeout=config.dns_timeout,
+                                      retries=config.dns_retries,
+                                      rng=self._rng.stream("population", tag,
+                                                           "txid", str(pi)))
+                         for pi, provider in enumerate(self._providers)]
             ntp = NtpClient(host, self._simulator, clock,
                             timeout=config.ntp_timeout)
         arrivals = make_arrivals(
@@ -316,7 +370,8 @@ class ClientFleet:
         return _FleetClient(
             self, index, host, clock, stubs, ntp, arrivals,
             churn_rng=self._rng.stream("population", tag, "churn"),
-            select_rng=self._rng.stream("population", tag, "select"))
+            select_rng=self._rng.stream("population", tag, "select"),
+            doh=doh)
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -374,28 +429,39 @@ class ClientFleet:
             self._after_resolve(client, client.pool)
 
     def _resolve(self, client: _FleetClient) -> None:
-        """Algorithm 1's fan-out: one query per provider, then combine."""
-        outcomes: Dict[int, StubOutcome] = {}
-        expected = len(client.stubs)
+        """Algorithm 1's fan-out: one query per provider (plain stub or
+        TLS-wrapped DoH, per the configured transport), then combine."""
+        answers: Dict[int, Optional[List[IPAddress]]] = {}
+        expected = len(self._providers)
 
-        def on_outcome(provider_index: int, outcome: StubOutcome) -> None:
-            outcomes[provider_index] = outcome
-            if len(outcomes) == expected:
-                client.pool = self._combine(outcomes)
+        def on_answer(provider_index: int,
+                      addresses: Optional[List[IPAddress]]) -> None:
+            answers[provider_index] = addresses
+            if len(answers) == expected:
+                client.pool = self._combine(answers)
                 self._after_resolve(client, client.pool)
 
-        for provider_index, stub in enumerate(client.stubs):
-            stub.query(self._pool_domain, RRType.A,
-                       lambda outcome, pi=provider_index:
-                       on_outcome(pi, outcome))
+        if client.doh is not None:
+            for provider_index, (endpoint, name) in enumerate(
+                    zip(self._endpoints, self._server_names)):
+                client.doh.query(endpoint, name, self._pool_domain, RRType.A,
+                                 lambda outcome, pi=provider_index:
+                                 on_answer(pi, _doh_addresses(outcome)))
+        else:
+            for provider_index, stub in enumerate(client.stubs):
+                stub.query(self._pool_domain, RRType.A,
+                           lambda outcome, pi=provider_index:
+                           on_answer(pi, outcome.addresses
+                                     if outcome.ok else None))
 
-    def _combine(self, outcomes: Dict[int, StubOutcome]) -> Optional[List[IPAddress]]:
+    def _combine(self, answers: Dict[int, Optional[List[IPAddress]]]
+                 ) -> Optional[List[IPAddress]]:
         """Truncate-and-combine under strict or quorum semantics —
         delegated to :func:`repro.core.pool.combine_with_quorum` so the
         population can never drift from the single-client trials."""
         return combine_with_quorum(
-            {str(index): outcome.addresses if outcome.ok else None
-             for index, outcome in sorted(outcomes.items())},
+            {str(index): addresses
+             for index, addresses in sorted(answers.items())},
             min_answers=self._config.min_answers)
 
     def _after_resolve(self, client: _FleetClient,

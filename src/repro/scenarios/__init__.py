@@ -1,27 +1,74 @@
-"""Scenario builders: assembled simulated worlds for experiments.
+"""Scenario layer: declarative specs, their compiler, and presets.
 
 A *scenario* wires together the substrates — topology, DNS tree, DoH
-providers, NTP pool, client — into the system of the paper's Figure 1,
-parameterised by provider count, pool size, attacker placement, and so
-on. Tests, examples and benchmarks all build their worlds here so that
-experiment code stays declarative.
+providers, NTP pool, client fleet — into the system of the paper's
+Figure 1.  The construction surface is spec-first: describe a world as
+a :class:`ScenarioSpec` (typed, frozen, JSON-round-tripping dataclasses)
+and compile it with :func:`materialize`; campaign grids sweep dotted
+spec paths directly (``ParameterGrid.over_spec``).  The legacy keyword
+builders remain as deprecated shims.
 """
 
-from repro.scenarios.builders import PoolScenario, build_pool_scenario
-from repro.scenarios.workload import PoolDirectory
+from repro.scenarios.builders import (
+    PoolScenario,
+    PopulationScenario,
+    build_pool_scenario,
+    build_population_scenario,
+)
 from repro.scenarios.presets import (
     degraded_network_scenario,
     figure1_scenario,
     large_scale_scenario,
     lossy_network_scenario,
 )
+from repro.scenarios.spec import (
+    AttackSpec,
+    FaultSpec,
+    FleetSpec,
+    LinkSpec,
+    NetworkSpec,
+    PoolSpec,
+    ProfileSpec,
+    ProviderSpec,
+    RegionSpec,
+    ResolverSpec,
+    ScenarioSpec,
+    TelemetrySpec,
+    World,
+    get_path,
+    materialize,
+    pool_spec,
+    population_spec,
+    set_path,
+)
+from repro.scenarios.workload import PoolDirectory
 
 __all__ = [
-    "PoolScenario",
-    "build_pool_scenario",
+    "AttackSpec",
+    "FaultSpec",
+    "FleetSpec",
+    "LinkSpec",
+    "NetworkSpec",
     "PoolDirectory",
+    "PoolScenario",
+    "PoolSpec",
+    "PopulationScenario",
+    "ProfileSpec",
+    "ProviderSpec",
+    "RegionSpec",
+    "ResolverSpec",
+    "ScenarioSpec",
+    "TelemetrySpec",
+    "World",
+    "build_pool_scenario",
+    "build_population_scenario",
     "degraded_network_scenario",
     "figure1_scenario",
+    "get_path",
     "large_scale_scenario",
     "lossy_network_scenario",
+    "materialize",
+    "pool_spec",
+    "population_spec",
+    "set_path",
 ]

@@ -1,45 +1,37 @@
-"""Assembly of the paper's Figure 1 world.
+"""The Figure 1 world objects and the legacy builder shims.
 
-``build_pool_scenario`` constructs, inside one deterministic simulation:
+The world types live here — :class:`PoolScenario` (one client, the DNS
+tree, N DoH providers, the pool directory) and
+:class:`PopulationScenario` (the same world plus a measured client
+fleet).  Construction moved to the declarative spec layer: describe a
+world with :class:`repro.scenarios.spec.ScenarioSpec` and compile it
+with :func:`repro.scenarios.spec.materialize`.
 
-* the global backbone topology;
-* the DNS tree: root → org → ntp.org, with the pool zone served by
-  three nameservers (``c/d/e.ntpns.org``, as in Figure 1);
-* N DoH providers (dns.google / cloudflare-dns.com / dns.quad9.net for
-  N ≤ 3, synthetic ones beyond), each a host running a recursive
-  resolver plus a DoH front-end with a CA-issued certificate;
-* the NTP pool membership (:class:`repro.scenarios.workload.PoolDirectory`)
-  behind ``pool.ntp.org`` with per-query rotation;
-* a client host with the CA in its trust store.
-
-Everything derives from one root seed.
+``build_pool_scenario`` / ``build_population_scenario`` remain as
+deprecated keyword shims: they convert their kwargs into a spec via
+:func:`repro.scenarios.spec.pool_spec` /
+:func:`~repro.scenarios.spec.population_spec` and materialize it, which
+produces bit-identical worlds to the pre-spec builders for the same
+seed.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.dns.name import Name
-from repro.dns.rdata import ARdata, NSRdata
 from repro.dns.resolver import ResolverConfig
-from repro.dns.rrtype import RRType
 from repro.dns.server import AuthoritativeServer
 from repro.dns.zone import Zone
-from repro.doh.providers import (
-    FIGURE1_PROVIDERS,
-    DoHProviderProfile,
-    ProviderDeployment,
-    deploy_provider,
-    synthetic_profiles,
-)
+from repro.doh.providers import DoHProviderProfile, ProviderDeployment
 from repro.doh.tls import CertificateAuthority, TrustStore
-from repro.netsim.address import IPAddress, ip
+from repro.netsim.address import IPAddress
 from repro.netsim.host import Host
 from repro.netsim.internet import Internet
 from repro.netsim.link import FaultModel, LinkProfile
 from repro.netsim.simulator import Simulator
-from repro.netsim.topology import Topology
 from repro.scenarios.workload import PoolDirectory
 from repro.util.rng import RngRegistry
 
@@ -74,6 +66,8 @@ class PoolScenario:
     dns_servers: Dict[str, AuthoritativeServer] = field(default_factory=dict)
     root_hints: List = field(default_factory=list)
     access_fault: Optional[FaultModel] = None  # installed on the client edge
+    telemetry: Optional["MetricsRegistry"] = None    # noqa: F821
+    attacks: List[Tuple[str, Any]] = field(default_factory=list)
 
     @property
     def provider_endpoints(self) -> List:
@@ -141,6 +135,7 @@ class PopulationScenario:
     ntp_fleet: "NtpFleet"           # noqa: F821
     telemetry: "MetricsRegistry"    # noqa: F821
     attacker_addresses: List[IPAddress] = field(default_factory=list)
+    attacks: List[Tuple[str, Any]] = field(default_factory=list)
 
     @property
     def simulator(self) -> Simulator:
@@ -157,6 +152,54 @@ class PopulationScenario:
 
     def outcomes(self):
         return self.fleet.outcomes()
+
+
+def _make_benign_pool(pool_size: int, dual_stack: bool) -> List[str]:
+    addresses = [f"172.16.{index // 250}.{index % 250 + 1}"
+                 for index in range(pool_size)]
+    if dual_stack:
+        addresses += [f"fd00:a17e::{index + 1:x}" for index in range(pool_size)]
+    return addresses
+
+
+# ----------------------------------------------------------------------
+# Deprecated keyword shims over the spec layer.
+# ----------------------------------------------------------------------
+
+def build_pool_scenario(
+    seed: int = 1,
+    num_providers: int = 3,
+    pool_size: int = 20,
+    answers_per_query: int = 4,
+    dual_stack: bool = False,
+    profiles: Optional[List[DoHProviderProfile]] = None,
+    resolver_config: Optional[ResolverConfig] = None,
+    access_link: Optional[LinkProfile] = None,
+    pool_ttl: int = 60,
+    loss_rate: float = 0.0,
+    jitter_s: float = 0.0,
+    reorder_window: float = 0.0,
+    duplicate_rate: float = 0.0,
+    fault_model: Optional[FaultModel] = None,
+) -> PoolScenario:
+    """Deprecated: build the Figure 1 world from flat keywords.
+
+    Thin shim over ``materialize(pool_spec(...), seed)`` — construct a
+    :class:`repro.scenarios.spec.ScenarioSpec` instead; the compiled
+    world is bit-identical for the same seed.
+    """
+    warnings.warn(
+        "build_pool_scenario is deprecated; build a ScenarioSpec with "
+        "repro.scenarios.spec.pool_spec(...) and compile it with "
+        "materialize(spec, seed)", DeprecationWarning, stacklevel=2)
+    from repro.scenarios.spec import materialize, pool_spec
+    return materialize(pool_spec(
+        num_providers=num_providers, pool_size=pool_size,
+        answers_per_query=answers_per_query, dual_stack=dual_stack,
+        profiles=profiles, resolver_config=resolver_config,
+        access_link=access_link, pool_ttl=pool_ttl, loss_rate=loss_rate,
+        jitter_s=jitter_s, reorder_window=reorder_window,
+        duplicate_rate=duplicate_rate, fault_model=fault_model), seed)
 
 
 def build_population_scenario(
@@ -186,235 +229,25 @@ def build_population_scenario(
     time_bin: float = 10.0,
     registry=None,
 ) -> PopulationScenario:
-    """Build the population world: Figure 1's infrastructure, the NTP
-    server fleet behind the pool name (attacker servers included), an
-    optional provider compromise, and ``num_clients`` resolve→sync
-    clients driven by ``arrival``/``churn_rate`` processes.
+    """Deprecated: build the population world from flat keywords.
 
-    Every component is constructed under one fresh (or caller-supplied)
-    :class:`~repro.telemetry.MetricsRegistry`, so transport, network
-    and population metrics for this world land in one place and nothing
-    leaks across scenarios. All parameters are plain scalars/tuples —
-    the signature doubles as the campaign grid surface for
-    :func:`repro.campaign.trials.population_trial`.
+    Thin shim over ``materialize(population_spec(...), seed)`` — the
+    compiled world is bit-identical for the same seed.
     """
-    # Imported here: scenarios is imported by the attack/population
-    # layers themselves, so module-level imports would cycle.
-    from repro.attacks.compromise import (
-        CompromiseConfig,
-        CompromisedResolverBehavior,
-        corrupt_first_k,
-    )
-    from repro.ntp.pool import deploy_ntp_fleet
-    from repro.population.fleet import ClientFleet, FleetConfig
-    from repro.telemetry.registry import MetricsRegistry, use_registry
-
-    if not 0 <= corrupted <= num_providers:
-        raise ValueError(
-            f"corrupted must be in [0, {num_providers}], got {corrupted}")
-    if min_answers is not None and not 1 <= min_answers <= num_providers:
-        raise ValueError(
-            f"min_answers must be in [1, {num_providers}] or None, "
-            f"got {min_answers}")
-    behavior = (behavior if isinstance(behavior, CompromisedResolverBehavior)
-                else CompromisedResolverBehavior(behavior))
-    forged_list = [IPAddress(a) for a in forged]
-    needs_addresses = corrupted > 0 and behavior in (
-        CompromisedResolverBehavior.SUBSTITUTE,
-        CompromisedResolverBehavior.INFLATE)
-    if needs_addresses and not forged_list:
-        forged_list = [IPAddress(f"203.0.113.{i + 1}")
-                       for i in range(answers_per_query)]
-
-    registry = registry or MetricsRegistry()
-    with use_registry(registry):
-        pool_scenario = build_pool_scenario(
-            seed=seed, num_providers=num_providers, pool_size=pool_size,
-            answers_per_query=answers_per_query, pool_ttl=pool_ttl,
-            loss_rate=loss_rate, jitter_s=jitter_s,
-            reorder_window=reorder_window, duplicate_rate=duplicate_rate)
-        # Population access edges: one per backbone region, so the
-        # fleet keeps geographic spread while *every* client's traffic
-        # crosses a link carrying the scenario's access fault — the
-        # fault axes degrade the whole population, not just the single
-        # Figure 1 client's edge.
-        topology = pool_scenario.internet.topology
-        regions = [node for node in topology.nodes
-                   if not node.endswith("-edge")]
-        access_nodes = []
-        for region in regions:
-            node = f"pop-edge-{region}"
-            topology.add_link(node, region, LinkProfile.metro())
-            if pool_scenario.access_fault is not None:
-                topology.set_fault_model(node, region,
-                                         pool_scenario.access_fault)
-            access_nodes.append(node)
-        if corrupted:
-            corrupt_first_k(
-                pool_scenario.providers, corrupted,
-                CompromiseConfig(target=pool_scenario.pool_domain,
-                                 behavior=behavior,
-                                 forged_addresses=forged_list))
-        # Servers stay on the backbone regions: a pool server co-located
-        # on a population access edge would let its clients sync without
-        # ever crossing the faulted access link.
-        ntp_fleet = deploy_ntp_fleet(
-            pool_scenario.internet, pool_scenario.directory,
-            pool_scenario.rng, regions=regions,
-            malicious_lie_offset=lie_offset,
-            extra_addresses=forged_list)
-        attackers = forged_list + pool_scenario.directory.malicious
-        fleet = ClientFleet(
-            pool_scenario.internet,
-            [deployment.address for deployment in pool_scenario.providers],
-            pool_scenario.pool_domain, pool_scenario.rng,
-            nodes=access_nodes,
-            config=FleetConfig(
-                num_clients=num_clients, rounds=rounds,
-                mean_interval=mean_interval, arrival=arrival,
-                resolve_every=resolve_every, churn_rate=churn_rate,
-                rejoin_delay=rejoin_delay, min_answers=min_answers,
-                initial_clock_error=initial_clock_error,
-                shift_threshold=shift_threshold, time_bin=time_bin),
-            attacker_addresses=attackers, registry=registry)
-    return PopulationScenario(pool=pool_scenario, fleet=fleet,
-                              ntp_fleet=ntp_fleet, telemetry=registry,
-                              attacker_addresses=attackers)
-
-
-def _make_benign_pool(pool_size: int, dual_stack: bool) -> List[str]:
-    addresses = [f"172.16.{index // 250}.{index % 250 + 1}"
-                 for index in range(pool_size)]
-    if dual_stack:
-        addresses += [f"fd00:a17e::{index + 1:x}" for index in range(pool_size)]
-    return addresses
-
-
-def build_pool_scenario(
-    seed: int = 1,
-    num_providers: int = 3,
-    pool_size: int = 20,
-    answers_per_query: int = 4,
-    dual_stack: bool = False,
-    profiles: Optional[List[DoHProviderProfile]] = None,
-    resolver_config: Optional[ResolverConfig] = None,
-    access_link: Optional[LinkProfile] = None,
-    pool_ttl: int = 60,
-    loss_rate: float = 0.0,
-    jitter_s: float = 0.0,
-    reorder_window: float = 0.0,
-    duplicate_rate: float = 0.0,
-    fault_model: Optional[FaultModel] = None,
-) -> PoolScenario:
-    """Build the Figure 1 world. See module docstring for contents.
-
-    The ``loss_rate`` / ``jitter_s`` / ``reorder_window`` /
-    ``duplicate_rate`` knobs (or a whole ``fault_model``, composed with
-    them) degrade the *client access link* — the hop every DoH exchange
-    crosses — and exist primarily as campaign grid axes for the paper's
-    availability experiments (E6). A fault-free build draws nothing
-    from the fault streams, so default scenarios stay bit-identical.
-    """
-    if num_providers < 1:
-        raise ValueError("need at least one provider")
-    registry = RngRegistry(seed)
-    simulator = Simulator()
-    topology = Topology.global_backbone(rng_registry=registry)
-
-    # Attach infrastructure edges.
-    edge = access_link or LinkProfile.metro()
-    topology.add_link("client-edge", "eu-central", edge)
-    topology.add_link("dns-root-edge", "us-east", LinkProfile.metro())
-    topology.add_link("dns-org-edge", "eu-west", LinkProfile.metro())
-    topology.add_link("ntpns-edge", "us-west", LinkProfile.metro())
-    access_fault = FaultModel(loss_rate=loss_rate, jitter_s=jitter_s,
-                              reorder_window=reorder_window,
-                              duplicate_rate=duplicate_rate)
-    if fault_model is not None:
-        access_fault = access_fault.compose(fault_model)
-    if access_fault.active:
-        topology.set_fault_model("client-edge", "eu-central", access_fault)
-    else:
-        access_fault = None
-    internet = Internet(simulator, topology, registry)
-
-    # --- DNS tree -----------------------------------------------------
-    root_host = internet.add_host(
-        Host("a.root-servers.net", "dns-root-edge", [ip(ROOT_NS_ADDRESS)]))
-    org_host = internet.add_host(
-        Host("a0.org.afilias-nst.info", "dns-org-edge", [ip(ORG_NS_ADDRESS)]))
-
-    root_zone = Zone(".", soa_mname="a.root-servers.net")
-    root_zone.add_delegation("org", "a0.org.afilias-nst.info")
-    # Out-of-zone NS target needs glue at the root (it lives under
-    # .info in reality; here the root carries the A record directly).
-    root_zone.add_record("a0.org.afilias-nst.info", ARdata(ORG_NS_ADDRESS))
-
-    org_zone = Zone("org", soa_mname="a0.org.afilias-nst.info")
-    ntpns_hosts = {}
-    for ns_name, address in NTP_NS_ADDRESSES.items():
-        org_zone.add_delegation("ntp.org", ns_name, glue=[ARdata(address)])
-        ntpns_hosts[ns_name] = internet.add_host(
-            Host(ns_name, "ntpns-edge", [ip(address)]))
-    # ntpns.org itself is a real zone too (its servers' names live there).
-    org_zone.add_delegation("ntpns.org", "c.ntpns.org",
-                            glue=[ARdata(NTP_NS_ADDRESSES["c.ntpns.org"])])
-
-    directory = PoolDirectory(
-        benign=_make_benign_pool(pool_size, dual_stack=dual_stack),
-        answers_per_query=answers_per_query,
-        rng=registry.stream("pool-rotation"),
-    )
-    pool_zone = Zone("ntp.org", soa_mname="c.ntpns.org", default_ttl=pool_ttl)
-    for ns_name in NTP_NS_ADDRESSES:
-        pool_zone.add_record("ntp.org", NSRdata(Name(ns_name)))
-    pool_zone.add_provider(POOL_DOMAIN, RRType.A,
-                           directory.record_provider(family=4), ttl=pool_ttl)
-    if dual_stack:
-        pool_zone.add_provider(POOL_DOMAIN, RRType.AAAA,
-                               directory.record_provider(family=6),
-                               ttl=pool_ttl)
-
-    ntpns_zone = Zone("ntpns.org", soa_mname="c.ntpns.org")
-    for ns_name, address in NTP_NS_ADDRESSES.items():
-        ntpns_zone.add_record(ns_name, ARdata(address))
-
-    dns_servers = {
-        "root": AuthoritativeServer(root_host, [root_zone]),
-        "org": AuthoritativeServer(org_host, [org_zone]),
-    }
-    for ns_name, host in ntpns_hosts.items():
-        dns_servers[ns_name] = AuthoritativeServer(host, [pool_zone, ntpns_zone])
-
-    root_hints = [(Name("a.root-servers.net"), IPAddress(ROOT_NS_ADDRESS))]
-
-    # --- DoH providers -------------------------------------------------
-    authority = CertificateAuthority("SimRoot CA", registry.stream("ca"))
-    if profiles is None:
-        if num_providers <= len(FIGURE1_PROVIDERS):
-            profiles = FIGURE1_PROVIDERS[:num_providers]
-        else:
-            profiles = list(FIGURE1_PROVIDERS) + synthetic_profiles(
-                num_providers - len(FIGURE1_PROVIDERS),
-                regions=["us-west", "us-east", "eu-west", "eu-central",
-                         "asia-east", "asia-south"])
-    elif len(profiles) != num_providers:
-        raise ValueError("profiles length must equal num_providers")
-    providers = [
-        deploy_provider(internet, profile, authority, root_hints, registry,
-                        resolver_config=resolver_config)
-        for profile in profiles
-    ]
-
-    trust_store = TrustStore([authority])
-    client = internet.add_host(
-        Host("client", "client-edge", [ip(CLIENT_ADDRESS)],
-             rng=registry.stream("client-ports")))
-
-    return PoolScenario(
-        seed=seed, simulator=simulator, internet=internet, rng=registry,
-        client=client, providers=providers, authority=authority,
-        trust_store=trust_store, directory=directory, pool_zone=pool_zone,
-        dns_servers=dns_servers, root_hints=root_hints,
-        access_fault=access_fault,
-    )
+    warnings.warn(
+        "build_population_scenario is deprecated; build a ScenarioSpec "
+        "with repro.scenarios.spec.population_spec(...) and compile it "
+        "with materialize(spec, seed)", DeprecationWarning, stacklevel=2)
+    from repro.scenarios.spec import materialize, population_spec
+    return materialize(population_spec(
+        num_clients=num_clients, rounds=rounds, mean_interval=mean_interval,
+        arrival=arrival, resolve_every=resolve_every, churn_rate=churn_rate,
+        rejoin_delay=rejoin_delay, min_answers=min_answers,
+        corrupted=corrupted, behavior=behavior, forged=forged,
+        lie_offset=lie_offset, num_providers=num_providers,
+        pool_size=pool_size, answers_per_query=answers_per_query,
+        pool_ttl=pool_ttl, loss_rate=loss_rate, jitter_s=jitter_s,
+        reorder_window=reorder_window, duplicate_rate=duplicate_rate,
+        initial_clock_error=initial_clock_error,
+        shift_threshold=shift_threshold, time_bin=time_bin),
+        seed, registry=registry)

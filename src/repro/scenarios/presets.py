@@ -1,53 +1,109 @@
-"""Named scenario presets used across examples and benchmarks."""
+"""Named scenario presets used across examples and benchmarks.
+
+Every preset is a thin shim over the spec layer: it builds a
+:class:`repro.scenarios.spec.ScenarioSpec` (exposed via the ``*_spec``
+companions, so campaigns can sweep a preset's spec directly) and
+compiles it with :func:`repro.scenarios.spec.materialize`.
+"""
 
 from __future__ import annotations
 
-from repro.dns.resolver import ResolverConfig
+import inspect
+from dataclasses import replace
+
+from repro.core.errors import UnknownPresetError
 from repro.netsim.link import LinkProfile
-from repro.scenarios.builders import PoolScenario, build_pool_scenario
+from repro.scenarios.builders import PoolScenario
+from repro.scenarios.spec import (
+    FaultSpec,
+    LinkSpec,
+    ResolverSpec,
+    ScenarioSpec,
+    materialize,
+    pool_spec,
+)
+
+#: The patient retry configuration the degraded/lossy presets use.
+_PATIENT_RESOLVER = ResolverSpec(query_timeout=1.0,
+                                 max_retries_per_server=3)
+
+
+def figure1_spec() -> ScenarioSpec:
+    """Exactly the paper's Figure 1: three named DoH providers,
+    pool.ntp.org served by c/d/e.ntpns.org."""
+    return pool_spec(num_providers=3, pool_size=20, answers_per_query=4)
 
 
 def figure1_scenario(seed: int = 1) -> PoolScenario:
-    """Exactly the paper's Figure 1: three named DoH providers,
-    pool.ntp.org served by c/d/e.ntpns.org."""
-    return build_pool_scenario(seed=seed, num_providers=3, pool_size=20,
-                               answers_per_query=4)
+    return materialize(figure1_spec(), seed)
+
+
+def large_scale_spec(num_providers: int, pool_size: int = 100) -> ScenarioSpec:
+    """A larger deployment for the N-sweeps of §III."""
+    return pool_spec(num_providers=num_providers, pool_size=pool_size,
+                     answers_per_query=4)
 
 
 def large_scale_scenario(num_providers: int, seed: int = 1,
                          pool_size: int = 100) -> PoolScenario:
-    """A larger deployment for the N-sweeps of §III."""
-    return build_pool_scenario(seed=seed, num_providers=num_providers,
-                               pool_size=pool_size, answers_per_query=4)
+    return materialize(large_scale_spec(num_providers, pool_size), seed)
+
+
+def lossy_network_spec(loss: float) -> ScenarioSpec:
+    """Figure 1 with a degraded client access link, for robustness and
+    DoS-cost experiments (E6)."""
+    spec = pool_spec(num_providers=3, pool_size=20,
+                     access_link=LinkProfile.lossy(loss))
+    return replace(spec, provider=replace(spec.provider,
+                                          resolver=_PATIENT_RESOLVER))
 
 
 def lossy_network_scenario(loss: float, seed: int = 1) -> PoolScenario:
-    """Figure 1 with a degraded client access link, for robustness and
-    DoS-cost experiments (E6)."""
-    return build_pool_scenario(
-        seed=seed, num_providers=3, pool_size=20,
-        access_link=LinkProfile.lossy(loss),
-        resolver_config=ResolverConfig(query_timeout=1.0,
-                                       max_retries_per_server=3),
-    )
+    return materialize(lossy_network_spec(loss), seed)
+
+
+def degraded_network_spec(loss_rate: float = 0.0, jitter_s: float = 0.0,
+                          reorder_window: float = 0.0,
+                          duplicate_rate: float = 0.0) -> ScenarioSpec:
+    """Figure 1 with a :class:`repro.netsim.link.FaultModel` on the
+    client access link. The fault knobs are the campaign grid axes the
+    availability experiments sweep (E6's ``loss_rate``, plus jitter,
+    reordering and duplication); resolvers keep the patient retry
+    configuration of :func:`lossy_network_spec`."""
+    spec = pool_spec(num_providers=3, pool_size=20)
+    return replace(
+        spec,
+        network=replace(spec.network,
+                        fault=FaultSpec(loss_rate=loss_rate,
+                                        jitter_s=jitter_s,
+                                        reorder_window=reorder_window,
+                                        duplicate_rate=duplicate_rate)),
+        provider=replace(spec.provider, resolver=_PATIENT_RESOLVER))
 
 
 def degraded_network_scenario(loss_rate: float = 0.0, jitter_s: float = 0.0,
                               reorder_window: float = 0.0,
                               duplicate_rate: float = 0.0,
                               seed: int = 1) -> PoolScenario:
-    """Figure 1 with a :class:`repro.netsim.link.FaultModel` on the
-    client access link. The fault knobs are the campaign grid axes the
-    availability experiments sweep (E6's ``loss_rate``, plus jitter,
-    reordering and duplication); resolvers keep the patient retry
-    configuration of :func:`lossy_network_scenario`."""
-    return build_pool_scenario(
-        seed=seed, num_providers=3, pool_size=20,
-        loss_rate=loss_rate, jitter_s=jitter_s,
-        reorder_window=reorder_window, duplicate_rate=duplicate_rate,
-        resolver_config=ResolverConfig(query_timeout=1.0,
-                                       max_retries_per_server=3),
-    )
+    return materialize(
+        degraded_network_spec(loss_rate=loss_rate, jitter_s=jitter_s,
+                              reorder_window=reorder_window,
+                              duplicate_rate=duplicate_rate), seed)
+
+
+def custom_scenario(seed: int = 1, **kwargs) -> PoolScenario:
+    """The fully parameterised single-client world: every keyword of
+    :func:`repro.scenarios.spec.pool_spec` is accepted."""
+    return materialize(pool_spec(**kwargs), seed)
+
+
+# Mirror pool_spec's surface so campaign grids can validate their
+# parameters against this preset's signature (see
+# repro.campaign.trials._reject_unknown_params).
+custom_scenario.__signature__ = inspect.Signature(
+    [inspect.Parameter("seed", inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                       default=1)]
+    + list(inspect.signature(pool_spec).parameters.values()))
 
 
 # ----------------------------------------------------------------------
@@ -60,7 +116,7 @@ PRESETS = {
     "large-scale": large_scale_scenario,
     "lossy-network": lossy_network_scenario,
     "degraded-network": degraded_network_scenario,
-    "custom": build_pool_scenario,
+    "custom": custom_scenario,
 }
 
 
@@ -69,10 +125,11 @@ def get_preset(name: str):
 
     >>> get_preset("figure1") is figure1_scenario
     True
+
+    Raises :class:`repro.core.errors.UnknownPresetError` (a
+    ``ValueError``) listing the valid names for anything else.
     """
     try:
         return PRESETS[name]
     except KeyError:
-        raise ValueError(
-            f"unknown scenario preset {name!r}; "
-            f"known: {sorted(PRESETS)}") from None
+        raise UnknownPresetError(name, PRESETS) from None

@@ -1,0 +1,1248 @@
+"""Declarative scenario specifications and their compiler.
+
+The paper's experiments are all variations of one world — DNS resolution
+paths feeding NTP pool selection under provider corruption and network
+degradation.  A :class:`ScenarioSpec` describes one such world as *data*:
+typed, frozen, composable dataclasses with exact JSON round-tripping, so
+scenario diversity becomes something the campaign engine can sweep,
+cache, and record verbatim in its result files.
+
+The spec tree::
+
+    ScenarioSpec
+    ├── network: NetworkSpec          # access link, faults, RegionSpecs
+    │     └── regions: (RegionSpec,)  # per-region fleet access edges
+    ├── provider: ProviderSpec        # resolver chain, serving, corruption
+    ├── pool: PoolSpec                # directory size/ttl, combine policy
+    ├── fleet: FleetSpec | None       # population (None = single client)
+    ├── attacks: (AttackSpec, ...)    # named installers from repro.attacks
+    └── telemetry: TelemetrySpec      # registry scoping + binning
+
+Three operations close the loop:
+
+* ``to_dict()`` / ``from_dict()`` / ``to_json()`` — exact, stable
+  serialization (``from_dict(to_dict(s)) == s`` for every spec);
+* :func:`set_path` / :func:`get_path` — dotted-path access
+  (``"fleet.size"``, ``"network.regions[0].link.loss"``) used by
+  :meth:`repro.campaign.ParameterGrid.over_spec` to sweep specs;
+* :func:`materialize` — the single compiler from a spec (plus a seed)
+  to a wired world.  It subsumes the legacy ``build_pool_scenario`` /
+  ``build_population_scenario`` builders: a spec produced by
+  :func:`pool_spec` / :func:`population_spec` materializes into a
+  bit-identical world for the same seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+from dataclasses import dataclass, field, fields, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.errors import ConfigurationError
+from repro.dns.resolver import ResolverConfig
+from repro.netsim.link import FaultModel, LinkProfile
+
+
+# ----------------------------------------------------------------------
+# Serialization base.
+# ----------------------------------------------------------------------
+
+def _encode(value: Any) -> Any:
+    if isinstance(value, SpecBase):
+        return value.to_dict()
+    if isinstance(value, tuple):
+        return [_encode(item) for item in value]
+    return value
+
+
+class SpecBase:
+    """Shared serialization machinery for every spec dataclass.
+
+    Subclasses declare nested fields in ``_NESTED`` as
+    ``{field: (kind, spec_class)}`` with ``kind`` one of ``"spec"``,
+    ``"opt"`` (optional spec), ``"tuple"`` (tuple of specs),
+    ``"opt_tuple"`` (optional tuple of specs) or ``"scalars"`` (tuple
+    of plain values, ``spec_class`` ignored).  Everything else
+    round-trips as a JSON scalar.
+    """
+
+    _NESTED: Dict[str, Tuple[str, Optional[type]]] = {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict; inverse of :meth:`from_dict`."""
+        return {f.name: _encode(getattr(self, f.name))
+                for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SpecBase":
+        """Rebuild a spec from :meth:`to_dict` output (lists become
+        tuples; unknown keys fail loudly to catch typo'd sweeps)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"{cls.__name__}.from_dict: unknown fields "
+                f"{sorted(unknown)}; known: {sorted(known)}")
+        kwargs: Dict[str, Any] = {}
+        for name, raw in data.items():
+            kind, spec_cls = cls._NESTED.get(name, (None, None))
+            if kind == "spec":
+                kwargs[name] = spec_cls.from_dict(raw)
+            elif kind == "opt":
+                kwargs[name] = (None if raw is None
+                                else spec_cls.from_dict(raw))
+            elif kind == "tuple":
+                kwargs[name] = tuple(spec_cls.from_dict(item)
+                                     for item in raw)
+            elif kind == "opt_tuple":
+                kwargs[name] = (None if raw is None
+                                else tuple(spec_cls.from_dict(item)
+                                           for item in raw))
+            elif kind == "scalars":
+                kwargs[name] = tuple(raw)
+            else:
+                kwargs[name] = raw
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, byte-stable across runs)."""
+        return json.dumps(self.to_dict(), sort_keys=True, allow_nan=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SpecBase":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Network layer.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LinkSpec(SpecBase):
+    """Serializable mirror of :class:`repro.netsim.link.LinkProfile`.
+
+    Defaults match ``LinkProfile.metro()`` — the access-edge profile the
+    legacy builders used.
+    """
+
+    latency: float = 0.003
+    jitter: float = 0.001
+    loss: float = 0.0
+
+    def to_profile(self) -> LinkProfile:
+        return LinkProfile(latency=self.latency, jitter=self.jitter,
+                           loss=self.loss)
+
+    @classmethod
+    def from_profile(cls, profile: LinkProfile) -> "LinkSpec":
+        return cls(latency=profile.latency, jitter=profile.jitter,
+                   loss=profile.loss)
+
+
+@dataclass(frozen=True)
+class FaultSpec(SpecBase):
+    """Serializable mirror of :class:`repro.netsim.link.FaultModel`."""
+
+    loss_rate: float = 0.0
+    jitter_s: float = 0.0
+    reorder_window: float = 0.0
+    reorder_rate: float = 0.25
+    duplicate_rate: float = 0.0
+    duplicate_gap_s: float = 0.002
+
+    @property
+    def active(self) -> bool:
+        return self.to_model().active
+
+    def to_model(self) -> FaultModel:
+        return FaultModel(
+            loss_rate=self.loss_rate, jitter_s=self.jitter_s,
+            reorder_window=self.reorder_window,
+            reorder_rate=self.reorder_rate,
+            duplicate_rate=self.duplicate_rate,
+            duplicate_gap_s=self.duplicate_gap_s)
+
+    @classmethod
+    def from_model(cls, model: FaultModel) -> "FaultSpec":
+        return cls(loss_rate=model.loss_rate, jitter_s=model.jitter_s,
+                   reorder_window=model.reorder_window,
+                   reorder_rate=model.reorder_rate,
+                   duplicate_rate=model.duplicate_rate,
+                   duplicate_gap_s=model.duplicate_gap_s)
+
+
+@dataclass(frozen=True)
+class RegionSpec(SpecBase):
+    """One population access region: a dedicated edge node joined to a
+    backbone attachment point by its own (possibly degraded) link."""
+
+    name: str
+    attach: str = "eu-central"
+    link: LinkSpec = LinkSpec()
+    fault: Optional[FaultSpec] = None
+
+    _NESTED = {"link": ("spec", LinkSpec), "fault": ("opt", FaultSpec)}
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("RegionSpec.name must be non-empty")
+
+    @property
+    def node(self) -> str:
+        """The topology node this region's clients attach to."""
+        return f"pop-edge-{self.name}"
+
+    @property
+    def link_name(self) -> str:
+        """Canonical name of the region's access link."""
+        return "--".join(sorted((self.node, self.attach)))
+
+
+@dataclass(frozen=True)
+class NetworkSpec(SpecBase):
+    """The world's network shape beyond the fixed global backbone.
+
+    :param access: client access-link profile (``None`` = metro).
+    :param fault: imposed degradation on the client access link (the
+        E6/R1 sweep axes); inactive by default.
+    :param extra_fault: an additional whole :class:`FaultSpec` composed
+        on top (mirrors the legacy ``fault_model=`` kwarg).
+    :param regions: population access regions.  Empty means the legacy
+        layout — one ``pop-edge-<region>`` metro link per backbone
+        region, all carrying the access fault.  Non-empty regions get
+        their own heterogeneous links/faults instead.
+    """
+
+    access: Optional[LinkSpec] = None
+    fault: FaultSpec = FaultSpec()
+    extra_fault: Optional[FaultSpec] = None
+    regions: Tuple[RegionSpec, ...] = ()
+
+    _NESTED = {"access": ("opt", LinkSpec), "fault": ("spec", FaultSpec),
+               "extra_fault": ("opt", FaultSpec),
+               "regions": ("tuple", RegionSpec)}
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "regions", tuple(self.regions))
+        names = [region.name for region in self.regions]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"region names must be unique, got {names}")
+
+    def access_fault_model(self) -> Optional[FaultModel]:
+        """The composed client-edge fault, or ``None`` when inactive."""
+        model = self.fault.to_model()
+        if self.extra_fault is not None:
+            model = model.compose(self.extra_fault.to_model())
+        return model if model.active else None
+
+
+# ----------------------------------------------------------------------
+# Provider / pool layers.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProfileSpec(SpecBase):
+    """Serializable mirror of
+    :class:`repro.doh.providers.DoHProviderProfile`."""
+
+    name: str
+    region: str
+    address: str
+
+    def to_profile(self):
+        from repro.doh.providers import DoHProviderProfile
+        return DoHProviderProfile(name=self.name, region=self.region,
+                                  address=self.address)
+
+    @classmethod
+    def from_profile(cls, profile) -> "ProfileSpec":
+        return cls(name=profile.name, region=profile.region,
+                   address=profile.address)
+
+
+@dataclass(frozen=True)
+class ResolverSpec(SpecBase):
+    """Serializable mirror of
+    :class:`repro.dns.resolver.ResolverConfig` (same defaults)."""
+
+    query_timeout: float = 2.0
+    max_retries_per_server: int = 1
+    retry_backoff: float = 1.5
+    retry_max_timeout: Optional[float] = 8.0
+    max_referral_depth: int = 16
+    max_cname_chain: int = 8
+    max_ns_resolution_depth: int = 4
+    txid_bits: int = 16
+    randomize_txid: bool = True
+    cache_max_entries: int = 10_000
+    negative_ttl_cap: int = 900
+    serve_port: int = 53
+
+    def to_config(self) -> ResolverConfig:
+        return ResolverConfig(**{f.name: getattr(self, f.name)
+                                 for f in fields(self)})
+
+    @classmethod
+    def from_config(cls, config: ResolverConfig) -> "ResolverSpec":
+        return cls(**{f.name: getattr(config, f.name)
+                      for f in fields(cls)})
+
+
+#: ProviderSpec serving modes: full DoH front-end (the default, what
+#: ``deploy_provider`` stands up) or recursion engine + plain :53 only.
+PROVIDER_SERVE_MODES = ("doh", "dns")
+
+_BEHAVIORS = ("substitute", "inflate", "empty", "truthful")
+
+
+@dataclass(frozen=True)
+class ProviderSpec(SpecBase):
+    """The trusted-resolver side: how many providers, what they serve,
+    and how many of them the adversary has corrupted.
+
+    :param count: number of providers (Figure 1 names the first three).
+    :param profiles: explicit deployments; ``None`` uses Figure 1's
+        providers plus synthetic ones beyond three.
+    :param resolver: recursion-engine tunables shared by all providers.
+    :param serve: ``"doh"`` (TLS identity + DoH front-end + plain :53,
+        the legacy deployment) or ``"dns"`` (plain-DNS serving only —
+        no certificate, no front-end; cheaper for UDP fleets).
+    :param corrupted: how many providers answer pool queries with
+        attacker-chosen records (always the first ``corrupted``).
+    :param behavior: one of ``substitute``/``inflate``/``empty``/
+        ``truthful`` (see :class:`repro.attacks.compromise`).
+    :param forged: the attacker's addresses; synthesised from the
+        ``203.0.113.0/24`` block at materialization when needed and
+        empty.
+    :param inflate_to: answer inflation for the ``inflate`` behaviour.
+    """
+
+    count: int = 3
+    profiles: Optional[Tuple[ProfileSpec, ...]] = None
+    resolver: Optional[ResolverSpec] = None
+    serve: str = "doh"
+    corrupted: int = 0
+    behavior: str = "substitute"
+    forged: Tuple[str, ...] = ()
+    inflate_to: int = 20
+
+    _NESTED = {"profiles": ("opt_tuple", ProfileSpec),
+               "resolver": ("opt", ResolverSpec),
+               "forged": ("scalars", None)}
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError("need at least one provider")
+        if self.profiles is not None:
+            object.__setattr__(self, "profiles", tuple(self.profiles))
+            if len(self.profiles) != self.count:
+                raise ValueError("profiles length must equal num_providers")
+        object.__setattr__(self, "forged", tuple(self.forged))
+        if self.serve not in PROVIDER_SERVE_MODES:
+            raise ConfigurationError(
+                f"serve must be one of {PROVIDER_SERVE_MODES}, "
+                f"got {self.serve!r}")
+        if self.behavior not in _BEHAVIORS:
+            raise ValueError(
+                f"{self.behavior!r} is not a valid "
+                f"CompromisedResolverBehavior")
+        if not 0 <= self.corrupted <= self.count:
+            raise ValueError(
+                f"corrupted must be in [0, {self.count}], "
+                f"got {self.corrupted}")
+
+_TRUNCATIONS = ("shortest", "median", "none")
+_DUAL_STACK_POLICIES = (None, "union", "per-family")
+
+
+@dataclass(frozen=True)
+class PoolSpec(SpecBase):
+    """The NTP pool directory behind ``pool.ntp.org`` and the client's
+    combination policy over the providers' answers.
+
+    ``min_answers`` / ``truncation`` / ``dual_stack_policy`` govern the
+    *single-client* Algorithm 1 generator (population fleets carry
+    their quorum on :attr:`FleetSpec.min_answers`).
+    """
+
+    size: int = 20
+    answers_per_query: int = 4
+    ttl: int = 60
+    dual_stack: bool = False
+    lie_offset: float = 10.0
+    truncation: str = "shortest"
+    dual_stack_policy: Optional[str] = None
+    min_answers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ConfigurationError("pool size must be >= 1")
+        if self.answers_per_query < 1:
+            raise ConfigurationError("answers_per_query must be >= 1")
+        if self.truncation not in _TRUNCATIONS:
+            raise ConfigurationError(
+                f"truncation must be one of {_TRUNCATIONS}, "
+                f"got {self.truncation!r}")
+        if self.dual_stack_policy not in _DUAL_STACK_POLICIES:
+            raise ConfigurationError(
+                f"dual_stack_policy must be one of "
+                f"{_DUAL_STACK_POLICIES}, got {self.dual_stack_policy!r}")
+
+
+# ----------------------------------------------------------------------
+# Fleet / telemetry layers.
+# ----------------------------------------------------------------------
+
+#: FleetSpec transports: plain-DNS stub queries (cheap, the legacy
+#: population path) or per-query DoH with full TLS cost.
+FLEET_TRANSPORTS = ("udp", "doh")
+
+
+@dataclass(frozen=True)
+class FleetSpec(SpecBase):
+    """A measured client population (see
+    :class:`repro.population.ClientFleet`).
+
+    :param size: number of clients.
+    :param transport: ``"udp"`` (plain-DNS stub per provider) or
+        ``"doh"`` (one TLS-wrapped DoH query per provider per round —
+        clients pay the per-query handshake the paper's Table couples
+        to the distributed lookup).  ``"doh"`` requires
+        ``ProviderSpec.serve == "doh"``.
+    """
+
+    size: int = 50
+    rounds: int = 3
+    mean_interval: float = 16.0
+    arrival: str = "periodic"
+    resolve_every: int = 1
+    churn_rate: float = 0.0
+    rejoin_delay: float = 30.0
+    min_answers: Optional[int] = None
+    transport: str = "udp"
+    initial_clock_error: float = 0.050
+    shift_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ("periodic", "poisson"):
+            raise ConfigurationError(
+                f"arrival must be 'periodic' or 'poisson', "
+                f"got {self.arrival!r}")
+        if self.transport not in FLEET_TRANSPORTS:
+            raise ConfigurationError(
+                f"transport must be one of {FLEET_TRANSPORTS}, "
+                f"got {self.transport!r}")
+
+
+@dataclass(frozen=True)
+class TelemetrySpec(SpecBase):
+    """Registry scoping for the materialized world.
+
+    :param enabled: ``True`` forces a registry, ``False`` forbids one,
+        ``None`` (default) follows the legacy rule — population worlds
+        get one, single-client worlds do not.
+    :param time_bin: bin width (virtual seconds) of the population's
+        victim/availability time series.
+    """
+
+    enabled: Optional[bool] = None
+    time_bin: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.time_bin <= 0:
+            raise ConfigurationError("time_bin must be > 0")
+
+
+# ----------------------------------------------------------------------
+# Attacks.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AttackSpec(SpecBase):
+    """One named attack from the :data:`ATTACK_INSTALLERS` registry.
+
+    Parameters are a canonical (sorted) tuple of ``(name, value)``
+    pairs so specs stay frozen/hashable; build them with
+    :meth:`AttackSpec.of` and read them with :meth:`param`.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ATTACK_INSTALLERS:
+            raise ConfigurationError(
+                f"unknown attack kind {self.kind!r}; "
+                f"known: {sorted(ATTACK_INSTALLERS)}")
+        canonical = tuple(sorted(
+            (str(name), tuple(value) if isinstance(value, list) else value)
+            for name, value in self.params))
+        object.__setattr__(self, "params", canonical)
+
+    @classmethod
+    def of(cls, kind: str, **params: Any) -> "AttackSpec":
+        return cls(kind=kind, params=tuple(params.items()))
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind,
+                "params": {name: _encode(value)
+                           for name, value in self.params}}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AttackSpec":
+        params = data.get("params", {})
+        return cls(kind=data["kind"], params=tuple(params.items()))
+
+
+@dataclass
+class AttackContext:
+    """What an attack installer gets to work with (one built world)."""
+
+    internet: Any
+    rng: Any
+    pool_domain: Any
+    providers: List[Any]
+    directory: Any
+    access_links: List[str]
+    region_links: Dict[str, str] = field(default_factory=dict)
+    ntp_fleet: Any = None
+
+    def links_for(self, attack: AttackSpec) -> List[str]:
+        """Resolve an attack's target links: explicit ``links``, one
+        region's access link (``at="region:<name>"``), or every access
+        link (``at="access"``, the default)."""
+        explicit = attack.param("links", ())
+        if explicit:
+            return list(explicit)
+        at = attack.param("at", "access")
+        if at == "access":
+            return list(self.access_links)
+        if isinstance(at, str) and at.startswith("region:"):
+            name = at[len("region:"):]
+            if name not in self.region_links:
+                raise ConfigurationError(
+                    f"attack targets unknown region {name!r}; "
+                    f"known: {sorted(self.region_links)}")
+            return [self.region_links[name]]
+        raise ConfigurationError(
+            f"attack 'at' must be 'access' or 'region:<name>', got {at!r}")
+
+
+def _install_compromise(attack: AttackSpec, ctx: AttackContext):
+    from repro.attacks.compromise import (
+        CompromiseConfig,
+        CompromisedResolverBehavior,
+        corrupt_first_k,
+    )
+    forged = [str(a) for a in attack.param("forged", ())]
+    behavior = CompromisedResolverBehavior(
+        attack.param("behavior", "substitute"))
+    return corrupt_first_k(
+        ctx.providers, int(attack.param("count", 1)),
+        CompromiseConfig(target=ctx.pool_domain, behavior=behavior,
+                         forged_addresses=forged,
+                         inflate_to=int(attack.param("inflate_to", 20))))
+
+
+def _install_mitm(attack: AttackSpec, ctx: AttackContext):
+    from repro.attacks.mitm import OnPathAttacker
+    attacker = OnPathAttacker(ctx.internet, ctx.links_for(attack))
+    mode = attack.param("mode", "poison")
+    if mode == "poison":
+        forged = attack.param("forged", ())
+        if not forged:
+            raise ConfigurationError("mitm poison mode needs forged=")
+        attacker.poison_a_records(ctx.pool_domain, list(forged),
+                                  inflate_to=attack.param("inflate_to"))
+    elif mode == "empty":
+        attacker.empty_a_answers(ctx.pool_domain)
+    elif mode == "block-tls":
+        attacker.block_tls()
+    elif mode == "delay-tls":
+        attacker.delay_tls(float(attack.param("delay", 0.5)))
+    elif mode == "blackhole":
+        attacker.block_everything()
+    else:
+        raise ConfigurationError(f"unknown mitm mode {mode!r}")
+    return attacker
+
+
+def _install_offpath(attack: AttackSpec, ctx: AttackContext):
+    from repro.attacks.offpath import OffPathPoisoner
+    node = attack.param("node") or ctx.providers[0].host.node
+    return OffPathPoisoner(ctx.internet, injection_node=node)
+
+
+def _install_timeshift(attack: AttackSpec, ctx: AttackContext):
+    if ctx.ntp_fleet is None:
+        raise ConfigurationError(
+            "timeshift attack needs a population world (deployed NTP "
+            "fleet); add a FleetSpec to the scenario")
+    count = int(attack.param("count", 1))
+    lie_offset = float(attack.param("lie_offset", 10.0))
+    corrupted = list(ctx.directory.benign[:count])
+    for address in corrupted:
+        ctx.ntp_fleet.corrupt(address, lie_offset)
+    return corrupted
+
+
+def _attack_server_addresses(attack: AttackSpec, directory) -> List[str]:
+    """Addresses an attack implies count as attacker-serving *before*
+    the fleet is built: forged answer targets (which get malicious NTP
+    servers deployed behind them) and timeshift-corrupted pool members."""
+    if attack.kind == "timeshift":
+        count = int(attack.param("count", 1))
+        return [str(a) for a in directory.benign[:count]]
+    return [str(a) for a in attack.param("forged", ())]
+
+
+#: The attack registry: spec kind -> installer over a built world.
+ATTACK_INSTALLERS: Dict[str, Callable[[AttackSpec, AttackContext], Any]] = {
+    "compromise": _install_compromise,
+    "mitm": _install_mitm,
+    "onpath": _install_mitm,
+    "offpath": _install_offpath,
+    "timeshift": _install_timeshift,
+}
+
+
+# ----------------------------------------------------------------------
+# The scenario spec itself.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioSpec(SpecBase):
+    """A complete, serializable description of one simulated world."""
+
+    network: NetworkSpec = NetworkSpec()
+    provider: ProviderSpec = ProviderSpec()
+    pool: PoolSpec = PoolSpec()
+    fleet: Optional[FleetSpec] = None
+    attacks: Tuple[AttackSpec, ...] = ()
+    telemetry: TelemetrySpec = TelemetrySpec()
+
+    _NESTED = {"network": ("spec", NetworkSpec),
+               "provider": ("spec", ProviderSpec),
+               "pool": ("spec", PoolSpec),
+               "fleet": ("opt", FleetSpec),
+               "attacks": ("tuple", AttackSpec),
+               "telemetry": ("spec", TelemetrySpec)}
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attacks", tuple(self.attacks))
+        count = self.provider.count
+        if self.fleet is not None and self.fleet.min_answers is not None:
+            if not 1 <= self.fleet.min_answers <= count:
+                raise ValueError(
+                    f"min_answers must be in [1, {count}] or None, "
+                    f"got {self.fleet.min_answers}")
+        if (self.fleet is not None and self.fleet.transport == "doh"
+                and self.provider.serve != "doh"):
+            raise ConfigurationError(
+                "fleet.transport='doh' needs provider.serve='doh'")
+        if self.fleet is None and self.provider.serve != "doh":
+            raise ConfigurationError(
+                "single-client worlds resolve via DoH; "
+                "provider.serve='dns' needs a FleetSpec riding the "
+                "plain-DNS transport")
+
+
+#: What :func:`materialize` returns — a single-client world
+#: (:class:`repro.scenarios.builders.PoolScenario`) or a population
+#: world (:class:`repro.scenarios.builders.PopulationScenario`).
+World = Union["PoolScenario", "PopulationScenario"]  # noqa: F821
+
+
+# ----------------------------------------------------------------------
+# Dotted-path access (the campaign sweep surface).
+# ----------------------------------------------------------------------
+
+_TOKEN = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)(\[(\d+)\])?$")
+
+
+def _split_path(path: str) -> List[Tuple[str, Optional[int]]]:
+    steps = []
+    for token in path.split("."):
+        match = _TOKEN.match(token)
+        if match is None:
+            raise ConfigurationError(f"malformed spec path {path!r} "
+                                     f"(at {token!r})")
+        index = match.group(3)
+        steps.append((match.group(1), None if index is None else int(index)))
+    return steps
+
+
+def get_path(spec: SpecBase, path: str) -> Any:
+    """Read a dotted path, e.g. ``get_path(s, "fleet.size")`` or
+    ``get_path(s, "network.regions[0].link.loss")``."""
+    value: Any = spec
+    for attr, index in _split_path(path):
+        if not hasattr(value, attr):
+            raise ConfigurationError(
+                f"spec path {path!r}: {type(value).__name__} has no "
+                f"field {attr!r}")
+        value = getattr(value, attr)
+        if index is not None:
+            value = value[index]
+    return value
+
+
+def set_path(spec: SpecBase, path: str, value: Any) -> SpecBase:
+    """A copy of ``spec`` with the dotted ``path`` replaced by
+    ``value`` (lists coerce to tuples; every node is rebuilt, so the
+    original spec is untouched)."""
+    return _set_steps(spec, _split_path(path), value, path)
+
+
+def _set_steps(node: Any, steps: List[Tuple[str, Optional[int]]],
+               value: Any, path: str) -> Any:
+    attr, index = steps[0]
+    if not dataclasses.is_dataclass(node) or not hasattr(node, attr):
+        raise ConfigurationError(
+            f"spec path {path!r}: {type(node).__name__} has no "
+            f"field {attr!r}")
+    current = getattr(node, attr)
+    if index is not None:
+        if not isinstance(current, tuple) or index >= len(current):
+            raise ConfigurationError(
+                f"spec path {path!r}: {attr}[{index}] out of range")
+        if len(steps) == 1:
+            item = value
+        else:
+            item = _set_steps(current[index], steps[1:], value, path)
+        new = current[:index] + (item,) + current[index + 1:]
+    elif len(steps) == 1:
+        new = tuple(value) if isinstance(value, list) else value
+    else:
+        if current is None:
+            raise ConfigurationError(
+                f"spec path {path!r}: {attr} is None; set the whole "
+                f"sub-spec first")
+        new = _set_steps(current, steps[1:], value, path)
+    return replace(node, **{attr: new})
+
+
+def apply_paths(spec: ScenarioSpec,
+                assignments: Mapping[str, Any]) -> ScenarioSpec:
+    """Apply dotted-path assignments in declaration order."""
+    for path, value in assignments.items():
+        spec = set_path(spec, path, value)
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Legacy kwarg -> spec converters (the shim surface).
+# ----------------------------------------------------------------------
+
+def pool_spec(
+    num_providers: int = 3,
+    pool_size: int = 20,
+    answers_per_query: int = 4,
+    dual_stack: bool = False,
+    profiles: Optional[Sequence[Any]] = None,
+    resolver_config: Optional[ResolverConfig] = None,
+    access_link: Optional[LinkProfile] = None,
+    pool_ttl: int = 60,
+    loss_rate: float = 0.0,
+    jitter_s: float = 0.0,
+    reorder_window: float = 0.0,
+    duplicate_rate: float = 0.0,
+    fault_model: Optional[FaultModel] = None,
+) -> ScenarioSpec:
+    """The single-client Figure 1 spec, from the legacy
+    ``build_pool_scenario`` keywords (same defaults)."""
+    if num_providers < 1:
+        raise ValueError("need at least one provider")
+    return ScenarioSpec(
+        network=NetworkSpec(
+            access=(None if access_link is None
+                    else LinkSpec.from_profile(access_link)),
+            fault=FaultSpec(loss_rate=loss_rate, jitter_s=jitter_s,
+                            reorder_window=reorder_window,
+                            duplicate_rate=duplicate_rate),
+            extra_fault=(None if fault_model is None
+                         else FaultSpec.from_model(fault_model))),
+        provider=ProviderSpec(
+            count=num_providers,
+            profiles=(None if profiles is None else tuple(
+                p if isinstance(p, ProfileSpec) else ProfileSpec.from_profile(p)
+                for p in profiles)),
+            resolver=(None if resolver_config is None
+                      else ResolverSpec.from_config(resolver_config))),
+        pool=PoolSpec(size=pool_size, answers_per_query=answers_per_query,
+                      ttl=pool_ttl, dual_stack=dual_stack))
+
+
+def population_spec(
+    num_clients: int = 50,
+    rounds: int = 3,
+    mean_interval: float = 16.0,
+    arrival: str = "periodic",
+    resolve_every: int = 1,
+    churn_rate: float = 0.0,
+    rejoin_delay: float = 30.0,
+    min_answers: Optional[int] = None,
+    corrupted: int = 0,
+    behavior: Any = "substitute",
+    forged: tuple = (),
+    lie_offset: float = 10.0,
+    num_providers: int = 3,
+    pool_size: int = 20,
+    answers_per_query: int = 4,
+    pool_ttl: int = 60,
+    loss_rate: float = 0.0,
+    jitter_s: float = 0.0,
+    reorder_window: float = 0.0,
+    duplicate_rate: float = 0.0,
+    initial_clock_error: float = 0.050,
+    shift_threshold: float = 1.0,
+    time_bin: float = 10.0,
+) -> ScenarioSpec:
+    """The population spec, from the legacy
+    ``build_population_scenario`` keywords (same defaults)."""
+    behavior = getattr(behavior, "value", behavior)
+    return ScenarioSpec(
+        network=NetworkSpec(
+            fault=FaultSpec(loss_rate=loss_rate, jitter_s=jitter_s,
+                            reorder_window=reorder_window,
+                            duplicate_rate=duplicate_rate)),
+        provider=ProviderSpec(count=num_providers, corrupted=corrupted,
+                              behavior=behavior,
+                              forged=tuple(str(a) for a in forged)),
+        pool=PoolSpec(size=pool_size, answers_per_query=answers_per_query,
+                      ttl=pool_ttl, lie_offset=lie_offset),
+        fleet=FleetSpec(size=num_clients, rounds=rounds,
+                        mean_interval=mean_interval, arrival=arrival,
+                        resolve_every=resolve_every, churn_rate=churn_rate,
+                        rejoin_delay=rejoin_delay, min_answers=min_answers,
+                        initial_clock_error=initial_clock_error,
+                        shift_threshold=shift_threshold),
+        telemetry=TelemetrySpec(time_bin=time_bin))
+
+
+# ----------------------------------------------------------------------
+# The compiler.
+# ----------------------------------------------------------------------
+
+def materialize(spec: ScenarioSpec, seed: int, registry=None) -> World:
+    """Compile a spec (plus a seed) into a wired world.
+
+    Single-client specs (``fleet is None``) produce a
+    :class:`~repro.scenarios.builders.PoolScenario`; specs with a
+    :class:`FleetSpec` produce a
+    :class:`~repro.scenarios.builders.PopulationScenario`.  Specs built
+    by :func:`pool_spec` / :func:`population_spec` materialize
+    bit-identically to the legacy builders for the same seed.
+
+    :param registry: telemetry sink for population worlds (a private
+        one is created when omitted); ignored for single-client worlds
+        unless ``spec.telemetry.enabled`` forces one.
+    """
+    if not isinstance(spec, ScenarioSpec):
+        raise ConfigurationError(
+            f"materialize needs a ScenarioSpec, got {type(spec).__name__}")
+    if spec.fleet is None:
+        return _materialize_single(spec, seed, registry)
+    return _materialize_population(spec, seed, registry)
+
+
+def effective_forged(spec: ScenarioSpec) -> List[str]:
+    """The forged addresses the compiled world's corruption actually
+    serves — the spec's own plus the legacy synthesis
+    (:func:`_default_forged`) when a corruption behaviour needs
+    addresses and none were given.  Metric code must score attacker
+    shares against *this*, not ``spec.provider.forged`` alone."""
+    return _default_forged(spec.provider, spec.pool)
+
+
+def _default_forged(provider: ProviderSpec, pool: PoolSpec) -> List[str]:
+    """The legacy builders' forged-address synthesis: when a corruption
+    behaviour needs addresses and none were given, use the documentation
+    block (one per answer slot)."""
+    if provider.forged or not provider.corrupted:
+        return list(provider.forged)
+    if provider.behavior in ("substitute", "inflate"):
+        return [f"203.0.113.{i + 1}" for i in range(pool.answers_per_query)]
+    return []
+
+
+def _materialize_single(spec: ScenarioSpec, seed: int, registry):
+    from repro.attacks.compromise import (
+        CompromiseConfig,
+        CompromisedResolverBehavior,
+        corrupt_first_k,
+    )
+    from repro.telemetry.registry import MetricsRegistry, use_registry
+
+    if spec.telemetry.enabled:
+        registry = registry or MetricsRegistry()
+        with use_registry(registry):
+            world = _build_pool_world(spec, seed)
+    else:
+        registry = None
+        world = _build_pool_world(spec, seed)
+    world.telemetry = registry
+    if spec.provider.corrupted:
+        corrupt_first_k(
+            world.providers, spec.provider.corrupted,
+            CompromiseConfig(
+                target=world.pool_domain,
+                behavior=CompromisedResolverBehavior(spec.provider.behavior),
+                forged_addresses=_default_forged(spec.provider, spec.pool),
+                inflate_to=spec.provider.inflate_to))
+    _install_attacks(spec, world, world, ntp_fleet=None,
+                     access_links=["client-edge--eu-central"],
+                     region_links={})
+    return world
+
+
+def _build_pool_world(spec: ScenarioSpec, seed: int):
+    """The Figure 1 world (ported verbatim from the legacy
+    ``build_pool_scenario`` so spec-built worlds stay bit-identical)."""
+    from repro.dns.name import Name
+    from repro.dns.rdata import ARdata, NSRdata
+    from repro.dns.rrtype import RRType
+    from repro.dns.server import AuthoritativeServer
+    from repro.dns.zone import Zone
+    from repro.doh.providers import (
+        FIGURE1_PROVIDERS,
+        deploy_provider,
+        synthetic_profiles,
+    )
+    from repro.doh.tls import CertificateAuthority, TrustStore
+    from repro.netsim.address import IPAddress, ip
+    from repro.netsim.host import Host
+    from repro.netsim.internet import Internet
+    from repro.netsim.simulator import Simulator
+    from repro.netsim.topology import Topology
+    from repro.scenarios.builders import (
+        CLIENT_ADDRESS,
+        NTP_NS_ADDRESSES,
+        ORG_NS_ADDRESS,
+        POOL_DOMAIN,
+        ROOT_NS_ADDRESS,
+        PoolScenario,
+        _make_benign_pool,
+    )
+    from repro.scenarios.workload import PoolDirectory
+    from repro.util.rng import RngRegistry
+
+    provider_spec = spec.provider
+    pool = spec.pool
+    registry = RngRegistry(seed)
+    simulator = Simulator()
+    topology = Topology.global_backbone(rng_registry=registry)
+
+    # Attach infrastructure edges.
+    edge = (spec.network.access.to_profile()
+            if spec.network.access is not None else LinkProfile.metro())
+    topology.add_link("client-edge", "eu-central", edge)
+    topology.add_link("dns-root-edge", "us-east", LinkProfile.metro())
+    topology.add_link("dns-org-edge", "eu-west", LinkProfile.metro())
+    topology.add_link("ntpns-edge", "us-west", LinkProfile.metro())
+    access_fault = spec.network.access_fault_model()
+    if access_fault is not None:
+        topology.set_fault_model("client-edge", "eu-central", access_fault)
+    internet = Internet(simulator, topology, registry)
+
+    # --- DNS tree -----------------------------------------------------
+    root_host = internet.add_host(
+        Host("a.root-servers.net", "dns-root-edge", [ip(ROOT_NS_ADDRESS)]))
+    org_host = internet.add_host(
+        Host("a0.org.afilias-nst.info", "dns-org-edge", [ip(ORG_NS_ADDRESS)]))
+
+    root_zone = Zone(".", soa_mname="a.root-servers.net")
+    root_zone.add_delegation("org", "a0.org.afilias-nst.info")
+    # Out-of-zone NS target needs glue at the root (it lives under
+    # .info in reality; here the root carries the A record directly).
+    root_zone.add_record("a0.org.afilias-nst.info", ARdata(ORG_NS_ADDRESS))
+
+    org_zone = Zone("org", soa_mname="a0.org.afilias-nst.info")
+    ntpns_hosts = {}
+    for ns_name, address in NTP_NS_ADDRESSES.items():
+        org_zone.add_delegation("ntp.org", ns_name, glue=[ARdata(address)])
+        ntpns_hosts[ns_name] = internet.add_host(
+            Host(ns_name, "ntpns-edge", [ip(address)]))
+    # ntpns.org itself is a real zone too (its servers' names live there).
+    org_zone.add_delegation("ntpns.org", "c.ntpns.org",
+                            glue=[ARdata(NTP_NS_ADDRESSES["c.ntpns.org"])])
+
+    directory = PoolDirectory(
+        benign=_make_benign_pool(pool.size, dual_stack=pool.dual_stack),
+        answers_per_query=pool.answers_per_query,
+        rng=registry.stream("pool-rotation"),
+    )
+    pool_zone = Zone("ntp.org", soa_mname="c.ntpns.org", default_ttl=pool.ttl)
+    for ns_name in NTP_NS_ADDRESSES:
+        pool_zone.add_record("ntp.org", NSRdata(Name(ns_name)))
+    pool_zone.add_provider(POOL_DOMAIN, RRType.A,
+                           directory.record_provider(family=4), ttl=pool.ttl)
+    if pool.dual_stack:
+        pool_zone.add_provider(POOL_DOMAIN, RRType.AAAA,
+                               directory.record_provider(family=6),
+                               ttl=pool.ttl)
+
+    ntpns_zone = Zone("ntpns.org", soa_mname="c.ntpns.org")
+    for ns_name, address in NTP_NS_ADDRESSES.items():
+        ntpns_zone.add_record(ns_name, ARdata(address))
+
+    dns_servers = {
+        "root": AuthoritativeServer(root_host, [root_zone]),
+        "org": AuthoritativeServer(org_host, [org_zone]),
+    }
+    for ns_name, host in ntpns_hosts.items():
+        dns_servers[ns_name] = AuthoritativeServer(host, [pool_zone, ntpns_zone])
+
+    root_hints = [(Name("a.root-servers.net"), IPAddress(ROOT_NS_ADDRESS))]
+
+    # --- DoH providers -------------------------------------------------
+    authority = CertificateAuthority("SimRoot CA", registry.stream("ca"))
+    if provider_spec.profiles is None:
+        if provider_spec.count <= len(FIGURE1_PROVIDERS):
+            profiles = FIGURE1_PROVIDERS[:provider_spec.count]
+        else:
+            profiles = list(FIGURE1_PROVIDERS) + synthetic_profiles(
+                provider_spec.count - len(FIGURE1_PROVIDERS),
+                regions=["us-west", "us-east", "eu-west", "eu-central",
+                         "asia-east", "asia-south"])
+    else:
+        profiles = [p.to_profile() for p in provider_spec.profiles]
+    resolver_config = (provider_spec.resolver.to_config()
+                       if provider_spec.resolver is not None else None)
+    if provider_spec.serve == "doh":
+        providers = [
+            deploy_provider(internet, profile, authority, root_hints,
+                            registry, resolver_config=resolver_config)
+            for profile in profiles
+        ]
+    else:
+        providers = [
+            _deploy_plain_provider(internet, profile, root_hints, registry,
+                                   resolver_config=resolver_config)
+            for profile in profiles
+        ]
+
+    trust_store = TrustStore([authority])
+    client = internet.add_host(
+        Host("client", "client-edge", [ip(CLIENT_ADDRESS)],
+             rng=registry.stream("client-ports")))
+
+    return PoolScenario(
+        seed=seed, simulator=simulator, internet=internet, rng=registry,
+        client=client, providers=providers, authority=authority,
+        trust_store=trust_store, directory=directory, pool_zone=pool_zone,
+        dns_servers=dns_servers, root_hints=root_hints,
+        access_fault=access_fault,
+    )
+
+
+def _deploy_plain_provider(internet, profile, root_hints, rng_registry,
+                           resolver_config=None):
+    """A provider in ``serve="dns"`` mode: recursion engine + plain :53
+    only — no TLS identity, no DoH front-end."""
+    from repro.dns.resolver import RecursiveResolver, ResolverConfig
+    from repro.doh.providers import ProviderDeployment
+    from repro.netsim.address import IPAddress
+    from repro.netsim.host import Host
+
+    host = internet.add_host(Host(
+        profile.name, profile.region, [IPAddress(profile.address)],
+        rng=rng_registry.stream("provider-ports", profile.name)))
+    resolver = RecursiveResolver(
+        host, internet.simulator, root_hints,
+        config=resolver_config or ResolverConfig(),
+        rng=rng_registry.stream("provider-txid", profile.name))
+    return ProviderDeployment(profile=profile, host=host, resolver=resolver,
+                              doh_server=None, certificate=None, keypair=None)
+
+
+def _materialize_population(spec: ScenarioSpec, seed: int, registry):
+    """The population world (ported from the legacy
+    ``build_population_scenario``; per-region access edges and the DoH
+    fleet transport are the spec-only extensions)."""
+    from repro.attacks.compromise import (
+        CompromiseConfig,
+        CompromisedResolverBehavior,
+        corrupt_first_k,
+    )
+    from repro.netsim.address import IPAddress
+    from repro.ntp.pool import deploy_ntp_fleet
+    from repro.population.fleet import ClientFleet, FleetConfig
+    from repro.scenarios.builders import PopulationScenario
+    from repro.telemetry.registry import MetricsRegistry, use_registry
+
+    fleet_spec = spec.fleet
+    provider_spec = spec.provider
+    behavior = CompromisedResolverBehavior(provider_spec.behavior)
+    forged_list = [IPAddress(a)
+                   for a in _default_forged(provider_spec, spec.pool)]
+
+    if spec.telemetry.enabled is False:
+        raise ConfigurationError(
+            "population worlds need telemetry; leave "
+            "TelemetrySpec.enabled unset or True")
+    registry = registry or MetricsRegistry()
+    with use_registry(registry):
+        pool_scenario = _build_pool_world(spec, seed)
+        pool_scenario.telemetry = registry
+        # Population access edges.  With no RegionSpecs: one per
+        # backbone region (metro profile, the scenario's access fault),
+        # so the fault axes degrade the whole population — the legacy
+        # layout.  With RegionSpecs: exactly the declared regions, each
+        # with its own link profile and fault.
+        topology = pool_scenario.internet.topology
+        regions = [node for node in topology.nodes
+                   if not node.endswith("-edge")]
+        access_nodes = []
+        region_links: Dict[str, str] = {}
+        if spec.network.regions:
+            for region in spec.network.regions:
+                if not topology.has_node(region.attach):
+                    raise ConfigurationError(
+                        f"region {region.name!r} attaches to unknown "
+                        f"node {region.attach!r}")
+                topology.add_link(region.node, region.attach,
+                                  region.link.to_profile())
+                if region.fault is not None and region.fault.active:
+                    topology.set_fault_model(region.node, region.attach,
+                                             region.fault.to_model())
+                access_nodes.append(region.node)
+                region_links[region.name] = region.link_name
+        else:
+            for region in regions:
+                node = f"pop-edge-{region}"
+                topology.add_link(node, region, LinkProfile.metro())
+                if pool_scenario.access_fault is not None:
+                    topology.set_fault_model(node, region,
+                                             pool_scenario.access_fault)
+                access_nodes.append(node)
+        if provider_spec.corrupted:
+            corrupt_first_k(
+                pool_scenario.providers, provider_spec.corrupted,
+                CompromiseConfig(target=pool_scenario.pool_domain,
+                                 behavior=behavior,
+                                 forged_addresses=forged_list,
+                                 inflate_to=provider_spec.inflate_to))
+        # Attack-implied attacker servers (forged answer targets,
+        # timeshift victims) must exist before the fleet deploys and
+        # count as attackers from the first sync.
+        attack_addresses: List[IPAddress] = []
+        for attack in spec.attacks:
+            for address in _attack_server_addresses(attack,
+                                                    pool_scenario.directory):
+                address = IPAddress(address)
+                if address not in attack_addresses:
+                    attack_addresses.append(address)
+        extra_servers = forged_list + [
+            a for a in attack_addresses
+            if a not in forged_list
+            and a not in pool_scenario.directory.benign
+            and a not in pool_scenario.directory.malicious]
+        # Servers stay on the backbone regions: a pool server co-located
+        # on a population access edge would let its clients sync without
+        # ever crossing the access link.
+        ntp_fleet = deploy_ntp_fleet(
+            pool_scenario.internet, pool_scenario.directory,
+            pool_scenario.rng, regions=regions,
+            malicious_lie_offset=spec.pool.lie_offset,
+            extra_addresses=extra_servers)
+        attackers = forged_list + pool_scenario.directory.malicious + [
+            a for a in attack_addresses
+            if a not in forged_list
+            and a not in pool_scenario.directory.malicious]
+        fleet = ClientFleet(
+            pool_scenario.internet,
+            [deployment.address for deployment in pool_scenario.providers],
+            pool_scenario.pool_domain, pool_scenario.rng,
+            nodes=access_nodes,
+            config=FleetConfig(
+                num_clients=fleet_spec.size, rounds=fleet_spec.rounds,
+                mean_interval=fleet_spec.mean_interval,
+                arrival=fleet_spec.arrival,
+                resolve_every=fleet_spec.resolve_every,
+                churn_rate=fleet_spec.churn_rate,
+                rejoin_delay=fleet_spec.rejoin_delay,
+                min_answers=fleet_spec.min_answers,
+                initial_clock_error=fleet_spec.initial_clock_error,
+                shift_threshold=fleet_spec.shift_threshold,
+                time_bin=spec.telemetry.time_bin,
+                transport=fleet_spec.transport),
+            attacker_addresses=attackers, registry=registry,
+            endpoints=[d.endpoint for d in pool_scenario.providers]
+            if fleet_spec.transport == "doh" else None,
+            server_names=[d.name for d in pool_scenario.providers]
+            if fleet_spec.transport == "doh" else None,
+            trust_store=pool_scenario.trust_store
+            if fleet_spec.transport == "doh" else None)
+    world = PopulationScenario(pool=pool_scenario, fleet=fleet,
+                               ntp_fleet=ntp_fleet, telemetry=registry,
+                               attacker_addresses=attackers)
+    _install_attacks(spec, world, pool_scenario, ntp_fleet=ntp_fleet,
+                     access_links=[
+                         "--".join(sorted((node, attach)))
+                         for node, attach in zip(
+                             access_nodes,
+                             [r.attach for r in spec.network.regions]
+                             or regions)],
+                     region_links=region_links)
+    return world
+
+
+def _install_attacks(spec: ScenarioSpec, world, pool_scenario,
+                     ntp_fleet, access_links, region_links) -> None:
+    context = AttackContext(
+        internet=pool_scenario.internet, rng=pool_scenario.rng,
+        pool_domain=pool_scenario.pool_domain,
+        providers=pool_scenario.providers,
+        directory=pool_scenario.directory,
+        access_links=access_links, region_links=region_links,
+        ntp_fleet=ntp_fleet)
+    for attack in spec.attacks:
+        world.attacks.append((attack.kind,
+                              ATTACK_INSTALLERS[attack.kind](attack,
+                                                             context)))
+
+
+__all__ = [
+    "ATTACK_INSTALLERS",
+    "AttackContext",
+    "AttackSpec",
+    "FaultSpec",
+    "FleetSpec",
+    "LinkSpec",
+    "NetworkSpec",
+    "PoolSpec",
+    "ProfileSpec",
+    "ProviderSpec",
+    "RegionSpec",
+    "ResolverSpec",
+    "ScenarioSpec",
+    "TelemetrySpec",
+    "World",
+    "apply_paths",
+    "effective_forged",
+    "get_path",
+    "materialize",
+    "pool_spec",
+    "population_spec",
+    "set_path",
+]

@@ -8,7 +8,7 @@ from repro.ntp.client import NtpClient
 from repro.ntp.clock import SimClock
 from repro.ntp.pool import NtpFleet, deploy_ntp_fleet
 from repro.scenarios import build_pool_scenario
-from repro.scenarios.builders import PoolScenario
+from repro.scenarios import PoolScenario
 
 
 @dataclass

@@ -4,7 +4,7 @@ import pytest
 
 from repro.netsim.simulator import Simulator
 from repro.population import BatchDispatcher, FleetConfig
-from repro.scenarios.builders import build_population_scenario
+from repro.scenarios import build_population_scenario
 
 
 class TestBatchDispatcher:

@@ -1,0 +1,41 @@
+"""Per-link drop TimeSeries published by the Internet fabric.
+
+The series is created lazily per dropping link (labelled by link id),
+so fault-free runs leave the registry snapshot untouched — the
+bit-identity contract every telemetry publisher honours.
+"""
+
+from repro.scenarios.spec import materialize, pool_spec, set_path
+
+
+def _snapshot_for(loss_rate: float, seed: int = 3):
+    spec = set_path(pool_spec(loss_rate=loss_rate),
+                    "telemetry.enabled", True)
+    world = materialize(spec, seed)
+    world.generate_pool_sync()
+    return world.telemetry.snapshot()
+
+
+class TestLinkDropSeries:
+    def test_fault_free_run_publishes_no_drop_series(self):
+        snapshot = _snapshot_for(0.0)
+        assert not [key for key in snapshot.get("timeseries", {})
+                    if key.startswith("net.link_drops")]
+        # ... and no drop counters either: everything delivered.
+        assert "net.drops" not in str(snapshot.get("counter", {}))
+
+    def test_lossy_access_link_publishes_labelled_series(self):
+        snapshot = _snapshot_for(0.35)
+        series_keys = [key for key in snapshot["timeseries"]
+                       if key.startswith("net.link_drops")]
+        assert series_keys == [
+            "net.link_drops{link=client-edge--eu-central}"]
+        entry = snapshot["timeseries"][series_keys[0]]
+        # The series carries per-bin [count, sum, min, max] rows whose
+        # total count equals the dropped-datagram counter.
+        drops = sum(row[0] for row in entry["bins"].values())
+        counted = snapshot["counter"]["net.datagrams_dropped"]
+        assert drops == counted > 0
+
+    def test_series_is_deterministic_across_runs(self):
+        assert _snapshot_for(0.35) == _snapshot_for(0.35)
