@@ -6,13 +6,21 @@ fraction y of the pool requires ⌈yN⌉ corrupted resolvers — measured
 end-to-end with real compromised providers, and cross-checked against
 the closed form.
 
-Declared as a campaign grid: one axis sweep over (N, corrupted) with the
-dependent range expressed as a ``where`` clause, executed end-to-end by
-the shared :func:`repro.campaign.pool_attack_trial`.
+Declared in grid-over-spec form (the first of the ROADMAP's remaining
+preset-kwarg grids to migrate): one base :func:`pool_spec` carrying an
+explicit :class:`ResolverSpec` and access :class:`LinkSpec`, whose
+dotted paths the campaign sweeps directly — ``provider.count`` ×
+``provider.corrupted`` (the paper's axes) × ``network.access.latency``
+(a LinkSpec axis). The corruption bound is a *combinatorial* property
+of Algorithm 1, so the measured share must be latency-invariant while
+the pool-generation wall-clock visibly tracks the access link — both
+asserted below. Each point's full ScenarioSpec lands in the JSON
+export.
 """
 
 from repro.analysis.model import required_corrupted_resolvers
-from repro.campaign import CampaignRunner, ParameterGrid, pool_attack_trial
+from repro.campaign import CampaignRunner, ParameterGrid, spec_trial
+from repro.scenarios.spec import LinkSpec, ResolverSpec, pool_spec, set_path
 
 from benchmarks.conftest import CACHE_DIR, run_once
 
@@ -20,22 +28,36 @@ FORGED = tuple(f"203.0.113.{i + 1}" for i in range(4))
 
 TRIALS = 3          # independent world seeds per grid point
 
-GRID = ParameterGrid(
-    {"num_providers": (3, 5, 9), "corrupted": range(10)},
-    fixed={"pool_size": 40, "answers_per_query": 4, "forged": FORGED},
-    name="e2_required_fraction",
-).where(lambda p: p["corrupted"] <= p["num_providers"])
+#: Access-link latencies swept as a LinkSpec axis (metro vs long-haul).
+LATENCIES = (0.003, 0.030)
 
-RUNNER = CampaignRunner(pool_attack_trial, trials_per_point=TRIALS,
+BASE_SPEC = pool_spec(pool_size=40, answers_per_query=4)
+BASE_SPEC = set_path(BASE_SPEC, "provider.resolver", ResolverSpec())
+BASE_SPEC = set_path(BASE_SPEC, "provider.forged", FORGED)
+# An explicit access LinkSpec so the latency axis has a concrete path
+# to land on (pool_spec defaults access to None = the metro profile).
+BASE_SPEC = set_path(BASE_SPEC, "network.access", LinkSpec())
+
+GRID = ParameterGrid.over_spec(
+    BASE_SPEC,
+    {"provider.count": (3, 5, 9),
+     "provider.corrupted": range(10),
+     "network.access.latency": LATENCIES},
+    name="e2_required_fraction",
+).where(lambda p: p["provider.corrupted"] <= p["provider.count"])
+
+RUNNER = CampaignRunner(spec_trial, trials_per_point=TRIALS,
                         base_seed=200, cache_dir=CACHE_DIR)
 
-SMOKE_GRID = ParameterGrid(
-    {"num_providers": (3,), "corrupted": (0, 1, 2, 3)},
-    fixed={"pool_size": 40, "answers_per_query": 4, "forged": FORGED},
+SMOKE_GRID = ParameterGrid.over_spec(
+    BASE_SPEC,
+    {"provider.count": (3,),
+     "provider.corrupted": (0, 1, 2, 3),
+     "network.access.latency": (0.003,)},
     name="e2_required_fraction_smoke",
 )
 
-SMOKE_RUNNER = CampaignRunner(pool_attack_trial, base_seed=200,
+SMOKE_RUNNER = CampaignRunner(spec_trial, base_seed=200,
                               cache_dir=CACHE_DIR)
 
 
@@ -46,33 +68,59 @@ def bench_e2_required_fraction(benchmark, emit_table, smoke, results_dir):
 
     rows = []
     for summary in result.summaries:
-        n = summary.params["num_providers"]
-        corrupted = summary.params["corrupted"]
+        n = summary.params["provider.count"]
+        corrupted = summary.params["provider.corrupted"]
+        latency = summary.params["network.access.latency"]
         share = summary["attacker_share"]
         needed_for_majority = required_corrupted_resolvers(n, 0.5)
         rows.append([
             n, corrupted,
+            f"{latency * 1000:.0f} ms",
             f"{share.mean:.3f}",
             f"±{(share.ci_high - share.ci_low) / 2:.3f}",
             f"{corrupted / n:.3f}",
+            f"{summary['elapsed'].mean * 1000:.0f} ms",
             "yes" if share.mean > 0.5 else "no",
             needed_for_majority,
         ])
     emit_table(
         "e2_required_fraction",
         f"E2 / §III-a: attacker pool share vs corrupted resolvers "
-        f"({result.summaries[0]['attacker_share'].count} trials/point)",
-        ["N", "corrupted", "measured share", "95% CI", "closed form c/N",
-         "majority?", "⌈N/2⌉ needed"],
+        f"({result.summaries[0]['attacker_share'].count} trials/point, "
+        f"grid-over-spec)",
+        ["N", "corrupted", "access", "measured share", "95% CI",
+         "closed form c/N", "gen time", "majority?", "⌈N/2⌉ needed"],
         rows,
         notes="Measured share equals c/N exactly (Algorithm 1's bound) in "
-              "every trial — the CI half-width is zero; majority is "
-              "reached only at c ≥ ⌈N/2⌉ — the paper's x ≥ y.")
+              "every trial and at every access latency — corruption is a "
+              "combinatorial property, so the LinkSpec axis moves only "
+              "the generation wall-clock; majority is reached only at "
+              "c ≥ ⌈N/2⌉ — the paper's x ≥ y.")
 
     for summary in result.summaries:
-        n = summary.params["num_providers"]
-        corrupted = summary.params["corrupted"]
+        n = summary.params["provider.count"]
+        corrupted = summary.params["provider.corrupted"]
         fraction = summary["attacker_share"].mean
         assert abs(fraction - corrupted / n) < 1e-9
         if fraction > 0.5:
             assert corrupted >= required_corrupted_resolvers(n, 0.5)
+
+    if not smoke:
+        # The LinkSpec axis moves wall-clock, never the bound: the same
+        # (N, corrupted) point generates slower over the long-haul
+        # access link but yields the identical attacker share.
+        slow, fast = max(LATENCIES), min(LATENCIES)
+        for n in (3, 5, 9):
+            shares = {
+                latency: result.metric("attacker_share", **{
+                    "provider.count": n, "provider.corrupted": 1,
+                    "network.access.latency": latency}).mean
+                for latency in LATENCIES
+            }
+            assert shares[slow] == shares[fast] == 1 / n
+            assert result.metric("elapsed", **{
+                "provider.count": n, "provider.corrupted": 1,
+                "network.access.latency": slow}).mean > result.metric(
+                "elapsed", **{
+                    "provider.count": n, "provider.corrupted": 1,
+                    "network.access.latency": fast}).mean

@@ -99,7 +99,7 @@ class DnsCache:
                records: List[ResourceRecord], rcode: RCode, ttl: int) -> None:
         now = self._clock()
         clamped = min(max(ttl, self._min_ttl), self._max_ttl)
-        key = (Name(name), rrtype)
+        key = (name if type(name) is Name else Name(name), rrtype)
         if key in self._entries:
             del self._entries[key]
         self._entries[key] = CacheEntry(
@@ -116,7 +116,7 @@ class DnsCache:
         Returned records carry their *remaining* TTL, the way a real
         resolver answers from cache.
         """
-        key = (Name(name), rrtype)
+        key = (name if type(name) is Name else Name(name), rrtype)
         entry = self._entries.get(key)
         now = self._clock()
         if entry is None or entry.expires_at <= now:

@@ -12,8 +12,9 @@ how to build a query and how to tell a genuine answer from a spoof.
 from __future__ import annotations
 
 import random
+import struct
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.dns.message import Message, make_query
 from repro.dns.name import Name
@@ -118,6 +119,10 @@ class StubResolver:
                                     rng=rng or random.Random(0))
         self._stats = StubStats()
         self._telemetry = current_registry()
+        # TXID-independent query tails per (labels, qtype): a query's
+        # wire form is its 2-byte TXID followed by fixed bytes, so each
+        # attempt is one struct.pack + concat instead of a full encode.
+        self._query_tails: Dict[Tuple, bytes] = {}
 
     @property
     def stats(self) -> StubStats:
@@ -131,12 +136,16 @@ class StubResolver:
               callback: StubCallback) -> None:
         """Send an RD=1 query; invoke ``callback`` exactly once."""
         qname = Name(qname)
+        tail_key = (qname.labels, qtype)
+        tail = self._query_tails.get(tail_key)
+        if tail is None:
+            tail = make_query(0, qname, qtype,
+                              recursion_desired=True).encode()[2:]
+            self._query_tails[tail_key] = tail
 
         def build_request(attempt: AttemptInfo) -> bytes:
             self._stats.queries += 1
-            query = make_query(attempt.txid, qname, qtype,
-                               recursion_desired=True)
-            return query.encode()
+            return struct.pack("!H", attempt.txid) + tail
 
         def classify(datagram: Datagram,
                      attempt: AttemptInfo) -> Optional[Message]:

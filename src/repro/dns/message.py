@@ -4,12 +4,24 @@ The :class:`Message` codec is wire-accurate for the feature subset the
 simulation uses: 12-byte header with flags, question section, and three
 record sections with name compression on encode and full pointer
 chasing on decode.
+
+Both directions of the codec are memoized on their *transaction-ID
+independent* content: the first two wire bytes are the only place the
+TXID lives, and compression pointers are absolute offsets past the
+fixed-size header, so a message differing only in TXID encodes to (and
+decodes from) byte-identical tails. The population workload leans on
+this heavily — a thousand clients exchange the same question/answer
+bytes under fresh random TXIDs, and steady state becomes one dict hit
+plus a 2-byte header patch instead of a full parse or render. The
+caches are value-keyed, case-exact and bounded, so memoized results are
+bit-identical to cold ones.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dns.name import Name
 from repro.dns.rcode import RCode
@@ -18,6 +30,13 @@ from repro.dns.rrtype import RRClass, RRType
 from repro.dns.wire import WireFormatError, WireReader, WireWriter
 
 MAX_TXID = 0xFFFF
+
+# TXID-independent codec memos (see module docstring). Bounded by
+# wholesale clearing: the working set of distinct messages in any run
+# is tiny, and clearing never changes results — only re-parses once.
+_DECODE_MEMO: "Dict[bytes, Message]" = {}
+_ENCODE_MEMO: Dict[tuple, bytes] = {}
+_CODEC_MEMO_MAX = 1024
 
 
 @dataclass(frozen=True)
@@ -76,9 +95,14 @@ class Question:
     qclass: RRClass = RRClass.IN
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "qname", Name(self.qname))
-        object.__setattr__(self, "qtype", RRType(self.qtype))
-        object.__setattr__(self, "qclass", RRClass(self.qclass))
+        # Coerce only when needed: the hot paths construct questions
+        # from already-typed values.
+        if type(self.qname) is not Name:
+            object.__setattr__(self, "qname", Name(self.qname))
+        if type(self.qtype) is not RRType:
+            object.__setattr__(self, "qtype", RRType(self.qtype))
+        if type(self.qclass) is not RRClass:
+            object.__setattr__(self, "qclass", RRClass(self.qclass))
 
     def to_wire(self, writer: WireWriter) -> None:
         writer.write_name(self.qname)
@@ -115,9 +139,12 @@ class ResourceRecord:
     rrclass: RRClass = RRClass.IN
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "name", Name(self.name))
-        object.__setattr__(self, "rrtype", RRType(self.rrtype))
-        object.__setattr__(self, "rrclass", RRClass(self.rrclass))
+        if type(self.name) is not Name:
+            object.__setattr__(self, "name", Name(self.name))
+        if type(self.rrtype) is not RRType:
+            object.__setattr__(self, "rrtype", RRType(self.rrtype))
+        if type(self.rrclass) is not RRClass:
+            object.__setattr__(self, "rrclass", RRClass(self.rrclass))
         if not 0 <= self.ttl <= 0x7FFFFFFF:
             raise ValueError(f"TTL out of range: {self.ttl}")
 
@@ -153,7 +180,24 @@ class ResourceRecord:
         return cls(name, rrtype, ttl, rdata, rrclass)
 
     def with_ttl(self, ttl: int) -> "ResourceRecord":
-        return replace(self, ttl=ttl)
+        """A copy with the TTL replaced.
+
+        Hand-rolled clone instead of :func:`dataclasses.replace`: the
+        cache decays every answered record's TTL on every hit, and the
+        generic replace would re-run the whole coercing ``__post_init__``
+        per record per query.
+        """
+        if ttl == self.ttl:
+            return self
+        if not 0 <= ttl <= 0x7FFFFFFF:
+            raise ValueError(f"TTL out of range: {ttl}")
+        clone = object.__new__(ResourceRecord)
+        object.__setattr__(clone, "name", self.name)
+        object.__setattr__(clone, "rrtype", self.rrtype)
+        object.__setattr__(clone, "ttl", ttl)
+        object.__setattr__(clone, "rdata", self.rdata)
+        object.__setattr__(clone, "rrclass", self.rrclass)
+        return clone
 
     def __str__(self) -> str:
         return (f"{self.name} {self.ttl} {self.rrclass.name} "
@@ -209,7 +253,33 @@ class Message:
     # Wire codec.
     # ------------------------------------------------------------------
 
+    def _content_key(self, compress: bool) -> Optional[tuple]:
+        """A hashable, case-exact identity of everything but the TXID,
+        or ``None`` when some RDATA opts out of memoization."""
+        try:
+            sections = tuple(
+                tuple((record.name.labels, int(record.rrtype),
+                       int(record.rrclass), record.ttl,
+                       record.rdata.cache_key())
+                      for record in section)
+                for section in (self.answers, self.authority, self.additional)
+            )
+        except AttributeError:      # a foreign Rdata without cache_key
+            return None
+        for section in sections:
+            for record in section:
+                if record[4] is None:
+                    return None
+        return (compress, self.flags,
+                tuple((q.qname.labels, int(q.qtype), int(q.qclass))
+                      for q in self.questions)) + sections
+
     def encode(self, compress: bool = True) -> bytes:
+        key = self._content_key(compress)
+        if key is not None:
+            tail = _ENCODE_MEMO.get(key)
+            if tail is not None:
+                return struct.pack("!H", self.txid) + tail
         writer = WireWriter(compress=compress)
         writer.write_u16(self.txid)
         writer.write_u16(self.flags.to_wire())
@@ -225,10 +295,22 @@ class Message:
             record.to_wire(writer)
         for record in self.additional:
             record.to_wire(writer)
-        return writer.getvalue()
+        wire = writer.getvalue()
+        if key is not None:
+            if len(_ENCODE_MEMO) >= _CODEC_MEMO_MAX:
+                _ENCODE_MEMO.clear()
+            _ENCODE_MEMO[key] = wire[2:]
+        return wire
 
     @classmethod
     def decode(cls, data: bytes) -> "Message":
+        template = _DECODE_MEMO.get(data[2:])
+        if template is not None:
+            return cls(txid=(data[0] << 8) | data[1], flags=template.flags,
+                       questions=list(template.questions),
+                       answers=list(template.answers),
+                       authority=list(template.authority),
+                       additional=list(template.additional))
         reader = WireReader(data)
         txid = reader.read_u16()
         flags = Flags.from_wire(reader.read_u16())
@@ -240,6 +322,18 @@ class Message:
         answers = [ResourceRecord.from_wire(reader) for _ in range(ancount)]
         authority = [ResourceRecord.from_wire(reader) for _ in range(nscount)]
         additional = [ResourceRecord.from_wire(reader) for _ in range(arcount)]
+        if not reader.pointer_into_id:
+            # Safe to memoize: nothing in the parse read the ID bytes,
+            # so any wire sharing this tail decodes identically (bar
+            # the TXID, patched from the header on each hit). The
+            # template is private to the memo; hits get fresh section
+            # lists so callers may mutate their message freely.
+            if len(_DECODE_MEMO) >= _CODEC_MEMO_MAX:
+                _DECODE_MEMO.clear()
+            _DECODE_MEMO[bytes(data[2:])] = cls(
+                txid=txid, flags=flags, questions=list(questions),
+                answers=list(answers), authority=list(authority),
+                additional=list(additional))
         return cls(txid=txid, flags=flags, questions=questions,
                    answers=answers, authority=authority,
                    additional=additional)

@@ -35,16 +35,22 @@ class Name:
     True
     """
 
-    __slots__ = ("_labels", "_folded")
+    __slots__ = ("_labels", "_folded", "_hash")
 
     def __init__(self, text: Union[str, "Name", Iterable[bytes]]) -> None:
         if isinstance(text, Name):
+            # Copy all derived state: names are immutable, so the
+            # folded form and cached hash transfer verbatim.
             self._labels: Tuple[bytes, ...] = text._labels
-        elif isinstance(text, str):
+            self._folded = text._folded
+            self._hash = text._hash
+            return
+        if isinstance(text, str):
             self._labels = _labels_from_text(text)
         else:
             self._labels = _validate_labels(tuple(bytes(l) for l in text))
         self._folded = tuple(label.lower() for label in self._labels)
+        self._hash: "int | None" = None
 
     # ------------------------------------------------------------------
     # Constructors.
@@ -161,7 +167,10 @@ class Name:
         return self._folded[::-1] < other._folded[::-1]
 
     def __hash__(self) -> int:
-        return hash(self._folded)
+        value = self._hash
+        if value is None:
+            value = self._hash = hash(self._folded)
+        return value
 
 
 def _labels_from_text(text: str) -> Tuple[bytes, ...]:

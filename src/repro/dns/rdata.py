@@ -37,6 +37,17 @@ class Rdata:
     def to_text(self) -> str:
         raise NotImplementedError
 
+    def cache_key(self):
+        """A hashable, *case-exact* identity of this RDATA's wire form.
+
+        Used by the message-encode memo: two RDATA with equal cache
+        keys must encode to identical bytes. Names contribute their
+        raw labels (not the case-folded comparison form), so
+        ``example.com`` and ``Example.COM`` never share a key.
+        ``None`` opts the carrying message out of memoization.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.to_text()})"
 
@@ -62,6 +73,9 @@ class ARdata(Rdata):
         if rdlength != 4:
             raise WireFormatError(f"A RDATA must be 4 bytes, got {rdlength}")
         return cls(IPAddress.from_packed(reader.read_bytes(4)))
+
+    def cache_key(self):
+        return ("A", self.address)
 
     def to_text(self) -> str:
         return str(self.address)
@@ -89,6 +103,9 @@ class AAAARdata(Rdata):
             raise WireFormatError(f"AAAA RDATA must be 16 bytes, got {rdlength}")
         return cls(IPAddress.from_packed(reader.read_bytes(16)))
 
+    def cache_key(self):
+        return ("AAAA", self.address)
+
     def to_text(self) -> str:
         return str(self.address)
 
@@ -109,6 +126,9 @@ class NSRdata(Rdata):
     @classmethod
     def from_wire(cls, reader: WireReader, rdlength: int) -> "NSRdata":
         return cls(reader.read_name())
+
+    def cache_key(self):
+        return ("NS", self.target.labels)
 
     def to_text(self) -> str:
         return self.target.to_text()
@@ -131,6 +151,9 @@ class CNAMERdata(Rdata):
     def from_wire(cls, reader: WireReader, rdlength: int) -> "CNAMERdata":
         return cls(reader.read_name())
 
+    def cache_key(self):
+        return ("CNAME", self.target.labels)
+
     def to_text(self) -> str:
         return self.target.to_text()
 
@@ -151,6 +174,9 @@ class PTRRdata(Rdata):
     @classmethod
     def from_wire(cls, reader: WireReader, rdlength: int) -> "PTRRdata":
         return cls(reader.read_name())
+
+    def cache_key(self):
+        return ("PTR", self.target.labels)
 
     def to_text(self) -> str:
         return self.target.to_text()
@@ -193,6 +219,10 @@ class SOARdata(Rdata):
         minimum = reader.read_u32()
         return cls(mname, rname, serial, refresh, retry, expire, minimum)
 
+    def cache_key(self):
+        return ("SOA", self.mname.labels, self.rname.labels, self.serial,
+                self.refresh, self.retry, self.expire, self.minimum)
+
     def to_text(self) -> str:
         return (f"{self.mname} {self.rname} {self.serial} {self.refresh} "
                 f"{self.retry} {self.expire} {self.minimum}")
@@ -219,6 +249,9 @@ class MXRdata(Rdata):
     def from_wire(cls, reader: WireReader, rdlength: int) -> "MXRdata":
         preference = reader.read_u16()
         return cls(preference, reader.read_name())
+
+    def cache_key(self):
+        return ("MX", self.preference, self.exchange.labels)
 
     def to_text(self) -> str:
         return f"{self.preference} {self.exchange}"
@@ -262,6 +295,9 @@ class TXTRdata(Rdata):
             raise WireFormatError("empty TXT RDATA")
         return cls(tuple(strings))
 
+    def cache_key(self):
+        return ("TXT", self.strings)
+
     def to_text(self) -> str:
         return " ".join(f'"{chunk.decode("utf-8", "replace")}"'
                         for chunk in self.strings)
@@ -281,6 +317,9 @@ class OpaqueRdata(Rdata):
     @classmethod
     def from_wire(cls, reader: WireReader, rdlength: int) -> "OpaqueRdata":
         raise NotImplementedError("use decode_rdata() with a type code")
+
+    def cache_key(self):
+        return ("OPAQUE", self.type_code, self.data)
 
     def to_text(self) -> str:
         return f"\\# {len(self.data)} {self.data.hex()}"

@@ -267,6 +267,11 @@ class RecursiveResolver:
 class _Resolution:
     """State machine for one (qname, qtype) resolution."""
 
+    __slots__ = ("_resolver", "_qname", "_qtype", "_callback", "_ns_depth",
+                 "_config", "_sim", "_zone", "_servers", "_server_index",
+                 "_referrals", "_cname_chain", "_upstream_queries",
+                 "_finished", "_exchange")
+
     def __init__(self, resolver: RecursiveResolver, qname: Name,
                  qtype: RRType, callback: ResolveCallback,
                  ns_depth: int = 0, cname_depth: int = 0) -> None:

@@ -15,6 +15,13 @@ from repro.dns.name import Name
 _POINTER_FLAG = 0xC0
 _MAX_POINTER_HOPS = 128
 
+# Decoded-name intern pool: the simulation parses the same handful of
+# names millions of times, so identical label tuples share one immutable
+# Name. Bounded (cleared wholesale when full) and keyed on the exact,
+# case-preserved labels.
+_NAME_POOL: Dict[Tuple[bytes, ...], Name] = {}
+_NAME_POOL_MAX = 4096
+
 
 class WireFormatError(ValueError):
     """Raised when decoding malformed wire data."""
@@ -88,6 +95,10 @@ class WireReader:
     def __init__(self, data: bytes, offset: int = 0) -> None:
         self._data = data
         self._offset = offset
+        # Set when a compression pointer targets the message ID bytes
+        # (offsets 0-1); such a parse depends on the transaction ID and
+        # is ineligible for ID-independent decode memoization.
+        self.pointer_into_id = False
 
     @property
     def offset(self) -> int:
@@ -139,6 +150,8 @@ class WireReader:
                     jumped = True
                 if pointer >= cursor:
                     raise WireFormatError("forward compression pointer")
+                if pointer < 2:
+                    self.pointer_into_id = True
                 cursor = pointer
                 hops += 1
                 if hops > _MAX_POINTER_HOPS:
@@ -150,7 +163,14 @@ class WireReader:
             if length == 0:
                 if not jumped:
                     self._offset = cursor
-                return Name.from_labels(labels)
+                key = tuple(labels)
+                name = _NAME_POOL.get(key)
+                if name is None:
+                    if len(_NAME_POOL) >= _NAME_POOL_MAX:
+                        _NAME_POOL.clear()
+                    name = Name.from_labels(key)
+                    _NAME_POOL[key] = name
+                return name
             if cursor + length > len(self._data):
                 raise WireFormatError("label runs past end of message")
             labels.append(self._data[cursor:cursor + length])

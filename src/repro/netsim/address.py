@@ -28,15 +28,18 @@ class IPAddress:
     True
     """
 
-    __slots__ = ("_inner",)
+    __slots__ = ("_inner", "_hash")
 
     def __init__(self, text: Union[str, "IPAddress", _IpObject]) -> None:
         if isinstance(text, IPAddress):
             self._inner: _IpObject = text._inner
-        elif isinstance(text, (ipaddress.IPv4Address, ipaddress.IPv6Address)):
+            self._hash: "int | None" = text._hash
+            return
+        if isinstance(text, (ipaddress.IPv4Address, ipaddress.IPv6Address)):
             self._inner = text
         else:
             self._inner = ipaddress.ip_address(str(text))
+        self._hash = None
 
     @property
     def family(self) -> int:
@@ -72,7 +75,12 @@ class IPAddress:
         return f"IPAddress({str(self._inner)!r})"
 
     def __hash__(self) -> int:
-        return hash(self._inner)
+        # Addresses key every socket/host dict on the delivery path;
+        # ipaddress objects recompute their hash per call, so cache it.
+        value = self._hash
+        if value is None:
+            value = self._hash = hash(self._inner)
+        return value
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, IPAddress):
@@ -98,7 +106,7 @@ def ip(text: Union[str, IPAddress]) -> IPAddress:
     return IPAddress(text)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Endpoint:
     """A transport endpoint: (IP address, UDP/TCP port).
 

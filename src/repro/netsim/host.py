@@ -38,6 +38,9 @@ class Host:
         exploit, so scenarios can turn it off to model weak stacks.
     """
 
+    __slots__ = ("_name", "_node", "_addresses", "_randomize_ports", "_rng",
+                 "_internet", "_sockets", "_next_sequential_port")
+
     def __init__(self, name: str, node: str, addresses: List[IPAddress],
                  randomize_ports: bool = True,
                  rng: Optional[random.Random] = None) -> None:

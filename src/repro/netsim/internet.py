@@ -11,15 +11,24 @@ with the two interposition points the paper's threat model needs:
   *not* on the path can still blindly send datagrams with spoofed source
   addresses, which is the capability behind classic DNS poisoning.
 
-Every delivery attempt produces a :class:`DeliveryReceipt`, giving the
-benchmarks byte/latency accounting for free.
+Delivery accounting is two-tier. In steady state the fabric keeps
+counters only: per (origin, destination-node) pair it compiles a
+:class:`_FlightPlan` — the route's link list, its node names and each
+link's installed taps — cached until the topology (or a fault install,
+or a tap) changes, so delivering a datagram is one dict lookup plus one
+fused RNG sample per hop. Full :class:`DeliveryReceipt` objects (with
+``route_nodes``) are only materialized when someone is actually looking:
+a registered observer, the receipt log, or an :meth:`inject` caller.
+Both tiers drive the links through the same
+:meth:`~repro.netsim.link.Link.transit` sampler, so which tier ran is
+invisible in the RNG streams and the science.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.netsim.address import Endpoint, IPAddress
 from repro.netsim.host import Host
@@ -39,7 +48,7 @@ class TapVerdict(enum.Enum):
     REWRITE = "rewrite"
 
 
-@dataclass
+@dataclass(slots=True)
 class TapAction:
     """Result of a tap callback.
 
@@ -73,7 +82,7 @@ LinkTap = Callable[[Link, Datagram], TapAction]
 DeliveryObserver = Callable[["DeliveryReceipt"], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class DeliveryReceipt:
     """Accounting record for one datagram's trip through the network."""
 
@@ -96,6 +105,28 @@ class DeliveryReceipt:
         return self.arrival_time - self.send_time
 
 
+class _FlightPlan:
+    """A compiled (origin, destination-node) delivery recipe.
+
+    ``hops`` pairs each route link with the tuple of taps installed on
+    it at compile time (``None`` when the link is tap-free, so the
+    steady-state loop skips tap dispatch entirely). Plans are immutable;
+    the :class:`Internet` drops its whole plan cache whenever the
+    topology version or the tap epoch moves.
+    """
+
+    __slots__ = ("hops", "route_nodes", "hop_count")
+
+    def __init__(self, links: List[Link],
+                 taps: Dict[str, List[LinkTap]],
+                 route_nodes: List[str]) -> None:
+        self.hops: Tuple[Tuple[Link, Optional[Tuple[LinkTap, ...]]], ...] = \
+            tuple((link, tuple(taps[link.name]) if taps.get(link.name) else None)
+                  for link in links)
+        self.route_nodes: Tuple[str, ...] = tuple(route_nodes)
+        self.hop_count = len(self.hops)
+
+
 class Internet:
     """Packet-delivery fabric over a routed topology.
 
@@ -113,9 +144,13 @@ class Internet:
         self._hosts_by_name: Dict[str, Host] = {}
         self._hosts_by_address: Dict[IPAddress, Host] = {}
         self._taps: Dict[str, List[LinkTap]] = {}
+        self._tap_epoch = 0
+        self._plans: Dict[Tuple[str, str], _FlightPlan] = {}
+        self._plans_stamp = -1
         self._observers: List[DeliveryObserver] = []
         self._receipts: List[DeliveryReceipt] = []
         self._keep_receipts = False
+        self._detailed = False
         self._datagrams_sent = 0
         self._datagrams_delivered = 0
         self._datagrams_duplicated = 0
@@ -130,10 +165,12 @@ class Internet:
             self._t_delivered = telemetry.counter("net.datagrams_delivered")
             self._t_dropped = telemetry.counter("net.datagrams_dropped")
             self._t_latency = telemetry.histogram("net.delivery_latency")
-            # Per-link drop series are created lazily on the first drop
-            # a link produces, so fault-free runs leave the registry's
+            # Per-reason drop counters and per-link drop series are
+            # created lazily on the first drop each reason/link
+            # produces, so fault-free runs leave the registry's
             # snapshot byte-identical to pre-series builds.
-            self._t_link_drops = {}
+            self._t_drop_reasons: Dict[str, object] = {}
+            self._t_link_drops: Dict[str, object] = {}
 
     #: Bin width (virtual seconds) of the per-link drop time series.
     LINK_DROP_BIN = 1.0
@@ -198,11 +235,13 @@ class Internet:
         non-PASS verdict wins.
         """
         self._taps.setdefault(link_name, []).append(tap)
+        self._tap_epoch += 1
 
     def remove_tap(self, link_name: str, tap: LinkTap) -> None:
         """Uninstall a previously installed tap."""
         taps = self._taps.get(link_name, [])
         taps.remove(tap)
+        self._tap_epoch += 1
 
     def inject(self, datagram: Datagram, at_node: str,
                spoofed: bool = True) -> DeliveryReceipt:
@@ -215,7 +254,8 @@ class Internet:
         tagged = Datagram(src=datagram.src, dst=datagram.dst,
                           payload=datagram.payload, spoofed=spoofed,
                           channel=datagram.channel)
-        return self._route_and_schedule(tagged, origin_node=at_node)
+        # Injection always pays for a receipt: it returns one.
+        return self._route_and_schedule(tagged, at_node, want_receipt=True)
 
     # ------------------------------------------------------------------
     # Tracing.
@@ -224,10 +264,12 @@ class Internet:
     def add_observer(self, observer: DeliveryObserver) -> None:
         """Register a passive per-delivery observer."""
         self._observers.append(observer)
+        self._detailed = True
 
     def enable_receipt_log(self, enabled: bool = True) -> None:
         """Keep every :class:`DeliveryReceipt` in memory for inspection."""
         self._keep_receipts = enabled
+        self._detailed = enabled or bool(self._observers)
 
     @property
     def receipts(self) -> List[DeliveryReceipt]:
@@ -254,48 +296,73 @@ class Internet:
     # Delivery.
     # ------------------------------------------------------------------
 
-    def send(self, datagram: Datagram, origin_host: Host) -> DeliveryReceipt:
-        """Entry point used by :meth:`Host.transmit`."""
-        return self._route_and_schedule(datagram, origin_node=origin_host.node)
+    def send(self, datagram: Datagram,
+             origin_host: Host) -> Optional[DeliveryReceipt]:
+        """Entry point used by :meth:`Host.transmit`.
 
-    def _route_and_schedule(self, datagram: Datagram,
-                            origin_node: str) -> DeliveryReceipt:
+        Returns the :class:`DeliveryReceipt` when delivery tracing is
+        active (observers or the receipt log); in the counters-only
+        steady state it returns ``None`` — building a per-packet
+        receipt nobody reads is exactly the overhead the flight-plan
+        fast path removes.
+        """
+        return self._route_and_schedule(datagram, origin_host.node,
+                                        want_receipt=self._detailed)
+
+    def _plan_for(self, origin: str, dest_node: str) -> _FlightPlan:
+        """The compiled flight plan for one (origin, destination) pair."""
+        stamp = self._topology.version + self._tap_epoch
+        if stamp != self._plans_stamp:
+            self._plans.clear()
+            self._plans_stamp = stamp
+        key = (origin, dest_node)
+        plan = self._plans.get(key)
+        if plan is None:
+            links = self._topology.route(origin, dest_node)
+            route_nodes = self._topology.route_nodes(origin, dest_node)
+            plan = _FlightPlan(links, self._taps, route_nodes)
+            self._plans[key] = plan
+        return plan
+
+    def _route_and_schedule(self, datagram: Datagram, origin_node: str,
+                            want_receipt: bool) -> Optional[DeliveryReceipt]:
         self._datagrams_sent += 1
-        self._bytes_sent += datagram.size
-        receipt = DeliveryReceipt(datagram=datagram, delivered=False,
-                                  send_time=self._simulator.now)
+        datagram_size = datagram.size
+        self._bytes_sent += datagram_size
+        simulator = self._simulator
+        send_time = simulator.now
+        receipt: Optional[DeliveryReceipt] = None
+        if want_receipt:
+            receipt = DeliveryReceipt(datagram=datagram, delivered=False,
+                                      send_time=send_time)
 
         destination_host = self._hosts_by_address.get(datagram.dst.address)
         if destination_host is None:
-            receipt.dropped_by = "no-host"
-            self._finish(receipt)
-            return receipt
+            return self._drop(receipt, "no-host", datagram_size)
 
         try:
-            links = self._topology.route(origin_node, destination_host.node)
-            receipt.route_nodes = self._topology.route_nodes(
-                origin_node, destination_host.node
-            )
+            plan = self._plan_for(origin_node, destination_host.node)
         except RoutingError:
-            receipt.dropped_by = "no-route"
-            self._finish(receipt)
-            return receipt
+            return self._drop(receipt, "no-route", datagram_size)
+        if receipt is not None:
+            receipt.route_nodes = list(plan.route_nodes)
 
         total_delay = 0.0
         duplicate_gap: Optional[float] = None
         duplicating_link: Optional[Link] = None
         current = datagram
-        for link in links:
-            receipt.hops += 1
+        hop_size = datagram_size   # link accounting follows rewrites;
+        #                            telemetry counts the original bytes
+        hops = 0
+        for link, taps in plan.hops:
+            hops += 1
             # Natural loss first, then attacker taps: a dropped packet
             # never reaches the tap further down the same hop.
-            dropped = link.sample_drop()
-            gap = None if dropped else link.sample_duplicate()
-            link.account(current.size, dropped)
+            dropped, gap, delay = link.transit(hop_size)
             if dropped:
-                receipt.dropped_by = link.name
-                self._finish(receipt)
-                return receipt
+                if receipt is not None:
+                    receipt.hops = hops
+                return self._drop(receipt, link.name, datagram_size)
             if gap is not None and duplicate_gap is None:
                 # At most one extra copy per trip, trailing the
                 # original by the first duplicating hop's gap. The
@@ -304,36 +371,69 @@ class Internet:
                 # discards the copy along with the original).
                 duplicate_gap = gap
                 duplicating_link = link
-            total_delay += link.sample_delay()
-            action = self._run_taps(link, current)
-            if action.verdict is TapVerdict.DROP:
-                receipt.dropped_by = f"tap:{link.name}"
-                self._finish(receipt)
-                return receipt
-            if action.verdict is TapVerdict.REWRITE:
-                if action.payload is None:
-                    raise ValueError("REWRITE verdict requires a payload")
-                current = current.with_payload(action.payload)
-                receipt.rewritten = True
-            total_delay += action.extra_delay
+            total_delay += delay
+            if taps is not None:
+                for tap in taps:
+                    action = tap(link, current)
+                    if action.verdict is TapVerdict.PASS:
+                        continue
+                    if action.verdict is TapVerdict.DROP:
+                        if receipt is not None:
+                            receipt.hops = hops
+                        return self._drop(receipt, f"tap:{link.name}",
+                                          datagram_size)
+                    if action.payload is None:
+                        raise ValueError("REWRITE verdict requires a payload")
+                    current = current.with_payload(action.payload)
+                    hop_size = len(action.payload)
+                    if receipt is not None:
+                        receipt.rewritten = True
+                    total_delay += action.extra_delay
+                    break
 
         final = current
-        arrival = self._simulator.now + total_delay
+        arrival = simulator.now + total_delay
+        telemetry = self._telemetry
 
-        def deliver() -> None:
-            accepted = destination_host.deliver(final)
-            receipt.arrival_time = self._simulator.now
-            receipt.delivered = accepted
-            if accepted:
-                self._datagrams_delivered += 1
-            else:
-                receipt.dropped_by = "no-socket"
-            self._finish(receipt, schedule=False)
+        if receipt is not None:
+            receipt.hops = hops
 
-        self._simulator.schedule_at(arrival, deliver,
-                                    label=f"deliver#{final.packet_id}")
+            def deliver() -> None:
+                accepted = destination_host.deliver(final)
+                receipt.arrival_time = simulator.now
+                receipt.delivered = accepted
+                if accepted:
+                    self._datagrams_delivered += 1
+                else:
+                    receipt.dropped_by = "no-socket"
+                self._finish(receipt)
+
+            simulator.schedule_at(arrival, deliver,
+                                  label=f"deliver#{final.packet_id}")
+        elif telemetry is None:
+
+            def deliver_lean() -> None:
+                if destination_host.deliver(final):
+                    self._datagrams_delivered += 1
+
+            simulator.schedule_at(arrival, deliver_lean)
+        else:
+
+            def deliver_counted() -> None:
+                if destination_host.deliver(final):
+                    self._datagrams_delivered += 1
+                    self._t_sent.inc()
+                    self._t_bytes.inc(datagram_size)
+                    self._t_delivered.inc()
+                    self._t_latency.observe(simulator.now - send_time)
+                else:
+                    self._count_drop("no-socket", datagram_size)
+
+            simulator.schedule_at(arrival, deliver_counted)
+
         if duplicate_gap is not None:
-            receipt.duplicated = True
+            if receipt is not None:
+                receipt.duplicated = True
             duplicating_link.count_duplicate()
 
             def deliver_copy() -> None:
@@ -343,41 +443,53 @@ class Internet:
                 if destination_host.deliver(final):
                     self._datagrams_duplicated += 1
 
-            self._simulator.schedule_at(
-                arrival + duplicate_gap, deliver_copy,
-                label=f"deliver-dup#{final.packet_id}")
+            simulator.schedule_at(arrival + duplicate_gap, deliver_copy)
         return receipt
 
-    def _run_taps(self, link: Link, datagram: Datagram) -> TapAction:
-        for tap in self._taps.get(link.name, []):
-            action = tap(link, datagram)
-            if action.verdict is not TapVerdict.PASS:
-                return action
-        return TapAction.passthrough()
+    def _drop(self, receipt: Optional[DeliveryReceipt], where: str,
+              size: int) -> Optional[DeliveryReceipt]:
+        """An in-flight drop: account it and finish immediately."""
+        if receipt is not None:
+            receipt.dropped_by = where
+            self._finish(receipt)
+            return receipt
+        self._count_drop(where, size)
+        return None
 
-    def _finish(self, receipt: DeliveryReceipt, schedule: bool = True) -> None:
-        """Record a receipt; dropped packets finish immediately."""
-        if schedule and receipt.arrival_time is None:
-            # Dropped in-flight: notify observers right away.
-            pass
+    def _count_drop(self, where: str, size: int) -> None:
+        """Telemetry for one dropped datagram (counters-only tier)."""
+        if self._telemetry is None:
+            return
+        self._t_sent.inc()
+        self._t_bytes.inc(size)
+        self._t_dropped.inc()
+        counter = self._t_drop_reasons.get(where)
+        if counter is None:
+            counter = self._telemetry.counter("net.drops", reason=where)
+            self._t_drop_reasons[where] = counter
+        counter.inc()
+        series = self._t_link_drops.get(where)
+        if series is None:
+            series = self._telemetry.timeseries(
+                "net.link_drops", self.LINK_DROP_BIN, link=where)
+            self._t_link_drops[where] = series
+        series.record(self._simulator.now, 1.0)
+
+    def _finish(self, receipt: DeliveryReceipt) -> None:
+        """Record a finished receipt: telemetry, the receipt log, and
+        every registered observer (dropped packets arrive here at their
+        drop instant, delivered ones at their arrival instant)."""
         if self._telemetry is not None:
-            self._t_sent.inc()
-            self._t_bytes.inc(receipt.datagram.size)
             if receipt.delivered:
+                self._t_sent.inc()
+                self._t_bytes.inc(receipt.datagram.size)
                 self._t_delivered.inc()
                 latency = receipt.latency
                 if latency is not None:
                     self._t_latency.observe(latency)
             else:
-                self._t_dropped.inc()
-                where = receipt.dropped_by or "unknown"
-                self._telemetry.counter("net.drops", reason=where).inc()
-                series = self._t_link_drops.get(where)
-                if series is None:
-                    series = self._telemetry.timeseries(
-                        "net.link_drops", self.LINK_DROP_BIN, link=where)
-                    self._t_link_drops[where] = series
-                series.record(self._simulator.now, 1.0)
+                self._count_drop(receipt.dropped_by or "unknown",
+                                 receipt.datagram.size)
         if self._keep_receipts:
             self._receipts.append(receipt)
         for observer in self._observers:

@@ -175,6 +175,11 @@ class Link:
     sample and a drop decision.
     """
 
+    __slots__ = ("_a", "_b", "_profile", "_rng", "_fault", "_fault_rng",
+                 "_packets_carried", "_packets_dropped",
+                 "_packets_duplicated", "_bytes_carried", "_name",
+                 "_latency", "_jitter", "_loss")
+
     def __init__(self, a: str, b: str, profile: LinkProfile,
                  rng: random.Random) -> None:
         if a == b:
@@ -189,6 +194,12 @@ class Link:
         self._packets_dropped = 0
         self._packets_duplicated = 0
         self._bytes_carried = 0
+        self._name = "--".join(sorted((a, b)))
+        # Profile scalars, hoisted once (LinkProfile is frozen) so the
+        # per-packet transit path reads plain floats.
+        self._latency = profile.latency
+        self._jitter = profile.jitter
+        self._loss = profile.loss
 
     @property
     def ends(self) -> Tuple[str, str]:
@@ -198,7 +209,7 @@ class Link:
     @property
     def name(self) -> str:
         """Canonical (sorted) name, stable regardless of direction."""
-        return "--".join(sorted((self._a, self._b)))
+        return self._name
 
     @property
     def profile(self) -> LinkProfile:
@@ -240,6 +251,40 @@ class Link:
             raise ValueError("an active fault model needs its own rng")
         self._fault = model if model is not None and model.active else None
         self._fault_rng = rng if self._fault is not None else None
+
+    def transit(self, size: int) -> "Tuple[bool, Optional[float], float]":
+        """One packet's fused hop decision: ``(dropped, dup_gap, delay)``.
+
+        Exactly the draws of :meth:`sample_drop` →
+        :meth:`sample_duplicate` → :meth:`account` → :meth:`sample_delay`
+        in that order (the delivery loop's historical call sequence), so
+        a run driven through ``transit`` consumes the link's intrinsic
+        and fault RNG streams bit-identically to one driven through the
+        individual sampling methods. A dropped packet draws nothing
+        further, and its ``delay`` is meaningless.
+        """
+        rng = self._rng
+        fault = self._fault
+        if self._loss and rng.random() < self._loss:
+            dropped = True
+        elif fault is not None and fault.loss_rate > 0.0 \
+                and self._fault_rng.random() < fault.loss_rate:
+            dropped = True
+        else:
+            dropped = False
+        self._packets_carried += 1
+        self._bytes_carried += size
+        if dropped:
+            self._packets_dropped += 1
+            return True, None, 0.0
+        gap = (fault.sample_duplicate(self._fault_rng)
+               if fault is not None else None)
+        delay = self._latency
+        if self._jitter:
+            delay += rng.uniform(0.0, self._jitter)
+        if fault is not None:
+            delay += fault.sample_extra_delay(self._fault_rng)
+        return False, gap, delay
 
     def sample_delay(self) -> float:
         """Draw the per-packet one-way delay for this hop."""

@@ -16,7 +16,7 @@ from repro.netsim.address import Endpoint
 _packet_ids = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Datagram:
     """A UDP-style datagram.
 

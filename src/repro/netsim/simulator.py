@@ -7,14 +7,20 @@ seconds and only advances when the queue is drained up to an event.
 
 The engine is intentionally callback-based (no coroutines): callbacks
 keep execution order explicit and make attack races reproducible.
+
+Hot-path layout: the heap holds plain ``(time, sequence, event)``
+tuples, so ordering is decided by C-level tuple comparison instead of a
+generated dataclass ``__lt__``; :class:`Event` itself is a slotted
+handle whose only job is carrying the callback and the cancel flag. The
+pending-event count is maintained live on schedule/cancel/pop, keeping
+:attr:`Simulator.pending_events` O(1) instead of a full heap scan.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 Callback = Callable[[], None]
 
@@ -23,27 +29,44 @@ class SimulationError(RuntimeError):
     """Raised for invalid scheduler usage (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback. Comparable by ``(time, sequence)``.
+    """A scheduled callback, ordered in the queue by ``(time, sequence)``.
 
-    Instances are returned from :meth:`Simulator.schedule` as handles;
+    Instances are returned from :meth:`Simulator.schedule_at` as handles;
     call :meth:`cancel` to prevent a pending event from firing.
     """
 
-    time: float
-    sequence: int
-    callback: Callback = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "sequence", "callback", "label", "cancelled",
+                 "_simulator")
+
+    def __init__(self, time: float, sequence: int, callback: Callback,
+                 label: str = "",
+                 simulator: "Optional[Simulator]" = None) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self._simulator = simulator
 
     def cancel(self) -> None:
-        """Prevent this event from firing; safe to call repeatedly."""
-        self.cancelled = True
+        """Prevent this event from firing; safe to call repeatedly —
+        including on handles that already fired or were dropped by
+        :meth:`Simulator.clear`, which no longer count as pending."""
+        if not self.cancelled:
+            self.cancelled = True
+            simulator = self._simulator
+            if simulator is not None:
+                self._simulator = None
+                simulator._pending -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
         return f"Event(t={self.time:.6f}, #{self.sequence}, {self.label or 'anon'}, {state})"
+
+
+#: What the heap actually stores.
+_QueueEntry = Tuple[float, int, Event]
 
 
 class Simulator:
@@ -62,9 +85,10 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: List[Event] = []
+        self._queue: List[_QueueEntry] = []
         self._sequence = itertools.count()
         self._executed = 0
+        self._pending = 0
         self._running = False
 
     @property
@@ -79,18 +103,24 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-fired, not-cancelled events in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-fired, not-cancelled events in the queue.
+
+        O(1): the count is maintained on schedule/cancel/pop rather than
+        recomputed by scanning the heap.
+        """
+        return self._pending
 
     def schedule_at(self, when: float, callback: Callback, label: str = "") -> Event:
         """Schedule ``callback`` at absolute virtual time ``when``."""
+        when = float(when)
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at t={when} before now={self._now}"
             )
-        event = Event(time=float(when), sequence=next(self._sequence),
-                      callback=callback, label=label)
-        heapq.heappush(self._queue, event)
+        sequence = next(self._sequence)
+        event = Event(when, sequence, callback, label, self)
+        heapq.heappush(self._queue, (when, sequence, event))
+        self._pending += 1
         return event
 
     def schedule_after(self, delay: float, callback: Callback, label: str = "") -> Event:
@@ -114,24 +144,34 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         try:
+            queue = self._queue
+            pop = heapq.heappop
             executed_this_run = 0
-            while self._queue:
+            while queue:
                 if max_events is not None and executed_this_run >= max_events:
                     break
-                event = heapq.heappop(self._queue)
+                head = queue[0]
+                event = head[2]
                 if event.cancelled:
+                    pop(queue)
                     continue
-                if until is not None and event.time > until:
-                    # Put it back; the caller may resume later.
-                    heapq.heappush(self._queue, event)
-                    self._now = max(self._now, until)
+                when = head[0]
+                if until is not None and when > until:
+                    # Leave it queued; the caller may resume later.
+                    if until > self._now:
+                        self._now = until
                     return
-                self._now = event.time
+                pop(queue)
+                # Detach before firing: a late cancel() on a fired
+                # handle must not touch the live pending counter.
+                event._simulator = None
+                self._pending -= 1
+                self._now = when
                 event.callback()
                 self._executed += 1
                 executed_this_run += 1
-            if until is not None:
-                self._now = max(self._now, until)
+            if until is not None and until > self._now:
+                self._now = until
         finally:
             self._running = False
 
@@ -142,9 +182,11 @@ class Simulator:
     def step(self) -> bool:
         """Execute exactly one pending event. Returns False when idle."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            _, _, event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            event._simulator = None
+            self._pending -= 1
             self._now = event.time
             event.callback()
             self._executed += 1
@@ -153,7 +195,10 @@ class Simulator:
 
     def clear(self) -> None:
         """Drop all pending events without running them."""
+        for _, _, event in self._queue:
+            event._simulator = None
         self._queue.clear()
+        self._pending = 0
 
 
 class Timer:
@@ -161,6 +206,8 @@ class Timer:
 
     Commonly used for retransmission/timeout logic in protocol code.
     """
+
+    __slots__ = ("_simulator", "_callback", "_label", "_event")
 
     def __init__(self, simulator: Simulator, callback: Callback, label: str = "timer") -> None:
         self._simulator = simulator

@@ -30,6 +30,9 @@ class UdpSocket:
     directly by user code.
     """
 
+    __slots__ = ("_host", "_endpoint", "_handler", "_closed", "_sent",
+                 "_received")
+
     def __init__(self, host: "Host", address: IPAddress, port: int,
                  handler: Optional[DatagramHandler] = None) -> None:
         self._host = host

@@ -41,6 +41,16 @@ class Topology:
         self._links: Dict[Tuple[str, str], Link] = {}
         self._rng_registry = rng_registry or RngRegistry(0)
         self._route_cache: Dict[Tuple[str, str], List[Link]] = {}
+        self._route_nodes_cache: Dict[Tuple[str, str], List[str]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone edit counter: bumped whenever nodes, links or link
+        fault models change. The :class:`~repro.netsim.internet.Internet`
+        keys its compiled flight plans on it, so any topology edit
+        invalidates every cached plan."""
+        return self._version
 
     @property
     def nodes(self) -> List[str]:
@@ -55,7 +65,12 @@ class Topology:
     def add_node(self, name: str) -> None:
         """Add a routing node; idempotent."""
         self._graph.add_node(name)
+        self._invalidate_routes()
+
+    def _invalidate_routes(self) -> None:
         self._route_cache.clear()
+        self._route_nodes_cache.clear()
+        self._version += 1
 
     def has_node(self, name: str) -> bool:
         return name in self._graph
@@ -70,7 +85,7 @@ class Topology:
         self._links[key] = link
         # Weight by expected latency so routing prefers fast paths.
         self._graph.add_edge(a, b, weight=profile.latency + profile.jitter / 2.0)
-        self._route_cache.clear()
+        self._invalidate_routes()
         return link
 
     def link_between(self, a: str, b: str) -> Optional[Link]:
@@ -92,6 +107,9 @@ class Topology:
         rng = (self._rng_registry.stream("fault", *key)
                if model is not None and model.active else None)
         link.install_fault(model, rng)
+        # Routes are unchanged, but compiled flight plans may have
+        # classified the link's dynamics — force a recompile.
+        self._version += 1
         return link
 
     def remove_link(self, a: str, b: str) -> None:
@@ -101,7 +119,7 @@ class Topology:
             raise KeyError(f"no link {a}--{b}")
         del self._links[key]
         self._graph.remove_edge(a, b)
-        self._route_cache.clear()
+        self._invalidate_routes()
 
     def route(self, src: str, dst: str) -> List[Link]:
         """Shortest-latency route as an ordered list of links.
@@ -112,25 +130,37 @@ class Topology:
         if src == dst:
             return []
         cache_key = (src, dst)
-        if cache_key in self._route_cache:
-            return self._route_cache[cache_key]
-        if src not in self._graph or dst not in self._graph:
-            raise RoutingError(f"unknown node in route {src} -> {dst}")
-        try:
-            path_nodes = nx.shortest_path(self._graph, src, dst, weight="weight")
-        except nx.NetworkXNoPath as exc:
-            raise RoutingError(f"no route from {src} to {dst}") from exc
+        cached = self._route_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        path_nodes = self._shortest_path(src, dst)
         links = [
             self._links[self._key(a, b)]
             for a, b in zip(path_nodes, path_nodes[1:])
         ]
         self._route_cache[cache_key] = links
+        # One Dijkstra serves both caches: flight-plan compilation asks
+        # for the links and the node names back to back.
+        self._route_nodes_cache.setdefault(cache_key, path_nodes)
         return links
 
     def route_nodes(self, src: str, dst: str) -> List[str]:
-        """Node names along the route, inclusive of both ends."""
+        """Node names along the route, inclusive of both ends.
+
+        Cached like :meth:`route` — the per-packet delivery path must
+        never pay a shortest-path computation in steady state.
+        """
         if src == dst:
             return [src]
+        cache_key = (src, dst)
+        cached = self._route_nodes_cache.get(cache_key)
+        if cached is None:
+            cached = self._shortest_path(src, dst)
+            self._route_nodes_cache[cache_key] = cached
+        return list(cached)
+
+    def _shortest_path(self, src: str, dst: str) -> List[str]:
+        """The one place the repository asks networkx for a path."""
         if src not in self._graph or dst not in self._graph:
             raise RoutingError(f"unknown node in route {src} -> {dst}")
         try:

@@ -44,7 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.host import Host
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RetryPolicy:
     """Timeout/retry schedule for one exchange.
 
@@ -88,7 +88,7 @@ class RetryPolicy:
         return sum(self.timeout_for(a) for a in range(1, self.max_attempts + 1))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AttemptInfo:
     """Identity of one attempt, handed to the request builder."""
 
@@ -97,7 +97,7 @@ class AttemptInfo:
     #                                 draws one for this exchange
 
 
-@dataclass
+@dataclass(slots=True)
 class ExchangeReport:
     """Everything one finished exchange can tell its owner."""
 
@@ -128,6 +128,10 @@ class PendingExchange:
     delivered with ``timed_out=True``. ``resolve`` after completion is
     suppressed (and counted), never delivered twice.
     """
+
+    __slots__ = ("_simulator", "_policy", "_begin_attempt", "_on_complete",
+                 "_label", "_next_txid", "_on_cancel", "_report",
+                 "_finished", "_attempt_started_at", "_timer")
 
     def __init__(self, simulator: Simulator, policy: RetryPolicy,
                  begin_attempt: Callable[[AttemptInfo], None],
@@ -244,6 +248,9 @@ class DatagramExchange:
     network drops stragglers, exactly as a real stack would.
     """
 
+    __slots__ = ("_transport", "_destination", "_build_request", "_classify",
+                 "_on_complete", "_socket", "_attempt", "_pending")
+
     def __init__(self, transport: "Transport", destination: Endpoint,
                  build_request: RequestBuilder, classify: ReplyClassifier,
                  on_complete: CompletionCallback, policy: RetryPolicy,
@@ -332,6 +339,11 @@ class Transport:
         # Captured once at construction: with no registry installed the
         # per-exchange publish below is skipped entirely.
         self._telemetry = current_registry()
+        # (metric name, label) -> instrument, filled on first use so the
+        # per-exchange publish is dict hits instead of registry lookups.
+        # Instruments are still created at the same first-use points as
+        # the uncached path, keeping snapshots identical.
+        self._instruments: dict = {}
 
     @property
     def host(self) -> "Host":
@@ -396,24 +408,39 @@ class Transport:
             on_complete(report)
         return wrapped
 
+    def _counter(self, name: str, label: str):
+        key = (name, label)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._telemetry.counter(name, label=label)
+            self._instruments[key] = instrument
+        return instrument
+
+    def _histogram(self, name: str, label: str):
+        key = (name, label)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._telemetry.histogram(name, label=label)
+            self._instruments[key] = instrument
+        return instrument
+
     def _publish(self, report: ExchangeReport, label: str) -> None:
         """One completed exchange's metrics, keyed by exchange label."""
-        metrics = self._telemetry
-        metrics.counter("transport.exchanges", label=label).inc()
-        metrics.counter("transport.attempts", label=label).inc(report.attempts)
+        self._counter("transport.exchanges", label).inc()
+        self._counter("transport.attempts", label).inc(report.attempts)
         if report.timed_out:
-            metrics.counter("transport.timeouts", label=label).inc()
+            self._counter("transport.timeouts", label).inc()
         elif report.rtt is not None:
-            metrics.histogram("transport.rtt", label=label).observe(report.rtt)
+            self._histogram("transport.rtt", label).observe(report.rtt)
         if report.bytes_sent:
-            metrics.counter("transport.bytes_sent",
-                            label=label).inc(report.bytes_sent)
+            self._counter("transport.bytes_sent",
+                          label).inc(report.bytes_sent)
         if report.bytes_received:
-            metrics.counter("transport.bytes_received",
-                            label=label).inc(report.bytes_received)
+            self._counter("transport.bytes_received",
+                          label).inc(report.bytes_received)
         if report.rejected_replies:
-            metrics.counter("transport.rejected_replies",
-                            label=label).inc(report.rejected_replies)
+            self._counter("transport.rejected_replies",
+                          label).inc(report.rejected_replies)
         if report.suppressed_replies:
-            metrics.counter("transport.suppressed_replies",
-                            label=label).inc(report.suppressed_replies)
+            self._counter("transport.suppressed_replies",
+                          label).inc(report.suppressed_replies)

@@ -1,0 +1,85 @@
+"""The TXID-independent codec memos must be invisible semantically.
+
+The fast path memoizes `Message.encode`/`Message.decode` on everything
+but the transaction ID. These tests pin the edges where a sloppy memo
+would change behaviour: TXID patching, case-exact keys, mutation
+isolation between hits, and adversarial compression pointers aimed at
+the ID bytes.
+"""
+
+from repro.dns.message import Flags, Message, Question, ResourceRecord, make_query
+from repro.dns.name import Name
+from repro.dns.rcode import RCode
+from repro.dns.rdata import ARdata
+from repro.dns.rrtype import RRType
+from repro.netsim.address import IPAddress
+
+
+def _reply(txid: int, name: str = "pool.ntp.org") -> Message:
+    return Message(
+        txid=txid,
+        flags=Flags(qr=True, ra=True, rcode=RCode.NOERROR),
+        questions=[Question(Name(name), RRType.A)],
+        answers=[ResourceRecord(Name(name), RRType.A, 60,
+                                ARdata(IPAddress("192.0.2.1")))],
+    )
+
+
+class TestEncodeMemo:
+    def test_txid_varies_tail_identical(self):
+        wires = [_reply(txid).encode() for txid in (0x0000, 0x1234, 0xFFFF)]
+        assert wires[0][2:] == wires[1][2:] == wires[2][2:]
+        assert wires[1][:2] == b"\x12\x34"
+
+    def test_case_differences_never_share_bytes(self):
+        lower = _reply(7, "pool.ntp.org").encode()
+        upper = _reply(7, "POOL.ntp.org").encode()
+        # Case-insensitively equal names (same DNS identity) must still
+        # encode with their own octets — a folded memo key would leak
+        # the first-seen spelling into the second message's wire.
+        assert Name("pool.ntp.org") == Name("POOL.ntp.org")
+        assert lower != upper
+        assert b"POOL" in upper and b"pool" in lower
+
+    def test_memoized_encode_matches_cold_encode(self):
+        first = _reply(1).encode()
+        again = _reply(2).encode()
+        cold = Message.decode(again).encode()
+        assert again == cold
+        assert first[2:] == again[2:]
+
+
+class TestDecodeMemo:
+    def test_txid_patched_on_hit(self):
+        wire = _reply(0x0101).encode()
+        one = Message.decode(wire)
+        two = Message.decode(b"\xbe\xef" + wire[2:])
+        assert one.txid == 0x0101
+        assert two.txid == 0xBEEF
+        assert two.questions == one.questions
+        assert two.answers == one.answers
+
+    def test_hits_get_independent_section_lists(self):
+        wire = _reply(0x2222).encode()
+        first = Message.decode(wire)
+        first.answers.append(first.answers[0])
+        second = Message.decode(wire)
+        assert len(second.answers) == 1
+
+    def test_pointer_into_id_bytes_is_never_memoized(self):
+        # Craft a reply whose qname is a compression pointer to offset
+        # 0 — the TXID bytes themselves. Its parse depends on the ID,
+        # so two wires sharing a tail must be parsed independently.
+        def crafted(txid: bytes) -> bytes:
+            # Query flags 0x0000: the byte after the TXID label bytes
+            # is 0x00, terminating the pointed-to name.
+            header = txid + b"\x00\x00" + b"\x00\x01\x00\x00\x00\x00\x00\x00"
+            # QNAME = pointer to offset 0; QTYPE=A; QCLASS=IN.
+            question = b"\xc0\x00" + b"\x00\x01" + b"\x00\x01"
+            return header + question
+
+        # txid bytes that read as a 1-label name: length 1, byte "a".
+        first = Message.decode(crafted(b"\x01a"))
+        second = Message.decode(crafted(b"\x01b"))
+        assert first.questions[0].qname == Name("a")
+        assert second.questions[0].qname == Name("b")

@@ -1,0 +1,32 @@
+"""Regenerate the golden-equivalence fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m tests.golden.generate_fixtures
+
+Only do this when a PR *intentionally* changes scientific outputs; the
+whole point of the fixture is that performance work cannot. The current
+fixture was recorded from the pre-fast-path tree (PR 4 state), so the
+optimized delivery/heap/codec paths are pinned against the original
+semantics, not against themselves.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from tests.golden.scenarios import canonical_json, compute_all
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden_netsim.json"
+
+
+def main() -> None:
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    payload = compute_all()
+    FIXTURE_PATH.write_text(canonical_json(payload) + "\n")
+    print(f"wrote {FIXTURE_PATH} "
+          f"({len(payload)} scenarios x {len(next(iter(payload.values())))} seeds)")
+
+
+if __name__ == "__main__":
+    main()

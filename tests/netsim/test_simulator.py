@@ -91,6 +91,26 @@ class TestCancellation:
         event.cancel()
         assert sim.pending_events == 1
 
+    def test_cancel_after_fire_leaves_pending_count_intact(self):
+        # The O(1) pending counter must ignore cancels on handles that
+        # already fired: holding one across run(until=...) is legal.
+        sim = Simulator()
+        fired = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(10.0, lambda: None)
+        sim.run(until=5.0)
+        fired.cancel()
+        fired.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_after_clear_leaves_pending_count_intact(self):
+        sim = Simulator()
+        stale = sim.schedule_at(1.0, lambda: None)
+        sim.clear()
+        stale.cancel()
+        assert sim.pending_events == 0
+        sim.schedule_at(2.0, lambda: None)
+        assert sim.pending_events == 1
+
 
 class TestRunBounds:
     def test_run_until_pauses(self):
