@@ -22,7 +22,7 @@ from repro.analysis.model import required_corrupted_resolvers
 from repro.campaign import CampaignRunner, ParameterGrid, spec_trial
 from repro.scenarios.spec import LinkSpec, ResolverSpec, pool_spec, set_path
 
-from benchmarks.conftest import CACHE_DIR, run_once
+from benchmarks.conftest import CACHE_DIR, JOURNAL_DIR, run_once
 
 FORGED = tuple(f"203.0.113.{i + 1}" for i in range(4))
 
@@ -47,7 +47,8 @@ GRID = ParameterGrid.over_spec(
 ).where(lambda p: p["provider.corrupted"] <= p["provider.count"])
 
 RUNNER = CampaignRunner(spec_trial, trials_per_point=TRIALS,
-                        base_seed=200, cache_dir=CACHE_DIR)
+                        base_seed=200, cache_dir=CACHE_DIR,
+                        journal_dir=JOURNAL_DIR)
 
 SMOKE_GRID = ParameterGrid.over_spec(
     BASE_SPEC,

@@ -21,7 +21,7 @@ from repro.campaign import (
     attack_probability_trial,
 )
 
-from benchmarks.conftest import CACHE_DIR, run_once
+from benchmarks.conftest import CACHE_DIR, JOURNAL_DIR, run_once
 
 POINTS = [
     (3, 2 / 3, 0.10),   # the paper's example: p^2 = 0.01
@@ -46,7 +46,8 @@ GRID = ParameterGrid.from_points(
 )
 
 RUNNER = CampaignRunner(attack_probability_trial, trials_per_point=CHUNKS,
-                        base_seed=3, cache_dir=CACHE_DIR)
+                        base_seed=3, cache_dir=CACHE_DIR,
+                        journal_dir=JOURNAL_DIR)
 
 SMOKE_GRID = ParameterGrid.from_points(
     [{"n": n, "x": x, "p_attack": p} for n, x, p in POINTS[:3]],

@@ -23,7 +23,7 @@ from repro.campaign import CampaignRunner, ParameterGrid, spec_trial
 from repro.scenarios.presets import degraded_network_spec
 from repro.scenarios.spec import set_path
 
-from benchmarks.conftest import CACHE_DIR, run_once
+from benchmarks.conftest import CACHE_DIR, JOURNAL_DIR, run_once
 
 LOSS_RATES = (0.0, 0.15, 0.30)
 MODES = {None: "strict (paper)", 2: "quorum ≥ 2"}
@@ -39,7 +39,8 @@ GRID = ParameterGrid.over_spec(
 )
 
 RUNNER = CampaignRunner(spec_trial, trials_per_point=4,
-                        base_seed=400, cache_dir=CACHE_DIR)
+                        base_seed=400, cache_dir=CACHE_DIR,
+                        journal_dir=JOURNAL_DIR)
 
 SMOKE_GRID = ParameterGrid.over_spec(
     BASE_SPEC,

@@ -35,7 +35,7 @@ from repro.campaign import (
 )
 from repro.scenarios.spec import population_spec
 
-from benchmarks.conftest import CACHE_DIR, run_once
+from benchmarks.conftest import CACHE_DIR, JOURNAL_DIR, run_once
 
 NUM_PROVIDERS = 3
 CORRUPTED = (0, 1, 2, 3)
@@ -53,7 +53,8 @@ GRID = ParameterGrid.over_spec(
     name="p1_population",
 )
 RUNNER = CampaignRunner(spec_trial, trials_per_point=1, base_seed=1000,
-                        include_telemetry=True, cache_dir=CACHE_DIR)
+                        include_telemetry=True, cache_dir=CACHE_DIR,
+                        journal_dir=JOURNAL_DIR)
 
 SMOKE_BASE = population_spec(rounds=3, churn_rate=0.05,
                              num_providers=NUM_PROVIDERS)

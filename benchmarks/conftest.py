@@ -29,6 +29,7 @@ import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 CACHE_DIR = RESULTS_DIR / ".cache"
+JOURNAL_DIR = RESULTS_DIR / ".journal"
 
 
 def pytest_addoption(parser):

@@ -7,15 +7,19 @@ one into three declarative pieces instead of a hand-rolled nested loop:
   sizes × resolver configurations × dual-stack families, ...);
 * a picklable trial function ``(params, seed) -> metrics`` — stock ones
   for end-to-end pool generation and the §III Monte-Carlos are provided;
-* a :class:`CampaignRunner` that shards the trials across worker
-  processes with deterministic per-trial seeds derived from
-  :func:`repro.util.rng.derive_seed`, and an :class:`Aggregator` that
-  folds the records into :class:`repro.util.stats.RunningStats`
-  summaries with confidence intervals and JSON export.
+* a :class:`CampaignRunner` that executes the trials on an adaptively
+  chosen executor (serial / thread pool / process pool, picked from a
+  measured per-trial cost) with deterministic per-trial seeds derived
+  from :func:`repro.util.rng.derive_seed`, journals completions so
+  killed sweeps resume (``journal_dir=``), optionally concentrates the
+  trial budget on high-variance points (:class:`AdaptiveSampling`),
+  and an :class:`Aggregator` that folds the records into
+  :class:`repro.util.stats.RunningStats` summaries with confidence
+  intervals and JSON export.
 
-Serial and multiprocessing executions of the same campaign are
-bit-identical: seeds depend only on ``(base_seed, point key, trial
-index)`` and records are folded in grid order in both modes.
+Serial, threaded and multiprocessing executions of the same campaign
+are bit-identical: seeds depend only on ``(base_seed, point key, trial
+index)`` and records are folded in grid order in every mode.
 
 Quick start::
 
@@ -43,8 +47,11 @@ from repro.campaign.aggregate import (
     PointSummary,
     TrialRecord,
 )
+from repro.campaign.executors import ExecutorChoice, choose_executor
 from repro.campaign.grid import GridPoint, ParameterGrid, point_key
+from repro.campaign.journal import CampaignJournal, journal_path
 from repro.campaign.runner import CampaignProgress, CampaignRunner, trial_seed
+from repro.campaign.sampling import AdaptiveSampling
 from repro.campaign.trials import (
     advantage_bits_trial,
     build_scenario,
@@ -58,10 +65,13 @@ from repro.campaign.trials import (
 )
 
 __all__ = [
+    "AdaptiveSampling",
     "Aggregator",
+    "CampaignJournal",
     "CampaignProgress",
     "CampaignResult",
     "CampaignRunner",
+    "ExecutorChoice",
     "GridPoint",
     "MetricSummary",
     "ParameterGrid",
@@ -70,7 +80,9 @@ __all__ = [
     "advantage_bits_trial",
     "attack_probability_trial",
     "build_scenario",
+    "choose_executor",
     "figure1_system_trial",
+    "journal_path",
     "offpath_spray_trial",
     "overhead_trial",
     "point_key",

@@ -187,15 +187,23 @@ class CampaignResult:
     """Everything one campaign run produced.
 
     Records stay available for custom post-processing; ``summaries``
-    carry the folded statistics in grid expansion order.
+    carry the folded statistics in grid expansion order. ``mode`` is
+    the executor that actually ran (``"serial"``, ``"threads:<n>"``,
+    ``"processes:<n>"``, ``"cached"``, or ``"resumed"`` when every
+    record came out of a completion journal); ``executor`` is the
+    configured policy (usually ``"adaptive"``) and ``resumed`` counts
+    journal-recovered records — all three are provenance only and never
+    affect the records themselves.
     """
 
     name: str
     base_seed: int
     trials_per_point: int
-    mode: str                     # "serial", "processes:<n>" or "cached"
+    mode: str
     records: List[TrialRecord]
     summaries: List[PointSummary]
+    executor: str = "adaptive"
+    resumed: int = 0
 
     def summary(self, **subset: Any) -> PointSummary:
         """The unique point summary whose params match ``subset``."""
@@ -218,6 +226,8 @@ class CampaignResult:
             "seed": self.base_seed,
             "trials_per_point": self.trials_per_point,
             "mode": self.mode,
+            "executor": self.executor,
+            "resumed": self.resumed,
             "results": [
                 {
                     "params": {name: json_value(value)

@@ -1,0 +1,218 @@
+"""Executor subsystem: how a campaign's trial specs actually run.
+
+Three interchangeable executors — serial, a thread pool, a fork/process
+pool — all drive the same module-level :func:`execute_spec`, and the
+runner reassembles whatever they emit into spec order by ``(point key,
+trial)`` identity. Every trial's seed derives from that same identity,
+never from execution order or worker assignment, which is what keeps
+the three modes' records bit-identical.
+
+The interesting part is :func:`choose_executor`, the adaptive policy
+that fixed the 0.9× parallel-campaign regression: the old runner paid
+fork-pool startup and per-chunk IPC unconditionally, which *loses* to
+serial for short sweeps and on low-core machines. The adaptive policy
+instead projects the campaign's remaining serial cost from a measured
+per-trial cost (the runner times its first executed spec as a
+calibration probe) and only parallelises when the projected saving
+exceeds what the pool costs to stand up:
+
+* below the amortisation threshold — run serially; nothing can be won;
+* tiny trials (sub-millisecond) — use the thread pool: no fork, no
+  pickling, and per-chunk IPC would dominate the actual work. Pure-GIL
+  trials pace serial execution; GIL-releasing ones genuinely overlap;
+* otherwise — pay for the fork pool, because the projected saving
+  covers it.
+
+Worker counts are capped by ``os.cpu_count()`` in adaptive mode (a
+4-worker pool on a 1-core box is strictly overhead — the measured
+regression), while the forced executors honour whatever they're given.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.campaign.aggregate import TrialRecord
+
+TrialFn = Callable[[Mapping[str, Any], int], Union[float, Mapping[str, float]]]
+
+#: One trial spec: (trial_fn, point_index, point_key, params, trial, seed).
+Spec = Tuple[TrialFn, int, str, Mapping[str, Any], int, int]
+
+#: Sink the executors emit finished records into, in completion order.
+EmitFn = Callable[[TrialRecord], None]
+
+#: Approximate cost of standing up a fork pool and tearing it down
+#: (process spawn + interpreter/module state duplication). A campaign
+#: whose projected parallel saving is below this runs serially.
+POOL_STARTUP_S = 0.25
+
+#: Per-trial cost below which fork-pool IPC dominates the work itself;
+#: such campaigns go to the thread pool (no pickling, no fork).
+TINY_TRIAL_S = 0.002
+
+
+def execute_spec(spec: Spec) -> TrialRecord:
+    """Run one trial spec (module-level so worker processes can run it).
+
+    A trial function may return a bare scalar, a metrics mapping, or a
+    ``(metrics, telemetry_json)`` pair — the last attaches the trial's
+    registry snapshot to its record for ``include_telemetry`` exports.
+    """
+    trial_fn, point_index, point_key, params, trial, seed = spec
+    outcome = trial_fn(params, seed)
+    telemetry = None
+    if isinstance(outcome, tuple):
+        outcome, telemetry = outcome
+    if isinstance(outcome, Mapping):
+        metrics = {name: float(value) for name, value in outcome.items()}
+    else:
+        metrics = {"value": float(outcome)}
+    return TrialRecord(point_index=point_index, point_key=point_key,
+                       params=params, trial=trial, seed=seed, metrics=metrics,
+                       telemetry=telemetry)
+
+
+def execute_chunk(chunk: List[Spec]) -> List[TrialRecord]:
+    """Run one worker-sized batch of specs (one IPC round-trip each
+    way per *chunk*, not per trial)."""
+    return [execute_spec(spec) for spec in chunk]
+
+
+@dataclass(frozen=True)
+class ExecutorChoice:
+    """The executor a campaign (or its remainder) will run on."""
+
+    kind: str      # "serial" | "threads" | "processes"
+    workers: int
+
+    @property
+    def mode(self) -> str:
+        """The :class:`CampaignResult.mode` string this choice reports."""
+        if self.kind == "serial":
+            return "serial"
+        return f"{self.kind}:{self.workers}"
+
+
+def choose_executor(per_spec_s: float, pending: int, workers_cap: int,
+                    cpu_count: Optional[int] = None) -> ExecutorChoice:
+    """Pick the executor for ``pending`` specs of measured per-spec cost.
+
+    :param per_spec_s: wall-clock of one trial, measured by the runner's
+        calibration probe (its first executed spec).
+    :param pending: how many specs remain to execute.
+    :param workers_cap: the runner's worker budget (explicit ``workers``
+        or ``os.cpu_count()``).
+    :param cpu_count: core count override for tests; parallelism beyond
+        the machine's cores is pure overhead for CPU-bound trials, so
+        the adaptive choice is capped by it.
+    """
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    workers = max(1, min(workers_cap, cores, pending))
+    if workers <= 1 or pending <= 1:
+        return ExecutorChoice("serial", 1)
+    projected_serial = per_spec_s * pending
+    saving = projected_serial * (1.0 - 1.0 / workers)
+    if saving <= POOL_STARTUP_S:
+        return ExecutorChoice("serial", 1)
+    if per_spec_s < TINY_TRIAL_S:
+        return ExecutorChoice("threads", workers)
+    return ExecutorChoice("processes", workers)
+
+
+def chunk_specs(specs: Sequence[Spec], workers: int,
+                chunk_size: Optional[int]) -> List[List[Spec]]:
+    """Group specs into worker-sized chunks (default: ~4 per worker, so
+    slow grid points do not serialise the whole campaign behind them)."""
+    chunk = chunk_size or max(1, math.ceil(len(specs) / (workers * 4)))
+    return [list(specs[start:start + chunk])
+            for start in range(0, len(specs), chunk)]
+
+
+def probe_picklable(specs: Sequence[Spec]) -> bool:
+    """Whether specs can cross a process boundary, probed on *one*
+    representative spec — the one with the most parameters (every spec
+    shares the trial function, and axis value types repeat across
+    points, so one spec stands in for the grid without serialising all
+    of it)."""
+    if not specs:
+        return True
+    representative = max(specs, key=lambda spec: len(spec[3]))
+    try:
+        pickle.dumps(representative)
+    except Exception:
+        return False
+    return True
+
+
+def run_serial(specs: Sequence[Spec], emit: EmitFn) -> None:
+    """The reference executor: one spec after another, in order."""
+    for spec in specs:
+        emit(execute_spec(spec))
+
+
+def run_threads(specs: Sequence[Spec], workers: int,
+                chunk_size: Optional[int], emit: EmitFn) -> None:
+    """Thread-pool executor: no pickling, no fork, shared memory.
+
+    Chunks complete out of order (the runner reassembles by identity);
+    a trial exception cancels the not-yet-started chunks and propagates.
+    """
+    from concurrent.futures import ThreadPoolExecutor, as_completed
+
+    chunks = chunk_specs(specs, workers, chunk_size)
+    with ThreadPoolExecutor(max_workers=workers) as executor:
+        futures = [executor.submit(execute_chunk, chunk) for chunk in chunks]
+        try:
+            for future in as_completed(futures):
+                for record in future.result():   # re-raises trial errors
+                    emit(record)
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+
+
+def run_processes(specs: Sequence[Spec], workers: int,
+                  chunk_size: Optional[int], emit: EmitFn) -> Optional[bool]:
+    """Fork-pool executor; ``None`` means "unavailable, fall back".
+
+    Chunks go through ``imap_unordered`` — each is one task submission
+    and one result message, amortising IPC over many trials, and no
+    worker idles waiting for an in-order result to be consumed.
+
+    Teardown is an explicit ``close()``/``join()`` so workers drain and
+    exit cleanly; ``terminate()`` is reserved for the exception path
+    (``Pool.__exit__`` would terminate unconditionally, killing workers
+    mid-teardown).
+    """
+    if not probe_picklable(specs):
+        return None
+    try:
+        import multiprocessing
+
+        pool = multiprocessing.Pool(processes=workers)
+    except (ImportError, OSError, PermissionError):
+        # No usable process support (restricted sandboxes, missing
+        # semaphores): the serial path gives identical results.
+        return None
+    chunks = chunk_specs(specs, workers, chunk_size)
+    # Errors raised past this point come from the trial function itself
+    # and must propagate, not silently trigger a serial re-run.
+    try:
+        for batch in pool.imap_unordered(execute_chunk, chunks):
+            for record in batch:
+                emit(record)
+    except BaseException:
+        pool.terminate()
+        raise
+    else:
+        pool.close()
+    finally:
+        pool.join()
+    return True

@@ -106,6 +106,7 @@ class ParameterGrid:
         self._explicit: Optional[List[Dict[str, Any]]] = None
         self._predicates: List[Predicate] = []
         self._base_spec: Optional[Any] = None
+        self._expanded: Optional[List[GridPoint]] = None
         self.name = name
 
     @classmethod
@@ -191,6 +192,7 @@ class ParameterGrid:
         matching its declarative build-then-run lifecycle).
         """
         self._predicates.append(predicate)
+        self._expanded = None     # the memoised expansion is now stale
         return self
 
     # ------------------------------------------------------------------
@@ -209,7 +211,16 @@ class ParameterGrid:
             yield dict(zip(names, combo))
 
     def points(self) -> List[GridPoint]:
-        """Expand the grid into its ordered list of points."""
+        """Expand the grid into its ordered list of points.
+
+        The expansion is memoised (``where()`` invalidates it): grids
+        are expanded once per ``len``/iteration/run, and spec grids in
+        particular compile one ``ScenarioSpec`` per point — work worth
+        doing once, not once per ``len(grid)``. Returns a fresh list
+        each call; the frozen points themselves are shared.
+        """
+        if self._expanded is not None:
+            return list(self._expanded)
         expanded: List[GridPoint] = []
         for raw in self._raw_points():
             if not all(predicate(raw) for predicate in self._predicates):
@@ -226,7 +237,8 @@ class ParameterGrid:
         keys = [point.key for point in expanded]
         if len(set(keys)) != len(keys):
             raise ValueError("grid points do not have unique keys")
-        return expanded
+        self._expanded = expanded
+        return list(expanded)
 
     def __iter__(self) -> Iterator[GridPoint]:
         return iter(self.points())

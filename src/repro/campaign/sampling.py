@@ -1,0 +1,64 @@
+"""Adaptive sampling: spend the trial budget where the variance lives.
+
+With a plain :class:`~repro.campaign.runner.CampaignRunner`,
+``trials_per_point`` buys every grid point the same number of trials —
+deterministic points burn budget proving what one trial already showed,
+while noisy points stay under-sampled. :class:`AdaptiveSampling` turns
+``trials_per_point`` into a *floor*: after the base pass the runner
+keeps adding deterministically-seeded trials (indices continue upward
+from the floor, seeds derive from ``(point key, trial)`` exactly like
+the base trials') to any point whose confidence interval is still wider
+than the requested width, until it converges or hits ``max_trials``.
+
+The loop is deterministic end to end: which points get extra trials —
+and how many — depends only on the records, which depend only on the
+seeds. Rerunning an adaptive campaign reproduces the same trial set and
+the same records bit-for-bit, serial or parallel, and the result cache
+and completion journal both apply unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class AdaptiveSampling:
+    """CI-targeted trial allocation policy for a campaign.
+
+    :param max_trials: hard per-point budget; no point exceeds it.
+    :param ci_width: target full width (``ci_high - ci_low``) of the
+        confidence interval on the mean. A point stops receiving trials
+        once every watched metric's interval is at most this wide. The
+        confidence level is the runner's ``confidence``.
+    :param metric: the metric to converge, or ``None`` to require every
+        metric the point reports to converge. A named metric absent
+        from a point's records counts as converged (width 0) for that
+        point.
+
+    Variance needs at least two samples to estimate, so the effective
+    floor under adaptive sampling is ``max(trials_per_point, 2)``.
+    Unconverged points grow by half their current trial count per round
+    (minimum one trial), so a far-from-target point reaches its budget
+    in O(log) rounds instead of one trial at a time.
+    """
+
+    max_trials: int
+    ci_width: float
+    metric: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.max_trials < 2:
+            raise ValueError(
+                f"max_trials must be >= 2, got {self.max_trials}")
+        if not self.ci_width > 0.0:
+            raise ValueError(
+                f"ci_width must be > 0, got {self.ci_width}")
+
+    def next_batch(self, trials_now: int) -> int:
+        """How many trials to add to an unconverged point this round."""
+        remaining = self.max_trials - trials_now
+        if remaining <= 0:
+            return 0
+        return min(remaining, max(1, trials_now // 2))

@@ -56,6 +56,48 @@ DH_PRIME = int(
 DH_GENERATOR = 2
 _KEY_BYTES = 256  # 2048-bit group elements
 
+#: Window width of the fixed-base comb table below.
+_COMB_WINDOW = 6
+
+_generator_comb: Optional[List[List[int]]] = None
+
+
+def _generator_pow(exponent: int) -> int:
+    """``DH_GENERATOR ** exponent mod DH_PRIME``, comb-accelerated.
+
+    Every handshake mints two ephemerals, and ``pow()`` re-walks the
+    full 2048-bit exponent each time — at campaign scale the modexp is
+    the single hottest call in the whole simulation. The generator is
+    fixed, so a one-off comb table of ``g**(v * 2**(wi))`` reduces each
+    ephemeral to ~340 modular multiplications (about 5x faster here)
+    while producing the same value ``pow()`` would. Arbitrary-base
+    exponentiations (peer shared secrets) still use ``pow()``.
+    """
+    global _generator_comb
+    if _generator_comb is None:
+        width = 1 << _COMB_WINDOW
+        windows = -(-DH_PRIME.bit_length() // _COMB_WINDOW)
+        table = []
+        base = DH_GENERATOR
+        for _ in range(windows):
+            row = [1] * width
+            for value in range(1, width):
+                row[value] = row[value - 1] * base % DH_PRIME
+            table.append(row)
+            base = row[1] * row[width - 1] % DH_PRIME  # base ** width
+        _generator_comb = table
+    accumulator = 1
+    index = 0
+    mask = (1 << _COMB_WINDOW) - 1
+    while exponent:
+        window = exponent & mask
+        if window:
+            accumulator = (accumulator
+                           * _generator_comb[index][window] % DH_PRIME)
+        exponent >>= _COMB_WINDOW
+        index += 1
+    return accumulator
+
 _RECORD_CLIENT_HELLO = 1
 _RECORD_SERVER_HELLO = 2
 _RECORD_DATA = 3
@@ -83,7 +125,7 @@ class KeyPair:
     @classmethod
     def generate(cls, rng: random.Random) -> "KeyPair":
         secret = rng.randrange(2, DH_PRIME - 2)
-        return cls(secret=secret, public=pow(DH_GENERATOR, secret, DH_PRIME))
+        return cls(secret=secret, public=_generator_pow(secret))
 
     def shared_secret(self, peer_public: int) -> bytes:
         """Compute the DH shared secret with a peer's public value."""

@@ -11,16 +11,18 @@ default) instrumented components skip telemetry entirely — a single
 ``is None`` test at construction, zero work per event — which keeps
 every pre-telemetry run bit-identical and cost-identical.
 
-The simulation stack is single-threaded and campaign workers are
-processes, so a module global is a correct (and the cheapest possible)
-scoping mechanism; :func:`use_registry` restores the previous registry
-on exit so nested scopes compose.
+Each simulated world is single-threaded, but the campaign engine's
+thread executor may run several worlds concurrently in one process, so
+the installation point is a :class:`contextvars.ContextVar` — scoping
+in one thread is invisible to every other; :func:`use_registry`
+restores the previous registry on exit so nested scopes compose.
 """
 
 from __future__ import annotations
 
 import json
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.telemetry.metrics import (
@@ -181,24 +183,30 @@ class MetricsRegistry:
 # The active registry.
 # ----------------------------------------------------------------------
 
-_active: Optional[MetricsRegistry] = None
+# Context-local, not a module global: the campaign thread executor runs
+# trials concurrently, and each trial scopes its own registry — a plain
+# global would let one thread's registry capture another thread's
+# publishers. A ContextVar is per-thread (threads start from a copy of
+# the spawning context), so scoping stays isolated; single-threaded
+# behaviour is unchanged.
+_active: "ContextVar[Optional[MetricsRegistry]]" = ContextVar(
+    "repro_telemetry_active_registry", default=None)
 
 
 def current_registry() -> Optional[MetricsRegistry]:
     """The installed registry, or ``None`` (telemetry off)."""
-    return _active
+    return _active.get()
 
 
 def install_registry(registry: Optional[MetricsRegistry]) -> None:
     """Install ``registry`` as the active one (``None`` disables)."""
-    global _active
-    _active = registry
+    _active.set(registry)
 
 
 @contextmanager
 def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
     """Scope ``registry`` as active; restores the previous on exit."""
-    previous = _active
+    previous = _active.get()
     install_registry(registry)
     try:
         yield registry

@@ -185,6 +185,17 @@ class RunningStats:
             raise ValueError("no observations")
         return self._max
 
+    def ci(self, confidence: float = 0.95) -> Tuple[float, float]:
+        """Normal-approximation CI for the running mean (see
+        :func:`normal_ci`; degenerates to the point for one sample)."""
+        return normal_ci(self.mean, self.stddev, self._count, confidence)
+
+    def ci_width(self, confidence: float = 0.95) -> float:
+        """Full width (high − low) of :meth:`ci` — the quantity
+        adaptive sampling drives below its target."""
+        low, high = self.ci(confidence)
+        return high - low
+
     def merge(self, other: "RunningStats") -> "RunningStats":
         """Return a new accumulator equivalent to seeing both streams."""
         merged = RunningStats()

@@ -1,0 +1,72 @@
+"""Subprocess driver for the kill-and-resume tests (and the CI
+forced-interrupt smoke).
+
+Runs one journaled campaign to completion and writes its records as
+canonical JSON. The trial function logs every *execution* (not resumed
+records) to ``RESUME_LOG`` and sleeps ``RESUME_SLEEP`` seconds, giving
+the parent test a window to SIGKILL the process mid-campaign; both
+knobs ride environment variables so they never touch point identities,
+seeds, or the campaign fingerprint.
+
+Usage::
+
+    python -m tests.campaign._resume_driver <journal_dir> <out_json>
+
+Exit code 0 means the campaign completed and ``<out_json>`` holds its
+records.
+"""
+
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.campaign import CampaignRunner, ParameterGrid
+
+BASE_SEED = 424242
+GRID_AXES = {"x": (1, 2, 3, 4, 5, 6, 7, 8)}
+GRID_NAME = "resume_probe"
+
+
+def slow_logged_trial(params, seed):
+    log_path = os.environ.get("RESUME_LOG")
+    if log_path:
+        with open(log_path, "a") as handle:
+            handle.write(f"{seed}\n")
+            handle.flush()
+    time.sleep(float(os.environ.get("RESUME_SLEEP", "0")))
+    rng = random.Random(seed)
+    return {"value": params["x"] + rng.random(), "noise": rng.gauss(0, 1)}
+
+
+def records_payload(result):
+    """The byte-comparable rendering of a campaign's records."""
+    return json.dumps(
+        [{"point_key": r.point_key, "trial": r.trial, "seed": r.seed,
+          "metrics": r.metrics} for r in result.records],
+        sort_keys=True)
+
+
+def run_campaign(journal_dir):
+    grid = ParameterGrid(GRID_AXES, name=GRID_NAME)
+    runner = CampaignRunner(slow_logged_trial, trials_per_point=1,
+                            base_seed=BASE_SEED, executor="serial",
+                            journal_dir=journal_dir)
+    return runner.run(grid)
+
+
+def main(argv):
+    journal_dir, out_json = Path(argv[1]), Path(argv[2])
+    result = run_campaign(journal_dir)
+    out_json.write_text(json.dumps({
+        "records": json.loads(records_payload(result)),
+        "mode": result.mode,
+        "resumed": result.resumed,
+    }, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

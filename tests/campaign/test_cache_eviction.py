@@ -56,6 +56,36 @@ def test_cache_hit_refreshes_mtime_for_lru(tmp_path):
     assert path.stat().st_mtime > stale + 300
 
 
+def test_entry_larger_than_cap_survives_its_own_write(tmp_path):
+    """Regression: the sweep must exempt the just-written entry, or a
+    campaign bigger than ``cache_max_bytes`` evicts itself and the very
+    next run recomputes instead of hitting the cache."""
+    runner = CampaignRunner(advantage_bits_trial, base_seed=1,
+                            cache_dir=tmp_path, cache_max_bytes=1)
+    first = runner.run(GRID)
+    (entry,) = tmp_path.glob("evict_probe-*.json")
+    assert entry.stat().st_size > 1
+    again = runner.run(GRID)
+    assert again.mode == "cached"
+    assert again.records == first.records
+
+
+def test_oversized_entry_still_evictable_by_later_writes(tmp_path):
+    """The exemption covers only the write that created the entry; a
+    *different* campaign's sweep may evict it normally."""
+    CampaignRunner(advantage_bits_trial, base_seed=1, cache_dir=tmp_path,
+                   cache_max_bytes=1).run(GRID)
+    (entry,) = tmp_path.glob("evict_probe-*.json")
+    stale = time.time() - 900
+    os.utime(entry, (stale, stale))
+    other = ParameterGrid({"n": (4, 6)}, fixed={"p_attack": 0.5},
+                          name="evict_other")
+    CampaignRunner(advantage_bits_trial, base_seed=1, cache_dir=tmp_path,
+                   cache_max_bytes=1).run(other)
+    assert not entry.exists()
+    assert list(tmp_path.glob("evict_other-*.json"))
+
+
 def test_no_cap_disables_sweep(tmp_path):
     planted = _plant(tmp_path, "keep.json", 50_000, age_s=900)
     CampaignRunner(advantage_bits_trial, base_seed=1, cache_dir=tmp_path,

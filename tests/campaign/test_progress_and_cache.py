@@ -34,7 +34,8 @@ class TestProgress:
 
     def test_parallel_path_reports_progress_too(self):
         ticks = []
-        runner = CampaignRunner(noisy_trial, trials_per_point=2, workers=2)
+        runner = CampaignRunner(noisy_trial, trials_per_point=2, workers=2,
+                                executor="processes")
         result = runner.run(ParameterGrid(GRID_AXES, name="progress-mp"),
                             on_progress=ticks.append)
         if result.mode.startswith("processes"):

@@ -1,0 +1,233 @@
+"""Resumable campaigns: the completion journal and kill-and-resume.
+
+The centrepiece SIGKILLs a real mid-flight campaign subprocess, reruns
+it, and asserts (a) the resumed records are bit-identical to an
+uninterrupted run's and (b) journaled trials were not re-executed.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignJournal, CampaignRunner, ParameterGrid
+from repro.campaign.journal import journal_path
+
+from tests.campaign import _resume_driver
+from tests.campaign._resume_driver import (
+    records_payload,
+    run_campaign,
+    slow_logged_trial,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def logged_seeds(log_path: Path) -> set:
+    if not log_path.exists():
+        return set()
+    return {int(line) for line in log_path.read_text().split() if line}
+
+
+class TestKillAndResume:
+    def _spawn(self, journal_dir: Path, out_json: Path, log: Path,
+               sleep_s: float) -> subprocess.Popen:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (str(REPO_ROOT / "src") + os.pathsep
+                             + str(REPO_ROOT)
+                             + (os.pathsep + env["PYTHONPATH"]
+                                if env.get("PYTHONPATH") else ""))
+        env["RESUME_LOG"] = str(log)
+        env["RESUME_SLEEP"] = str(sleep_s)
+        return subprocess.Popen(
+            [sys.executable, "-m", "tests.campaign._resume_driver",
+             str(journal_dir), str(out_json)],
+            env=env, cwd=REPO_ROOT,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+    def _wait_for_journal_lines(self, journal_dir: Path, minimum: int,
+                                timeout_s: float = 60.0) -> Path:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            files = list(journal_dir.glob("*.jsonl"))
+            if files:
+                lines = [line for line in
+                         files[0].read_text().splitlines() if line.strip()]
+                if len(lines) >= minimum:
+                    return files[0]
+            time.sleep(0.01)
+        raise AssertionError(
+            f"journal never reached {minimum} complete lines")
+
+    def test_sigkill_mid_campaign_then_resume_bit_identical(self, tmp_path):
+        journal_dir = tmp_path / "journal"
+        log_1, log_2 = tmp_path / "exec1.log", tmp_path / "exec2.log"
+        out_interrupted = tmp_path / "never-written.json"
+        out_resumed = tmp_path / "resumed.json"
+
+        # Phase 1: a slow campaign, SIGKILLed after >= 2 journal lines.
+        victim = self._spawn(journal_dir, out_interrupted, log_1,
+                             sleep_s=0.2)
+        try:
+            journal_file = self._wait_for_journal_lines(journal_dir, 2)
+        finally:
+            victim.kill()    # SIGKILL: no cleanup, no atexit, no flush
+            victim.wait(timeout=30)
+        assert not out_interrupted.exists(), \
+            "campaign finished before it could be interrupted"
+        journaled = {int(json.loads(line)["seed"])
+                     for line in journal_file.read_text().splitlines()
+                     if line.strip()}
+        assert len(journaled) >= 2
+
+        # Phase 2: rerun (fast trials now) — must complete and resume.
+        resumer = self._spawn(journal_dir, out_resumed, log_2, sleep_s=0.0)
+        assert resumer.wait(timeout=120) == 0
+        resumed = json.loads(out_resumed.read_text())
+        assert resumed["resumed"] == len(journaled)
+
+        # Completed points were not re-executed...
+        assert not journaled & logged_seeds(log_2)
+        # ...and the journal is gone now that the campaign completed.
+        assert not list(journal_dir.glob("*.jsonl"))
+
+        # Reference: one uninterrupted run, fresh journal dir.
+        os.environ.pop("RESUME_LOG", None)
+        os.environ["RESUME_SLEEP"] = "0"
+        try:
+            reference = run_campaign(tmp_path / "fresh-journal")
+        finally:
+            os.environ.pop("RESUME_SLEEP", None)
+        assert (json.dumps(resumed["records"], sort_keys=True)
+                == records_payload(reference))
+
+
+def quick_trial(params, seed):
+    import random
+    rng = random.Random(seed)
+    return {"value": params["offset"] + rng.random()}
+
+
+GRID_AXES = {"offset": (0.0, 10.0, 100.0)}
+
+
+class TestJournalLifecycle:
+    def _runner(self, journal_dir, **kwargs):
+        defaults = dict(trials_per_point=2, base_seed=5, executor="serial",
+                        journal_dir=journal_dir)
+        defaults.update(kwargs)
+        return CampaignRunner(quick_trial, **defaults)
+
+    def _grid(self, name="journal-test"):
+        return ParameterGrid(GRID_AXES, name=name)
+
+    def test_journal_removed_after_completed_run(self, tmp_path):
+        result = self._runner(tmp_path).run(self._grid())
+        assert result.resumed == 0
+        assert not list(tmp_path.glob("*.jsonl"))
+
+    def test_partial_journal_resumes_without_reexecution(self, tmp_path):
+        full = CampaignRunner(quick_trial, trials_per_point=2, base_seed=5,
+                              executor="serial").run(self._grid())
+        runner = self._runner(tmp_path)
+        specs = runner.specs(self._grid())
+        fingerprint = runner._fingerprint("journal-test", specs)
+        journal = CampaignJournal(
+            journal_path(tmp_path, "journal-test", fingerprint))
+        for record in full.records[:3]:
+            journal.append(record)
+        journal.close()
+
+        result = runner.run(self._grid())
+        assert result.resumed == 3
+        assert result.records == full.records
+        assert (json.dumps(result.to_json()["results"], sort_keys=True)
+                == json.dumps(full.to_json()["results"], sort_keys=True))
+
+    def test_fully_journaled_run_reports_resumed_mode(self, tmp_path):
+        runner = self._runner(tmp_path)
+        # Complete run, but keep the journal by interrupting the write
+        # of the *cache* — simplest: journal everything by hand.
+        full = CampaignRunner(quick_trial, trials_per_point=2, base_seed=5,
+                              executor="serial").run(self._grid())
+        specs = runner.specs(self._grid())
+        fingerprint = runner._fingerprint("journal-test", specs)
+        journal = CampaignJournal(
+            journal_path(tmp_path, "journal-test", fingerprint))
+        for record in full.records:
+            journal.append(record)
+        journal.close()
+        result = runner.run(self._grid())
+        assert result.mode == "resumed"
+        assert result.resumed == len(full.records)
+        assert result.records == full.records
+
+    def test_torn_trailing_line_is_dropped_and_reexecuted(self, tmp_path):
+        full = CampaignRunner(quick_trial, trials_per_point=2, base_seed=5,
+                              executor="serial").run(self._grid())
+        runner = self._runner(tmp_path)
+        specs = runner.specs(self._grid())
+        fingerprint = runner._fingerprint("journal-test", specs)
+        path = journal_path(tmp_path, "journal-test", fingerprint)
+        journal = CampaignJournal(path)
+        for record in full.records[:2]:
+            journal.append(record)
+        journal.close()
+        with path.open("a") as handle:      # the SIGKILL-torn tail
+            handle.write('{"point_key": "offset=10.0", "tri')
+        result = runner.run(self._grid())
+        assert result.resumed == 2
+        assert result.records == full.records
+
+    def test_seed_mismatch_in_journal_is_not_trusted(self, tmp_path):
+        runner = self._runner(tmp_path)
+        specs = runner.specs(self._grid())
+        fingerprint = runner._fingerprint("journal-test", specs)
+        path = journal_path(tmp_path, "journal-test", fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({
+            "point_key": "offset=0.0", "trial": 0, "seed": 123,
+            "metrics": {"value": 99.0}}) + "\n")
+        result = runner.run(self._grid())
+        assert result.resumed == 0
+        assert all(r.metrics["value"] != 99.0 for r in result.records)
+
+    def test_base_seed_change_ignores_stale_journal(self, tmp_path):
+        r1 = self._runner(tmp_path)
+        specs = r1.specs(self._grid())
+        journal = CampaignJournal(journal_path(
+            tmp_path, "journal-test", r1._fingerprint("journal-test", specs)))
+        full = CampaignRunner(quick_trial, trials_per_point=2, base_seed=5,
+                              executor="serial").run(self._grid())
+        for record in full.records:
+            journal.append(record)
+        journal.close()
+        result = self._runner(tmp_path, base_seed=6).run(self._grid())
+        assert result.resumed == 0      # different fingerprint, new journal
+
+    def test_journal_and_cache_compose(self, tmp_path):
+        """A resumed run still lands in the result cache; the rerun
+        after that is a cache hit and the journal stays gone."""
+        cache_dir = tmp_path / "cache"
+        first = self._runner(tmp_path, cache_dir=cache_dir).run(self._grid())
+        assert first.mode == "serial"
+        again = self._runner(tmp_path, cache_dir=cache_dir).run(self._grid())
+        assert again.mode == "cached"
+        assert again.records == first.records
+        assert not list(tmp_path.glob("*.jsonl"))
+
+    def test_parallel_executors_journal_too(self, tmp_path):
+        serial = CampaignRunner(quick_trial, trials_per_point=4, base_seed=9,
+                                executor="serial").run(self._grid("par"))
+        result = CampaignRunner(quick_trial, trials_per_point=4, base_seed=9,
+                                workers=2, executor="processes",
+                                chunk_size=2,
+                                journal_dir=tmp_path).run(self._grid("par"))
+        assert result.mode == "processes:2"
+        assert result.records == serial.records
+        assert not list(tmp_path.glob("*.jsonl"))

@@ -69,7 +69,8 @@ class TestSerialParallelEquality:
         serial = CampaignRunner(noisy_trial, trials_per_point=6,
                                 base_seed=77, workers=0).run(grid)
         parallel = CampaignRunner(noisy_trial, trials_per_point=6,
-                                  base_seed=77, workers=2).run(grid)
+                                  base_seed=77, workers=2,
+                                  executor="processes").run(grid)
         assert serial.mode == "serial"
         assert parallel.mode == "processes:2"  # really crossed processes
         assert serial.records == parallel.records
@@ -82,7 +83,8 @@ class TestSerialParallelEquality:
         serial = CampaignRunner(scalar_trial, trials_per_point=8,
                                 base_seed=5, workers=1).run(grid)
         chunked = CampaignRunner(scalar_trial, trials_per_point=8,
-                                 base_seed=5, workers=3, chunk_size=2).run(grid)
+                                 base_seed=5, workers=3, chunk_size=2,
+                                 executor="processes").run(grid)
         assert chunked.mode == "processes:3"
         assert serial.records == chunked.records
 
@@ -95,7 +97,8 @@ class TestSerialParallelEquality:
     def test_trial_errors_propagate_from_parallel_mode(self):
         """A failing trial must surface, not trigger a serial re-run."""
         grid = ParameterGrid({"offset": (0.0,) * 1})
-        runner = CampaignRunner(failing_trial, trials_per_point=4, workers=2)
+        runner = CampaignRunner(failing_trial, trials_per_point=4, workers=2,
+                                executor="processes")
         with pytest.raises(RuntimeError, match="boom"):
             runner.run(grid)
 
@@ -104,7 +107,7 @@ class TestSerialParallelEquality:
         captured = []
         runner = CampaignRunner(
             lambda params, seed: captured.append(seed) or 1.0,
-            trials_per_point=3, workers=2)
+            trials_per_point=3, workers=2, executor="processes")
         result = runner.run(grid)
         assert result.mode == "serial"
         assert len(captured) == 3

@@ -95,7 +95,7 @@ class TestPoolAttackTrial:
         serial = CampaignRunner(pool_attack_trial, base_seed=21,
                                 workers=0).run(grid)
         parallel = CampaignRunner(pool_attack_trial, base_seed=21,
-                                  workers=2).run(grid)
+                                  workers=2, executor="processes").run(grid)
         assert serial.records == parallel.records
         # Everything except the mode tag is bit-identical.
         assert (json.dumps(serial.to_json()["results"], sort_keys=True)

@@ -45,6 +45,25 @@ class TestKeyPair:
         with pytest.raises(TlsError):
             a.shared_secret(1)
 
+    def test_comb_exponentiation_matches_pow(self):
+        """The fixed-base comb table is a pure speedup: its result must
+        be bit-identical to pow() on arbitrary exponents, including the
+        window-boundary edge cases."""
+        from repro.doh.tls import (
+            DH_GENERATOR, DH_PRIME, _COMB_WINDOW, _generator_pow)
+        rng = make_rng(99)
+        exponents = [0, 1, 2, (1 << _COMB_WINDOW) - 1, 1 << _COMB_WINDOW,
+                     DH_PRIME - 2, DH_PRIME.bit_length()]
+        exponents += [rng.randrange(2, DH_PRIME - 2) for _ in range(5)]
+        for exponent in exponents:
+            assert _generator_pow(exponent) == pow(
+                DH_GENERATOR, exponent, DH_PRIME)
+
+    def test_generate_public_matches_direct_pow(self):
+        pair = KeyPair.generate(make_rng(7))
+        from repro.doh.tls import DH_GENERATOR, DH_PRIME
+        assert pair.public == pow(DH_GENERATOR, pair.secret, DH_PRIME)
+
 
 class TestCertificates:
     def test_issue_and_verify(self):

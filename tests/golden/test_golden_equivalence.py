@@ -37,9 +37,11 @@ def test_scenario_matches_pre_optimization_fixture(fixture, name, seed):
         f"`PYTHONPATH=src python -m tests.golden.generate_fixtures`")
 
 
-def test_serial_and_parallel_campaigns_match_fixture_trials(fixture):
-    """The chunked parallel path must reassemble the exact serial records
-    — and both must still produce the fixture's E2 numbers."""
+@pytest.mark.parametrize("executor", ["threads", "processes"])
+def test_every_executor_campaign_matches_serial_records(fixture, executor):
+    """The thread and chunked process paths must reassemble the exact
+    serial records — and all must still produce the fixture's E2
+    numbers."""
     grid = ParameterGrid(
         {"corrupted": (0, 2)},
         fixed={"num_providers": 5, "pool_size": 24, "answers_per_query": 4,
@@ -49,7 +51,8 @@ def test_serial_and_parallel_campaigns_match_fixture_trials(fixture):
     serial = CampaignRunner(pool_attack_trial, trials_per_point=2,
                             base_seed=7, workers=0).run(grid)
     parallel = CampaignRunner(pool_attack_trial, trials_per_point=2,
-                              base_seed=7, workers=3, chunk_size=1).run(grid)
+                              base_seed=7, workers=3, chunk_size=1,
+                              executor=executor).run(grid)
     assert [r.metrics for r in serial.records] \
         == [r.metrics for r in parallel.records]
     assert [(r.point_key, r.trial, r.seed) for r in serial.records] \
