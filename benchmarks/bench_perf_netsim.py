@@ -37,6 +37,7 @@ worse than it (≥1.0×); smoke runs only prove the harness end to end
 
 import gc
 import json
+import resource
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -54,7 +55,10 @@ from repro.util.rng import RngRegistry
 from benchmarks.conftest import run_once
 
 #: Schema of BENCH_netsim.json (see README "Performance harness").
-SCHEMA = "bench-netsim/1"
+#: v2 adds ``current.peak_rss_mb``, per-shard fleet throughput, and the
+#: optional top-level ``megafleet`` block (landed by
+#: ``bench_p3_megafleet`` and preserved across full runs here).
+SCHEMA = "bench-netsim/2"
 
 #: Committed perf-trajectory point, refreshed by full (non-smoke) runs.
 TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_netsim.json"
@@ -143,15 +147,22 @@ def _bench_datagrams(count: int, tapped: bool) -> float:
         return count / (time.perf_counter() - started)
 
 
-def _bench_fleet(clients: int, rounds: int) -> dict:
+def _bench_fleet(clients: int, rounds: int, shards: int = 1) -> dict:
     world = materialize(
-        population_spec(num_clients=clients, rounds=rounds), 42)
+        population_spec(num_clients=clients, rounds=rounds, shards=shards),
+        42)
     with _quiesced_gc():
         started = time.perf_counter()
         outcomes = world.run()
         elapsed = time.perf_counter() - started
     return {"rounds_per_s": outcomes.rounds / elapsed,
-            "wall_s": elapsed, "rounds": outcomes.rounds}
+            "wall_s": elapsed, "rounds": outcomes.rounds,
+            "shards": shards}
+
+
+def _peak_rss_mb() -> float:
+    """Process peak RSS in MiB (``ru_maxrss`` is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
 def _bench_campaign(trials: int) -> dict:
@@ -192,9 +203,13 @@ def bench_perf_netsim(benchmark, emit_table, smoke, results_dir):
                 max(_bench_datagrams(sizes["datagrams"], tapped=True)
                     for _ in range(repeats)), 1),
             "fleet_rounds_per_s": round(best_fleet["rounds_per_s"], 1),
+            "fleet_rounds_per_s_per_shard": round(
+                best_fleet["rounds_per_s"] / best_fleet["shards"], 1),
+            "fleet_shards": best_fleet["shards"],
             "fleet_wall_s": round(best_fleet["wall_s"], 3),
             "campaign_wall_s": round(best_campaign["wall_s"], 3),
             "campaign_mode": best_campaign["mode"],
+            "peak_rss_mb": round(_peak_rss_mb(), 1),
         }
 
     current = run_once(benchmark, measure)
@@ -221,10 +236,17 @@ def bench_perf_netsim(benchmark, emit_table, smoke, results_dir):
         "target_fleet_speedup": TARGET_FLEET_SPEEDUP,
     }
     results_dir.mkdir(parents=True, exist_ok=True)
-    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    (results_dir / "BENCH_netsim.json").write_text(text)
+    (results_dir / "BENCH_netsim.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
     if not smoke:
-        TRAJECTORY_PATH.write_text(text)
+        # Refresh the committed trajectory without dropping the
+        # megafleet block bench_p3_megafleet owns.
+        if TRAJECTORY_PATH.exists():
+            previous = json.loads(TRAJECTORY_PATH.read_text())
+            if "megafleet" in previous:
+                payload["megafleet"] = previous["megafleet"]
+        TRAJECTORY_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     rows = [[name,
              f"{BASELINE[name]:g}" if name in BASELINE else "-",

@@ -7,13 +7,20 @@ clients with churn — then reads the population outcomes (victim
 fraction over virtual time, availability, clock-error distribution)
 straight from the streaming telemetry registry.
 
+Both sweep axes here are plain dotted spec paths: the attack knob
+(``provider.corrupted``) and the execution knob (``fleet.shards``).
+``fleet.shards`` above 1 routes ``materialize`` to the sharded
+megafleet engine — the same population split into K windows, each run
+as its own world and folded back into one registry — which is how the
+same spec scales past 100k clients.
+
 Run:  python examples/population_sweep.py
 """
 
 from repro.scenarios import materialize, population_spec, set_path
 
 BASE = population_spec(
-    num_clients=300,          # one world, three hundred clients
+    num_clients=300,          # one population, three hundred clients
     rounds=4,                 # resolve→sync rounds per client
     arrival="poisson",        # memoryless client wake-ups
     churn_rate=0.1,           # clients leave and rejoin
@@ -21,31 +28,42 @@ BASE = population_spec(
 
 
 def main() -> None:
-    print("corrupted  victim fraction  availability  mean |clock err|  churn")
-    print("---------  ---------------  ------------  ----------------  -----")
+    print("corrupted  shards  victim fraction  availability  "
+          "mean |clock err|  churn")
+    print("---------  ------  ---------------  ------------  "
+          "----------------  -----")
+    world = None
     for corrupted in (0, 1, 2, 3):
-        # One declarative world per point: the base spec with the
-        # corrupted-provider axis swept by dotted path.
-        spec = set_path(BASE, "provider.corrupted", corrupted)
-        outcomes = materialize(spec, seed=2026).run()
-        print(f"{corrupted}/3        "
-              f"{outcomes.victim_fraction:15.3f}  "
-              f"{outcomes.availability:12.0%}  "
-              f"{outcomes.mean_abs_clock_error * 1000:13.1f} ms  "
-              f"{outcomes.churn_leaves:5d}")
+        for shards in (1, 4):
+            # One declarative world per point: the base spec with both
+            # axes swept by dotted path.
+            spec = set_path(BASE, "provider.corrupted", corrupted)
+            spec = set_path(spec, "fleet.shards", shards)
+            world = materialize(spec, seed=2026)
+            outcomes = world.run()
+            print(f"{corrupted}/3        "
+                  f"{shards:6d}  "
+                  f"{outcomes.victim_fraction:15.3f}  "
+                  f"{outcomes.availability:12.0%}  "
+                  f"{outcomes.mean_abs_clock_error * 1000:13.1f} ms  "
+                  f"{outcomes.churn_leaves:5d}")
+    outcomes = world.outcomes()
 
     # The last scenario's victim curve, binned in virtual time by the
-    # telemetry pipeline (pop.victim_fraction TimeSeries).
-    print("\nVictim fraction over virtual time (corrupted = 3/3):")
+    # telemetry pipeline (pop.victim_fraction TimeSeries) — folded
+    # across the shard worlds, so it reads exactly like a one-world run.
+    print("\nVictim fraction over virtual time (corrupted = 3/3, 4 shards):")
     for when, fraction in outcomes.victim_curve:
         bar = "#" * round(fraction * 40)
         print(f"  t={when:6.1f}s  {fraction:5.1%}  {bar}")
 
-    # Everything above is also available as raw instruments:
-    registry = scenario.telemetry
+    # Everything above is also available as raw instruments.
+    registry = world.telemetry
     print(f"\nTelemetry: {registry.value('net.datagrams_sent'):.0f} datagrams, "
           f"{registry.value('pop.rounds'):.0f} rounds, "
-          f"{len(registry.names())} instruments")
+          f"{len(registry.names())} instruments "
+          f"(last point executed {world.executed_mode!r} "
+          f"over {world.shards} shards)")
 
 
 if __name__ == "__main__":

@@ -195,19 +195,24 @@ class Topology:
         return topo
 
     @classmethod
-    def global_backbone(cls, rng_registry: Optional[RngRegistry] = None) -> "Topology":
+    def global_backbone(cls, rng_registry: Optional[RngRegistry] = None,
+                        profile: Optional[LinkProfile] = None) -> "Topology":
         """A small model of the public Internet's regional structure.
 
         Six regions joined by a realistic mix of continental and
         trans-oceanic hops. Scenario builders attach clients, resolvers
         and nameservers to these regions.
+
+        ``profile`` overrides *every* backbone hop with one uniform
+        link — determinism harnesses use a zero-jitter profile here so
+        cross-shard comparisons see identical transit draws.
         """
         topo = cls(rng_registry)
         regions = ["us-west", "us-east", "eu-west", "eu-central", "asia-east", "asia-south"]
         for region in regions:
             topo.add_node(region)
-        continental = LinkProfile.continental()
-        oceanic = LinkProfile.transoceanic()
+        continental = profile or LinkProfile.continental()
+        oceanic = profile or LinkProfile.transoceanic()
         topo.add_link("us-west", "us-east", continental)
         topo.add_link("eu-west", "eu-central", continental)
         topo.add_link("asia-east", "asia-south", continental)

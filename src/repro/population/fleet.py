@@ -33,13 +33,28 @@ Scale machinery:
   lists; every observation folds into the registry's counters,
   histograms and virtual-time series, and population outcomes are read
   back from there.
+* **A pure round loop** — every decision a round makes (resolve or
+  reuse, combine, pick, victim/shift classification, churn, next
+  delay) lives in the module-level :func:`advance_round` function over
+  explicit ``(config, state, rng, phase event)`` inputs, returning the
+  effects as a :class:`RoundStep`. :class:`ClientFleet` is the thin
+  effectful shell (sockets, clocks, telemetry, scheduling); the
+  sharded engine (:mod:`repro.population.sharding`) reuses the same
+  function, so the round semantics cannot fork between the two.
+
+Fleets can also be a *window* of a larger population: ``first_index``
+and ``population`` give each client its **global** identity — RNG
+stream names, addresses, node attachment and arrival phase all derive
+from the global index over the total population — so K windows
+covering ``range(population)`` behave client-for-client exactly like
+one fleet of ``population`` clients (the sharded megafleet contract).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.pool import combine_with_quorum
 from repro.dns.client import StubOutcome, StubResolver
@@ -213,29 +228,189 @@ class PopulationOutcomes:
     availability_curve: List[Tuple[float, float]] = field(default_factory=list)
 
 
+# ----------------------------------------------------------------------
+# The round loop, as a pure function.
+# ----------------------------------------------------------------------
+
+#: Phase events fed to :func:`advance_round` — one per effect boundary
+#: of a client round (the shell performs I/O between them).
+ROUND_BEGIN = "round-begin"
+ANSWERS_COMPLETE = "answers-complete"
+SYNC_COMPLETE = "sync-complete"
+
+
+@dataclass
+class ClientRoundState:
+    """Everything the round loop reads or advances for one client —
+    and nothing effectful (hosts, sockets, clocks and telemetry stay in
+    the shell)."""
+
+    pool: Optional[List[IPAddress]] = None
+    rounds_done: int = 0
+
+
+@dataclass(frozen=True)
+class RoundRng:
+    """The per-client randomness :func:`advance_round` draws from:
+    explicit inputs, so identical streams replay identical rounds."""
+
+    select: Any        # random.Random — pool-server selection
+    churn: Any         # random.Random — leave/stay decisions
+    arrivals: ArrivalProcess
+
+
+@dataclass(frozen=True)
+class RoundStep:
+    """What the shell must do next, as plain data.
+
+    ``action`` is one of:
+
+    * ``"resolve"`` — fan out one query per provider, then feed the
+      answers back as an :data:`ANSWERS_COMPLETE` event;
+    * ``"sync"`` — the round has a ``pool`` and a ``pick``; run one
+      SNTP exchange against the pick and feed the sample back as a
+      :data:`SYNC_COMPLETE` event;
+    * ``"stop"`` / ``"leave"`` / ``"reschedule"`` — the round
+      concluded; the flags say how (``failed`` resolve, ``synced``
+      exchange with its ``victim``/``shifted``/``clock_error``
+      classification, or a ``timed_out`` exchange) and ``delay`` says
+      when the client acts again (rejoin after churn, or the next
+      arrival).
+    """
+
+    action: str
+    pool: Optional[List[IPAddress]] = None
+    pick: Optional[IPAddress] = None
+    delay: float = 0.0
+    failed: bool = False
+    synced: bool = False
+    timed_out: bool = False
+    victim: bool = False
+    shifted: bool = False
+    clock_error: float = 0.0
+
+
+def advance_round(config: FleetConfig, state: ClientRoundState,
+                  rng: RoundRng, phase: str,
+                  answers: Optional[Dict[int, Optional[List[IPAddress]]]] = None,
+                  synced: bool = False, attacker: bool = False,
+                  clock_error: float = 0.0) -> RoundStep:
+    """Advance one client's round by one phase event.
+
+    This is the *entire* round-loop logic — resolve cadence,
+    truncate-and-combine, server selection, victim/shift
+    classification, churn and next-arrival scheduling — over explicit
+    inputs: the fleet ``config``, the client's ``state`` (advanced in
+    place), its ``rng`` streams and the phase payload. It touches no
+    simulator, no sockets, no telemetry; every effect comes back as a
+    :class:`RoundStep` for the shell to perform. Identical inputs
+    (including stream states) produce identical steps, which is what
+    makes shard execution mode irrelevant to fleet behaviour.
+
+    Phase payloads: :data:`ANSWERS_COMPLETE` takes ``answers`` (per
+    provider index, ``None`` for a failed resolver);
+    :data:`SYNC_COMPLETE` takes ``synced``, ``attacker`` (was the pick
+    attacker-controlled) and ``clock_error`` (|error| after stepping
+    the clock, when synced).
+    """
+    if phase == ROUND_BEGIN:
+        needs_resolve = (state.pool is None
+                         or state.rounds_done % config.resolve_every == 0)
+        if needs_resolve:
+            return RoundStep("resolve")
+        return RoundStep("sync", pool=state.pool,
+                         pick=rng.select.choice(state.pool))
+    if phase == ANSWERS_COMPLETE:
+        # Truncate-and-combine under strict or quorum semantics —
+        # delegated to combine_with_quorum so the population can never
+        # drift from the single-client trials.
+        pool = combine_with_quorum(
+            {str(index): addresses
+             for index, addresses in sorted(answers.items())},
+            min_answers=config.min_answers)
+        state.pool = pool if pool else None
+        if not pool:
+            return _conclude(config, state, rng, failed=True)
+        return RoundStep("sync", pool=pool, pick=rng.select.choice(pool))
+    if phase == SYNC_COMPLETE:
+        # A victim is a client that actually *synced* against an
+        # attacker server; a timed-out exchange shifts nothing.
+        return _conclude(
+            config, state, rng, synced=synced, timed_out=not synced,
+            victim=synced and attacker,
+            shifted=synced and clock_error > config.shift_threshold,
+            clock_error=clock_error if synced else 0.0)
+    raise ValueError(f"unknown round phase {phase!r}")
+
+
+def _conclude(config: FleetConfig, state: ClientRoundState, rng: RoundRng,
+              **flags) -> RoundStep:
+    """Close the round: count it, then decide stop / churn-leave /
+    reschedule (drawing churn and arrival randomness in that order)."""
+    state.rounds_done += 1
+    if state.rounds_done >= config.rounds:
+        return RoundStep("stop", **flags)
+    if config.churn_rate and rng.churn.random() < config.churn_rate:
+        # Leave now, rejoin later with the pool cache dropped (the
+        # rejoin is a fresh resolve — "churn forces re-resolution").
+        state.pool = None
+        return RoundStep("leave", delay=config.rejoin_delay, **flags)
+    return RoundStep("reschedule", delay=rng.arrivals.next_delay(), **flags)
+
+
+def population_outcomes(registry: MetricsRegistry,
+                        clients: int) -> PopulationOutcomes:
+    """Read :class:`PopulationOutcomes` back from a registry.
+
+    Works on a live fleet's registry and equally on a registry folded
+    from per-shard snapshots (:func:`repro.telemetry.fold_snapshots`) —
+    the sharded engine's way of reporting one population from K worlds.
+    """
+    rounds = int(registry.value("pop.rounds"))
+    rounds_ok = int(registry.value("pop.rounds_ok"))
+    syncs = int(registry.value("pop.syncs"))
+    victims = int(registry.value("pop.victim_rounds"))
+    shifted = registry.get("pop.shifted")
+    histogram = registry.get("pop.clock_abs_error")
+    ts_victim = registry.get("pop.victim_fraction")
+    ts_avail = registry.get("pop.availability")
+    return PopulationOutcomes(
+        clients=clients,
+        rounds=rounds,
+        rounds_ok=rounds_ok,
+        syncs=syncs,
+        victim_rounds=victims,
+        availability=rounds_ok / rounds if rounds else 0.0,
+        victim_fraction=victims / syncs if syncs else 0.0,
+        shifted_fraction=shifted.mean() if shifted is not None else 0.0,
+        mean_abs_clock_error=histogram.mean if histogram is not None else 0.0,
+        p90_abs_clock_error=(histogram.quantile(0.90)
+                             if histogram is not None else 0.0),
+        churn_leaves=int(registry.value("pop.churn_leaves")),
+        churn_joins=int(registry.value("pop.churn_joins")),
+        victim_curve=ts_victim.series() if ts_victim is not None else [],
+        availability_curve=ts_avail.series() if ts_avail is not None else [],
+    )
+
+
 class _FleetClient:
     """One population member: host + clock + stubs (or DoH) + SNTP."""
 
     __slots__ = ("fleet", "index", "host", "clock", "stubs", "doh", "ntp",
-                 "arrivals", "churn_rng", "select_rng", "pool",
-                 "rounds_done")
+                 "rng", "state")
 
     def __init__(self, fleet: "ClientFleet", index: int, host: Host,
                  clock: SimClock, stubs: List[StubResolver],
-                 ntp: NtpClient, arrivals: ArrivalProcess,
-                 churn_rng, select_rng, doh=None) -> None:
+                 ntp: NtpClient, rng: RoundRng, doh=None) -> None:
         self.fleet = fleet
-        self.index = index
+        self.index = index            # global index over the population
         self.host = host
         self.clock = clock
         self.stubs = stubs
         self.doh = doh                # DoHClient in transport="doh" mode
         self.ntp = ntp
-        self.arrivals = arrivals
-        self.churn_rng = churn_rng
-        self.select_rng = select_rng
-        self.pool: Optional[List[IPAddress]] = None
-        self.rounds_done = 0
+        self.rng = rng
+        self.state = ClientRoundState()
 
 
 class ClientFleet:
@@ -260,6 +435,13 @@ class ClientFleet:
         ``transport="doh"`` mode, parallel to ``providers``).
     :param server_names: the providers' TLS names (DoH mode).
     :param trust_store: CAs the clients trust (DoH mode).
+    :param first_index: global index of this fleet's first client —
+        non-zero when the fleet is one shard's window of a larger
+        population (see the module docstring).
+    :param population: total population size across every window
+        (default: ``num_clients``, i.e. this fleet is the whole
+        population). Drives arrival phasing and the active-clients
+        gauge so per-shard telemetry is window-position-independent.
     """
 
     def __init__(self, internet: Internet, providers: Sequence[IPAddress],
@@ -270,7 +452,8 @@ class ClientFleet:
                  registry: Optional[MetricsRegistry] = None,
                  endpoints: Optional[Sequence] = None,
                  server_names: Optional[Sequence[str]] = None,
-                 trust_store=None) -> None:
+                 trust_store=None, first_index: int = 0,
+                 population: Optional[int] = None) -> None:
         if not providers:
             raise ValueError("fleet needs at least one provider")
         self._internet = internet
@@ -294,6 +477,19 @@ class ClientFleet:
         self._trust_store = trust_store
         self._attackers: Set[IPAddress] = {
             IPAddress(a) for a in attacker_addresses}
+        self._first_index = int(first_index)
+        self._population = (int(population) if population is not None
+                            else self._config.num_clients)
+        if self._first_index < 0:
+            raise ValueError(f"first_index must be >= 0, got {first_index}")
+        if not (self._first_index + self._config.num_clients
+                <= self._population <= FleetConfig.MAX_CLIENTS):
+            raise ValueError(
+                f"window [{self._first_index}, "
+                f"{self._first_index + self._config.num_clients}) must fit "
+                f"inside the population "
+                f"(got population={self._population}, max "
+                f"{FleetConfig.MAX_CLIENTS})")
         self.registry = registry or MetricsRegistry()
         self._dispatcher = BatchDispatcher(
             self._simulator, self._config.dispatch_quantum)
@@ -301,7 +497,11 @@ class ClientFleet:
         self._build_instruments()
         self._clients = [self._build_client(index)
                          for index in range(self._config.num_clients)]
-        self._active_count = len(self._clients)
+        # The gauge reports the *global* population: every window of the
+        # same population publishes the same value at the same virtual
+        # times (under churn each shard tracks only its own leavers, so
+        # the gauge stays exact only for churn_rate == 0 splits).
+        self._active_count = self._population
 
     # ------------------------------------------------------------------
     # Construction.
@@ -328,17 +528,26 @@ class ClientFleet:
 
     def _build_client(self, index: int) -> _FleetClient:
         config = self._config
-        tag = str(index)
+        # Everything about a client keys off its *global* index, so a
+        # window build is client-for-client identical to the same
+        # client inside one whole-population fleet.
+        g = self._first_index + index
+        tag = str(g)
+        # One pre-hashed ("population", tag) prefix per client: each of
+        # the client's streams derives from a digest copy instead of
+        # re-hashing the shared path (the construction is bit-identical
+        # to the direct derive_seed path — see StreamPrefix).
+        streams = self._rng.prefixed("population", tag)
         # 200 clients per /24, 256 blocks per second octet, octets
         # 10.120-10.255: room for FleetConfig.MAX_CLIENTS addresses
         # clear of every infrastructure range.
-        block, slot = divmod(index, 200)
+        block, slot = divmod(g, 200)
         address = IPAddress(
             f"10.{120 + block // 256}.{block % 256}.{slot + 1}")
         host = self._internet.add_host(Host(
-            f"pop-{index}", self._nodes[index % len(self._nodes)], [address],
-            rng=self._rng.stream("population", tag, "ports")))
-        client_rng = self._rng.stream("population", tag, "client")
+            f"pop-{g}", self._nodes[g % len(self._nodes)], [address],
+            rng=streams.stream("ports")))
+        client_rng = streams.stream("client")
         clock = SimClock(
             lambda: self._simulator.now,
             offset=client_rng.uniform(-config.initial_clock_error,
@@ -351,27 +560,24 @@ class ClientFleet:
                 from repro.doh.client import DoHClient
                 stubs: List[StubResolver] = []
                 doh = DoHClient(host, self._simulator, self._trust_store,
-                                rng=self._rng.stream("population", tag,
-                                                     "doh"),
+                                rng=streams.stream("doh"),
                                 timeout=config.dns_timeout,
                                 retries=config.dns_retries)
             else:
                 stubs = [StubResolver(host, self._simulator, provider,
                                       timeout=config.dns_timeout,
                                       retries=config.dns_retries,
-                                      rng=self._rng.stream("population", tag,
-                                                           "txid", str(pi)))
+                                      rng=streams.stream("txid", str(pi)))
                          for pi, provider in enumerate(self._providers)]
             ntp = NtpClient(host, self._simulator, clock,
                             timeout=config.ntp_timeout)
         arrivals = make_arrivals(
-            config.arrival, config.mean_interval, index, config.num_clients,
-            rng=self._rng.stream("population", tag, "arrival"))
-        return _FleetClient(
-            self, index, host, clock, stubs, ntp, arrivals,
-            churn_rng=self._rng.stream("population", tag, "churn"),
-            select_rng=self._rng.stream("population", tag, "select"),
-            doh=doh)
+            config.arrival, config.mean_interval, g, self._population,
+            rng=streams.stream("arrival"))
+        rng = RoundRng(select=streams.stream("select"),
+                       churn=streams.stream("churn"),
+                       arrivals=arrivals)
+        return _FleetClient(self, g, host, clock, stubs, ntp, rng, doh=doh)
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -384,6 +590,16 @@ class ClientFleet:
     @property
     def clients(self) -> int:
         return len(self._clients)
+
+    @property
+    def first_index(self) -> int:
+        """Global index of this fleet's first client."""
+        return self._first_index
+
+    @property
+    def population(self) -> int:
+        """Total population this fleet is a window of."""
+        return self._population
 
     @property
     def dispatcher(self) -> BatchDispatcher:
@@ -404,7 +620,7 @@ class ClientFleet:
         self._started = True
         self._m_active.set(self._active_count, at=self._simulator.now)
         for client in self._clients:
-            self._dispatcher.call_after(client.arrivals.first_delay(),
+            self._dispatcher.call_after(client.rng.arrivals.first_delay(),
                                         lambda c=client: self._round(c))
         return self
 
@@ -416,21 +632,67 @@ class ClientFleet:
         return self.outcomes()
 
     # ------------------------------------------------------------------
-    # One client round.
+    # One client round — the effectful shell around advance_round.
     # ------------------------------------------------------------------
 
     def _round(self, client: _FleetClient) -> None:
         self._m_rounds.inc()
-        needs_resolve = (client.pool is None
-                         or client.rounds_done % self._config.resolve_every == 0)
-        if needs_resolve:
+        self._apply(client, advance_round(self._config, client.state,
+                                          client.rng, ROUND_BEGIN))
+
+    def _apply(self, client: _FleetClient, step: RoundStep) -> None:
+        """Perform one :class:`RoundStep`: the I/O, telemetry and
+        scheduling half of the round loop."""
+        if step.action == "resolve":
             self._resolve(client)
-        else:
-            self._after_resolve(client, client.pool)
+            return
+        if step.action == "sync":
+            self._ts_avail.record(self._simulator.now, 1.0)
+            self._m_rounds_ok.inc()
+            pick = step.pick
+            client.ntp.sample(
+                pick,
+                lambda sample: self._after_sync(
+                    client, sample, attacker=pick in self._attackers))
+            return
+        # Concluding steps: record how the round ended...
+        now = self._simulator.now
+        if step.failed:
+            self._ts_avail.record(now, 0.0)
+            self._m_rounds_failed.inc()
+        if step.synced:
+            self._m_syncs.inc()
+            self._ts_victim.record(now, 1.0 if step.victim else 0.0)
+            if step.victim:
+                self._m_victims.inc()
+            self._h_abs_error.observe(step.clock_error)
+            self._ts_shifted.record(now, 1.0 if step.shifted else 0.0)
+        if step.timed_out:
+            self._m_sync_timeouts.inc()
+        # ...then schedule what comes next.
+        if step.action == "stop":
+            return
+        if step.action == "leave":
+            self._m_leaves.inc()
+            self._active_count -= 1
+            self._m_active.set(self._active_count, at=now)
+
+            def rejoin() -> None:
+                self._m_joins.inc()
+                self._active_count += 1
+                self._m_active.set(self._active_count,
+                                   at=self._simulator.now)
+                self._round(client)
+
+            self._dispatcher.call_after(step.delay, rejoin)
+            return
+        self._dispatcher.call_after(step.delay,
+                                    lambda: self._round(client))
 
     def _resolve(self, client: _FleetClient) -> None:
         """Algorithm 1's fan-out: one query per provider (plain stub or
-        TLS-wrapped DoH, per the configured transport), then combine."""
+        TLS-wrapped DoH, per the configured transport), then feed the
+        completed answer set back into the round loop."""
         answers: Dict[int, Optional[List[IPAddress]]] = {}
         expected = len(self._providers)
 
@@ -438,8 +700,9 @@ class ClientFleet:
                       addresses: Optional[List[IPAddress]]) -> None:
             answers[provider_index] = addresses
             if len(answers) == expected:
-                client.pool = self._combine(answers)
-                self._after_resolve(client, client.pool)
+                self._apply(client, advance_round(
+                    self._config, client.state, client.rng,
+                    ANSWERS_COMPLETE, answers=answers))
 
         if client.doh is not None:
             for provider_index, (endpoint, name) in enumerate(
@@ -454,100 +717,21 @@ class ClientFleet:
                            on_answer(pi, outcome.addresses
                                      if outcome.ok else None))
 
-    def _combine(self, answers: Dict[int, Optional[List[IPAddress]]]
-                 ) -> Optional[List[IPAddress]]:
-        """Truncate-and-combine under strict or quorum semantics —
-        delegated to :func:`repro.core.pool.combine_with_quorum` so the
-        population can never drift from the single-client trials."""
-        return combine_with_quorum(
-            {str(index): addresses
-             for index, addresses in sorted(answers.items())},
-            min_answers=self._config.min_answers)
-
-    def _after_resolve(self, client: _FleetClient,
-                       pool: Optional[List[IPAddress]]) -> None:
-        now = self._simulator.now
-        self._ts_avail.record(now, 1.0 if pool else 0.0)
-        if not pool:
-            self._m_rounds_failed.inc()
-            client.pool = None
-            self._schedule_next(client)
-            return
-        self._m_rounds_ok.inc()
-        pick = client.select_rng.choice(pool)
-        client.ntp.sample(
-            pick,
-            lambda sample: self._after_sync(client, sample,
-                                            attacker=pick in self._attackers))
-
     def _after_sync(self, client: _FleetClient, sample: NtpSample,
                     attacker: bool) -> None:
+        clock_error = 0.0
         if sample.ok:
-            self._m_syncs.inc()
-            # A victim is a client that actually *synced* against an
-            # attacker server; a timed-out exchange shifts nothing.
-            self._ts_victim.record(self._simulator.now,
-                                   1.0 if attacker else 0.0)
-            if attacker:
-                self._m_victims.inc()
+            # Stepping the clock is an effect of the *exchange*, not a
+            # round decision; the loop only classifies the result.
             client.clock.step(sample.offset)
-            error = abs(client.clock.error())
-            self._h_abs_error.observe(error)
-            self._ts_shifted.record(
-                self._simulator.now,
-                1.0 if error > self._config.shift_threshold else 0.0)
-        else:
-            self._m_sync_timeouts.inc()
-        self._schedule_next(client)
-
-    def _schedule_next(self, client: _FleetClient) -> None:
-        client.rounds_done += 1
-        if client.rounds_done >= self._config.rounds:
-            return
-        config = self._config
-        if config.churn_rate and client.churn_rng.random() < config.churn_rate:
-            # Leave now, rejoin later with the pool cache dropped (the
-            # rejoin is a fresh resolve — "churn forces re-resolution").
-            self._m_leaves.inc()
-            client.pool = None
-            self._active_count -= 1
-            self._m_active.set(self._active_count, at=self._simulator.now)
-
-            def rejoin() -> None:
-                self._m_joins.inc()
-                self._active_count += 1
-                self._m_active.set(self._active_count,
-                                   at=self._simulator.now)
-                self._round(client)
-
-            self._dispatcher.call_after(config.rejoin_delay, rejoin)
-            return
-        self._dispatcher.call_after(client.arrivals.next_delay(),
-                                    lambda: self._round(client))
+            clock_error = abs(client.clock.error())
+        self._apply(client, advance_round(
+            self._config, client.state, client.rng, SYNC_COMPLETE,
+            synced=sample.ok, attacker=attacker, clock_error=clock_error))
 
     # ------------------------------------------------------------------
     # Outcomes (read back from the registry).
     # ------------------------------------------------------------------
 
     def outcomes(self) -> PopulationOutcomes:
-        rounds = self._m_rounds.value
-        rounds_ok = self._m_rounds_ok.value
-        syncs = self._m_syncs.value
-        victims = self._m_victims.value
-        histogram = self._h_abs_error
-        return PopulationOutcomes(
-            clients=len(self._clients),
-            rounds=rounds,
-            rounds_ok=rounds_ok,
-            syncs=syncs,
-            victim_rounds=victims,
-            availability=rounds_ok / rounds if rounds else 0.0,
-            victim_fraction=victims / syncs if syncs else 0.0,
-            shifted_fraction=self._ts_shifted.mean(),
-            mean_abs_clock_error=histogram.mean,
-            p90_abs_clock_error=histogram.quantile(0.90),
-            churn_leaves=self._m_leaves.value,
-            churn_joins=self._m_joins.value,
-            victim_curve=self._ts_victim.series(),
-            availability_curve=self._ts_avail.series(),
-        )
+        return population_outcomes(self.registry, len(self._clients))

@@ -215,24 +215,33 @@ class NetworkSpec(SpecBase):
     """The world's network shape beyond the fixed global backbone.
 
     :param access: client access-link profile (``None`` = metro).
+        Applies to the single client's edge *and*, in population
+        worlds without explicit regions, to every ``pop-edge-*`` link.
     :param fault: imposed degradation on the client access link (the
         E6/R1 sweep axes); inactive by default.
     :param extra_fault: an additional whole :class:`FaultSpec` composed
         on top (mirrors the legacy ``fault_model=`` kwarg).
     :param regions: population access regions.  Empty means the legacy
-        layout — one ``pop-edge-<region>`` metro link per backbone
-        region, all carrying the access fault.  Non-empty regions get
-        their own heterogeneous links/faults instead.
+        layout — one ``pop-edge-<region>`` link per backbone region
+        (``access`` profile, metro by default), all carrying the
+        access fault.  Non-empty regions get their own heterogeneous
+        links/faults instead.
+    :param backbone: ``None`` keeps the realistic continental/oceanic
+        backbone mix; a :class:`LinkSpec` replaces *every* backbone hop
+        with that uniform link (determinism harnesses use a zero-jitter
+        profile here so transit draws are shard-invariant).
     """
 
     access: Optional[LinkSpec] = None
     fault: FaultSpec = FaultSpec()
     extra_fault: Optional[FaultSpec] = None
     regions: Tuple[RegionSpec, ...] = ()
+    backbone: Optional[LinkSpec] = None
 
     _NESTED = {"access": ("opt", LinkSpec), "fault": ("spec", FaultSpec),
                "extra_fault": ("opt", FaultSpec),
-               "regions": ("tuple", RegionSpec)}
+               "regions": ("tuple", RegionSpec),
+               "backbone": ("opt", LinkSpec)}
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "regions", tuple(self.regions))
@@ -422,6 +431,12 @@ class FleetSpec(SpecBase):
         clients pay the per-query handshake the paper's Table couples
         to the distributed lookup).  ``"doh"`` requires
         ``ProviderSpec.serve == "doh"``.
+    :param shards: 1 (the default) runs the whole population in one
+        world; K > 1 materializes a
+        :class:`repro.population.sharding.ShardedFleet` — K windows of
+        the population, each in its own world, executed through the
+        campaign executor layer and folded back into one telemetry
+        registry (the megafleet path; see the sharding module).
     """
 
     size: int = 50
@@ -435,6 +450,7 @@ class FleetSpec(SpecBase):
     transport: str = "udp"
     initial_clock_error: float = 0.050
     shift_threshold: float = 1.0
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.arrival not in ("periodic", "poisson"):
@@ -445,6 +461,9 @@ class FleetSpec(SpecBase):
             raise ConfigurationError(
                 f"transport must be one of {FLEET_TRANSPORTS}, "
                 f"got {self.transport!r}")
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {self.shards}")
 
 
 @dataclass(frozen=True)
@@ -816,9 +835,11 @@ def population_spec(
     initial_clock_error: float = 0.050,
     shift_threshold: float = 1.0,
     time_bin: float = 10.0,
+    shards: int = 1,
 ) -> ScenarioSpec:
     """The population spec, from the legacy
-    ``build_population_scenario`` keywords (same defaults)."""
+    ``build_population_scenario`` keywords (same defaults), plus the
+    ``shards`` megafleet axis."""
     behavior = getattr(behavior, "value", behavior)
     return ScenarioSpec(
         network=NetworkSpec(
@@ -835,7 +856,7 @@ def population_spec(
                         resolve_every=resolve_every, churn_rate=churn_rate,
                         rejoin_delay=rejoin_delay, min_answers=min_answers,
                         initial_clock_error=initial_clock_error,
-                        shift_threshold=shift_threshold),
+                        shift_threshold=shift_threshold, shards=shards),
         telemetry=TelemetrySpec(time_bin=time_bin))
 
 
@@ -849,9 +870,13 @@ def materialize(spec: ScenarioSpec, seed: int, registry=None) -> World:
     Single-client specs (``fleet is None``) produce a
     :class:`~repro.scenarios.builders.PoolScenario`; specs with a
     :class:`FleetSpec` produce a
-    :class:`~repro.scenarios.builders.PopulationScenario`.  Specs built
-    by :func:`pool_spec` / :func:`population_spec` materialize
-    bit-identically to the legacy builders for the same seed.
+    :class:`~repro.scenarios.builders.PopulationScenario` — or, when
+    ``fleet.shards > 1``, a
+    :class:`~repro.population.sharding.ShardedFleet` (same ``run()`` /
+    ``outcomes()`` / ``telemetry`` surface, population split across K
+    worlds).  Specs built by :func:`pool_spec` / :func:`population_spec`
+    materialize bit-identically to the legacy builders for the same
+    seed.
 
     :param registry: telemetry sink for population worlds (a private
         one is created when omitted); ignored for single-client worlds
@@ -862,6 +887,9 @@ def materialize(spec: ScenarioSpec, seed: int, registry=None) -> World:
             f"materialize needs a ScenarioSpec, got {type(spec).__name__}")
     if spec.fleet is None:
         return _materialize_single(spec, seed, registry)
+    if spec.fleet.shards > 1:
+        from repro.population.sharding import ShardedFleet
+        return ShardedFleet(spec, seed, registry=registry)
     return _materialize_population(spec, seed, registry)
 
 
@@ -950,7 +978,10 @@ def _build_pool_world(spec: ScenarioSpec, seed: int):
     pool = spec.pool
     registry = RngRegistry(seed)
     simulator = Simulator()
-    topology = Topology.global_backbone(rng_registry=registry)
+    topology = Topology.global_backbone(
+        rng_registry=registry,
+        profile=(spec.network.backbone.to_profile()
+                 if spec.network.backbone is not None else None))
 
     # Attach infrastructure edges.
     edge = (spec.network.access.to_profile()
@@ -1075,10 +1106,17 @@ def _deploy_plain_provider(internet, profile, root_hints, rng_registry,
                               doh_server=None, certificate=None, keypair=None)
 
 
-def _materialize_population(spec: ScenarioSpec, seed: int, registry):
+def _materialize_population(spec: ScenarioSpec, seed: int, registry,
+                            window: Optional[Tuple[int, int, int]] = None):
     """The population world (ported from the legacy
     ``build_population_scenario``; per-region access edges and the DoH
-    fleet transport are the spec-only extensions)."""
+    fleet transport are the spec-only extensions).
+
+    ``window`` is the sharding hook: ``(first_index, size, population)``
+    builds the world with a :class:`~repro.population.ClientFleet`
+    covering only that window of the population (``spec.fleet.shards``
+    is ignored — the caller, :class:`ShardedFleet`, owns the split).
+    """
     from repro.attacks.compromise import (
         CompromiseConfig,
         CompromisedResolverBehavior,
@@ -1128,9 +1166,12 @@ def _materialize_population(spec: ScenarioSpec, seed: int, registry):
                 access_nodes.append(region.node)
                 region_links[region.name] = region.link_name
         else:
+            pop_edge = (spec.network.access.to_profile()
+                        if spec.network.access is not None
+                        else LinkProfile.metro())
             for region in regions:
                 node = f"pop-edge-{region}"
-                topology.add_link(node, region, LinkProfile.metro())
+                topology.add_link(node, region, pop_edge)
                 if pool_scenario.access_fault is not None:
                     topology.set_fault_model(node, region,
                                              pool_scenario.access_fault)
@@ -1169,13 +1210,17 @@ def _materialize_population(spec: ScenarioSpec, seed: int, registry):
             a for a in attack_addresses
             if a not in forged_list
             and a not in pool_scenario.directory.malicious]
+        first_index, size, population = (
+            window if window is not None
+            else (0, fleet_spec.size, fleet_spec.size))
         fleet = ClientFleet(
             pool_scenario.internet,
             [deployment.address for deployment in pool_scenario.providers],
             pool_scenario.pool_domain, pool_scenario.rng,
-            nodes=access_nodes,
+            nodes=access_nodes, first_index=first_index,
+            population=population,
             config=FleetConfig(
-                num_clients=fleet_spec.size, rounds=fleet_spec.rounds,
+                num_clients=size, rounds=fleet_spec.rounds,
                 mean_interval=fleet_spec.mean_interval,
                 arrival=fleet_spec.arrival,
                 resolve_every=fleet_spec.resolve_every,

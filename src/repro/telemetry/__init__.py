@@ -20,6 +20,7 @@ from repro.telemetry.metrics import (
 from repro.telemetry.registry import (
     MetricsRegistry,
     current_registry,
+    fold_snapshots,
     install_registry,
     use_registry,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "bucket_index",
     "bucket_upper_edge",
     "current_registry",
+    "fold_snapshots",
     "install_registry",
     "use_registry",
 ]

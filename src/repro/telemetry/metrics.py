@@ -72,6 +72,12 @@ class Counter:
     def state(self):
         return self.value
 
+    @classmethod
+    def from_state(cls, state) -> "Counter":
+        counter = cls()
+        counter.value = int(state)
+        return counter
+
 
 class Gauge:
     """A last-write-wins sample ordered by virtual time.
@@ -108,6 +114,14 @@ class Gauge:
         # internal ordering sentinel and is not valid JSON.
         at = None if self.updated_at == -math.inf else self.updated_at
         return [at, self.value]
+
+    @classmethod
+    def from_state(cls, state) -> "Gauge":
+        gauge = cls()
+        at, value = state
+        gauge.updated_at = -math.inf if at is None else at
+        gauge.value = float(value)
+        return gauge
 
 
 class LogBucketHistogram:
@@ -188,6 +202,19 @@ class LogBucketHistogram:
                         for index in sorted(self.buckets)},
         }
 
+    @classmethod
+    def from_state(cls, state) -> "LogBucketHistogram":
+        histogram = cls()
+        histogram.count = int(state["count"])
+        histogram.total = float(state["total"])
+        if histogram.count:
+            histogram.minimum = state["min"]
+            histogram.maximum = state["max"]
+        histogram.underflow = int(state["underflow"])
+        histogram.buckets = {int(index): int(count)
+                             for index, count in state["buckets"].items()}
+        return histogram
+
 
 class TimeSeries:
     """Per-virtual-time-bin aggregates of a sampled quantity.
@@ -259,3 +286,10 @@ class TimeSeries:
             "bins": {str(index): list(entry)
                      for index, entry in sorted(self.bins.items())},
         }
+
+    @classmethod
+    def from_state(cls, state) -> "TimeSeries":
+        series = cls(state["bin_width"])
+        series.bins = {int(index): list(entry)
+                       for index, entry in state["bins"].items()}
+        return series

@@ -38,6 +38,13 @@ _KINDS = {
     "histogram": LogBucketHistogram,
 }
 
+_LOADERS = {
+    "counter": Counter.from_state,
+    "gauge": Gauge.from_state,
+    "histogram": LogBucketHistogram.from_state,
+    "timeseries": TimeSeries.from_state,
+}
+
 _Key = Tuple[str, Tuple[Tuple[str, str], ...]]
 
 
@@ -51,6 +58,16 @@ def _render_key(key: _Key) -> str:
         return name
     rendered = ",".join(f"{k}={v}" for k, v in labels)
     return f"{name}{{{rendered}}}"
+
+
+def _parse_key(rendered: str) -> _Key:
+    """Invert :func:`_render_key` (label values must not contain ``,``
+    or ``=`` — publishers use plain identifiers, which snapshots keep)."""
+    if not rendered.endswith("}") or "{" not in rendered:
+        return (rendered, ())
+    name, _, body = rendered[:-1].partition("{")
+    labels = tuple(tuple(pair.split("=", 1)) for pair in body.split(","))
+    return (name, labels)  # type: ignore[return-value]
 
 
 class MetricsRegistry:
@@ -177,6 +194,69 @@ class MetricsRegistry:
                     f"here but {kind} in the merged registry")
             mine.merge(theirs)  # type: ignore[attr-defined]
         return self
+
+    # ------------------------------------------------------------------
+    # Snapshot round-trip (the sharded-fold entry point).
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_snapshot(cls, snapshot: "Dict[str, Dict[str, object]] | str"
+                      ) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output (or its
+        :meth:`snapshot_json` string).
+
+        The round trip is exact: every instrument state JSON encodes
+        (ints, shortest-round-trip floats) decodes to the same value,
+        so ``from_snapshot(r.snapshot_json()).snapshot_json()`` is
+        byte-identical to ``r.snapshot_json()``. This is what lets a
+        shard ship its registry across a process boundary as JSON and
+        the parent fold it with :func:`fold_snapshots` as if the
+        shard's instruments had been merged directly.
+        """
+        if isinstance(snapshot, str):
+            snapshot = json.loads(snapshot)
+        registry = cls()
+        for kind, instruments in snapshot.items():
+            loader = _LOADERS.get(kind)
+            if loader is None:
+                raise ValueError(f"unknown instrument kind {kind!r}; "
+                                 f"known: {sorted(_LOADERS)}")
+            for rendered, state in instruments.items():
+                key = _parse_key(rendered)
+                registry._instruments[key] = loader(state)
+                registry._kinds[key] = kind
+        return registry
+
+
+def fold_snapshots(snapshots, select=None) -> MetricsRegistry:
+    """Left-fold registry snapshots, in order, into one registry.
+
+    :param snapshots: an iterable of :meth:`MetricsRegistry.snapshot`
+        dicts or :meth:`MetricsRegistry.snapshot_json` strings — e.g.
+        per-shard results, folded **in shard order** (the fold order is
+        part of the determinism contract: integer state merges are
+        associative and order-free, but float accumulations such as a
+        histogram's ``total`` reproduce byte-identically only when the
+        fold order is pinned).
+    :param select: optional predicate ``(kind, name, labels) -> bool``
+        restricting the fold to a subset of instruments — the sharding
+        layer uses it to compare the population-invariant subset across
+        different shard counts.
+    """
+    folded = MetricsRegistry()
+    for snapshot in snapshots:
+        shard = MetricsRegistry.from_snapshot(snapshot)
+        if select is not None:
+            kept = MetricsRegistry()
+            for key, instrument in shard._instruments.items():
+                kind = shard._kinds[key]
+                name, labels = key
+                if select(kind, name, dict(labels)):
+                    kept._instruments[key] = instrument
+                    kept._kinds[key] = kind
+            shard = kept
+        folded.merge(shard)
+    return folded
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,126 @@
+"""Property tests for the snapshot fold entry point.
+
+The sharded megafleet's correctness leans on three registry facts:
+
+* the snapshot JSON round trip is *exact* (a shard can ship its
+  registry across a process boundary as bytes);
+* left-folding snapshots in shard order is deterministic, whatever the
+  observations were;
+* over integer-valued observations — which is all the population-layer
+  instruments accumulate — the fold is associative byte-for-byte, so
+  any grouping of shards (including "one shard", the serial run) folds
+  to the same snapshot.
+
+Float totals (histogram ``total``, time-series sums of non-integer
+values) are exact only at a *pinned* fold order, which is why the fold
+API takes an ordered iterable and the sharding layer always folds in
+shard-index order; the associativity property here is deliberately
+restricted to integer-valued observations.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.registry import MetricsRegistry, fold_snapshots
+
+_NAMES = ("rounds", "sent", "err")
+_LABELS = ({}, {"region": "eu"}, {"region": "ap", "tier": "2"})
+
+_FINITE = st.floats(min_value=-1e6, max_value=1e6,
+                    allow_nan=False, allow_infinity=False, width=64)
+_INTEGRAL = st.integers(min_value=-999, max_value=999).map(float)
+
+
+def _ops(values):
+    """One instrument operation; names are kind-prefixed so a drawn
+    (name, labels) pair can never collide across instrument kinds."""
+    name = st.sampled_from(_NAMES)
+    labels = st.sampled_from(_LABELS)
+    return st.one_of(
+        st.tuples(st.just("counter"), name, labels,
+                  st.integers(min_value=0, max_value=50)),
+        st.tuples(st.just("gauge"), name, labels, values, values),
+        st.tuples(st.just("histogram"), name, labels, values),
+        st.tuples(st.just("timeseries"), name, labels, values, values),
+    )
+
+
+def _build(ops) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for op in ops:
+        kind, name, labels = op[0], op[1], dict(op[2])
+        if kind == "counter":
+            registry.counter(f"c.{name}", **labels).inc(op[3])
+        elif kind == "gauge":
+            registry.gauge(f"g.{name}", **labels).set(op[4], at=op[3])
+        elif kind == "histogram":
+            registry.histogram(f"h.{name}", **labels).observe(op[3])
+        else:
+            registry.timeseries(f"t.{name}", 1.0, **labels).record(
+                op[3], op[4])
+    return registry
+
+
+@settings(deadline=None, max_examples=60)
+@given(ops=st.lists(_ops(_FINITE), max_size=25))
+def test_snapshot_round_trip_is_byte_exact(ops):
+    registry = _build(ops)
+    encoded = registry.snapshot_json()
+    assert MetricsRegistry.from_snapshot(encoded).snapshot_json() == encoded
+    # The dict form round-trips identically to the JSON form.
+    assert (MetricsRegistry.from_snapshot(registry.snapshot())
+            .snapshot_json() == encoded)
+
+
+@settings(deadline=None, max_examples=60)
+@given(ops_lists=st.lists(st.lists(_ops(_FINITE), max_size=15),
+                          min_size=1, max_size=4))
+def test_fold_in_shard_order_is_deterministic(ops_lists):
+    snapshots = [_build(ops).snapshot_json() for ops in ops_lists]
+    first = fold_snapshots(snapshots).snapshot_json()
+    second = fold_snapshots(snapshots).snapshot_json()
+    assert first == second
+
+
+@settings(deadline=None, max_examples=60)
+@given(ops_lists=st.lists(st.lists(_ops(_INTEGRAL), max_size=12),
+                          min_size=2, max_size=4))
+def test_fold_is_associative_over_integer_observations(ops_lists):
+    # Every grouping of an ordered shard sequence folds to the same
+    # bytes: pre-folding any prefix (or suffix) and folding the result
+    # with the rest equals folding the flat sequence.
+    snapshots = [_build(ops).snapshot_json() for ops in ops_lists]
+    flat = fold_snapshots(snapshots).snapshot_json()
+    for split in range(1, len(snapshots)):
+        prefix = fold_snapshots(snapshots[:split]).snapshot_json()
+        assert fold_snapshots([prefix] + snapshots[split:]
+                              ).snapshot_json() == flat
+        suffix = fold_snapshots(snapshots[split:]).snapshot_json()
+        assert fold_snapshots(snapshots[:split] + [suffix]
+                              ).snapshot_json() == flat
+
+
+@settings(deadline=None, max_examples=40)
+@given(ops_lists=st.lists(st.lists(_ops(_FINITE), max_size=12),
+                          min_size=1, max_size=3))
+def test_fold_select_keeps_exactly_the_selected_subset(ops_lists):
+    snapshots = [_build(ops).snapshot_json() for ops in ops_lists]
+    counters_only = fold_snapshots(
+        snapshots, select=lambda kind, name, labels: kind == "counter")
+    folded = counters_only.snapshot()
+    assert set(folded) <= {"counter"}
+    # The selected instruments match an unfiltered fold's counters.
+    whole = fold_snapshots(snapshots).snapshot()
+    assert folded.get("counter", {}) == whole.get("counter", {})
+
+
+def test_unknown_kind_is_rejected():
+    import pytest
+    with pytest.raises(ValueError):
+        MetricsRegistry.from_snapshot({"bogus": {"x": 1}})
+
+
+def test_labelled_keys_round_trip():
+    registry = MetricsRegistry()
+    registry.counter("hits", region="eu", tier=2).inc(3)
+    restored = MetricsRegistry.from_snapshot(registry.snapshot_json())
+    assert restored.value("hits", region="eu", tier=2) == 3
