@@ -39,10 +39,11 @@ import gc
 import json
 import resource
 import time
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from pathlib import Path
 
 from repro.campaign import CampaignRunner, ParameterGrid, pool_attack_trial
+from repro.telemetry.trace import Tracer, use_tracer
 from repro.netsim.address import Endpoint, ip
 from repro.netsim.host import Host
 from repro.netsim.internet import Internet, TapAction
@@ -58,7 +59,10 @@ from benchmarks.conftest import run_once
 #: v2 adds ``current.peak_rss_mb``, per-shard fleet throughput, and the
 #: optional top-level ``megafleet`` block (landed by
 #: ``bench_p3_megafleet`` and preserved across full runs here).
-SCHEMA = "bench-netsim/2"
+#: v3 adds ``current.fleet_rounds_per_s_traced`` (the fleet macro bench
+#: under an installed tracer) and the tracer-off guard that full runs
+#: assert against the previously committed trajectory.
+SCHEMA = "bench-netsim/3"
 
 #: Committed perf-trajectory point, refreshed by full (non-smoke) runs.
 TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_netsim.json"
@@ -84,6 +88,13 @@ TARGET_FLEET_SPEEDUP = 2.5
 #: The campaign sweep must never lose to the pre-PR baseline again —
 #: the adaptive executor's whole job (full runs only).
 TARGET_CAMPAIGN_SPEEDUP = 1.0
+
+#: The tracer-off fleet macro bench may drift at most this far below
+#: the previously committed trajectory point — the observability
+#: layer's zero-cost contract, measured rather than asserted (full
+#: runs only; checked against the committed value *before* this run
+#: refreshes it).
+TRACER_OFF_TOLERANCE = 0.97
 
 @contextmanager
 def _quiesced_gc():
@@ -147,14 +158,20 @@ def _bench_datagrams(count: int, tapped: bool) -> float:
         return count / (time.perf_counter() - started)
 
 
-def _bench_fleet(clients: int, rounds: int, shards: int = 1) -> dict:
-    world = materialize(
-        population_spec(num_clients=clients, rounds=rounds, shards=shards),
-        42)
-    with _quiesced_gc():
-        started = time.perf_counter()
-        outcomes = world.run()
-        elapsed = time.perf_counter() - started
+def _bench_fleet(clients: int, rounds: int, shards: int = 1,
+                 traced: bool = False) -> dict:
+    # Publishers capture the ambient tracer at construction, so the
+    # traced variant must materialize *inside* the tracer scope.
+    scope = use_tracer(Tracer()) if traced else nullcontext()
+    with scope:
+        world = materialize(
+            population_spec(num_clients=clients, rounds=rounds,
+                            shards=shards),
+            42)
+        with _quiesced_gc():
+            started = time.perf_counter()
+            outcomes = world.run()
+            elapsed = time.perf_counter() - started
     return {"rounds_per_s": outcomes.rounds / elapsed,
             "wall_s": elapsed, "rounds": outcomes.rounds,
             "shards": shards}
@@ -189,6 +206,10 @@ def bench_perf_netsim(benchmark, emit_table, smoke, results_dir):
         fleets = [_bench_fleet(sizes["fleet_clients"], sizes["fleet_rounds"])
                   for _ in range(repeats)]
         best_fleet = max(fleets, key=lambda f: f["rounds_per_s"])
+        traced = [_bench_fleet(sizes["fleet_clients"], sizes["fleet_rounds"],
+                               traced=True)
+                  for _ in range(repeats)]
+        best_traced = max(traced, key=lambda f: f["rounds_per_s"])
         campaigns = [_bench_campaign(sizes["campaign_trials"])
                      for _ in range(repeats)]
         best_campaign = min(campaigns, key=lambda c: c["wall_s"])
@@ -203,6 +224,8 @@ def bench_perf_netsim(benchmark, emit_table, smoke, results_dir):
                 max(_bench_datagrams(sizes["datagrams"], tapped=True)
                     for _ in range(repeats)), 1),
             "fleet_rounds_per_s": round(best_fleet["rounds_per_s"], 1),
+            "fleet_rounds_per_s_traced": round(
+                best_traced["rounds_per_s"], 1),
             "fleet_rounds_per_s_per_shard": round(
                 best_fleet["rounds_per_s"] / best_fleet["shards"], 1),
             "fleet_shards": best_fleet["shards"],
@@ -211,6 +234,13 @@ def bench_perf_netsim(benchmark, emit_table, smoke, results_dir):
             "campaign_mode": best_campaign["mode"],
             "peak_rss_mb": round(_peak_rss_mb(), 1),
         }
+
+    # The tracer-off guard compares against the trajectory committed by
+    # the *previous* full run, so capture it before this run refreshes
+    # the file.
+    committed = None
+    if TRAJECTORY_PATH.exists():
+        committed = json.loads(TRAJECTORY_PATH.read_text())
 
     current = run_once(benchmark, measure)
 
@@ -241,10 +271,8 @@ def bench_perf_netsim(benchmark, emit_table, smoke, results_dir):
     if not smoke:
         # Refresh the committed trajectory without dropping the
         # megafleet block bench_p3_megafleet owns.
-        if TRAJECTORY_PATH.exists():
-            previous = json.loads(TRAJECTORY_PATH.read_text())
-            if "megafleet" in previous:
-                payload["megafleet"] = previous["megafleet"]
+        if committed is not None and "megafleet" in committed:
+            payload["megafleet"] = committed["megafleet"]
         TRAJECTORY_PATH.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
@@ -281,3 +309,14 @@ def bench_perf_netsim(benchmark, emit_table, smoke, results_dir):
             f"({current['campaign_wall_s']}s in mode "
             f"{current['campaign_mode']!r} against baseline "
             f"{BASELINE['campaign_wall_s']}s)")
+        # Zero-cost contract: with no tracer installed, the fleet macro
+        # bench must hold the previously committed trajectory point to
+        # within the tolerance — instrumentation guards are free.
+        if committed is not None and committed.get("mode") == "full":
+            floor = (committed["current"]["fleet_rounds_per_s"]
+                     * TRACER_OFF_TOLERANCE)
+            assert current["fleet_rounds_per_s"] >= floor, (
+                f"tracer-off fleet bench regressed: "
+                f"{current['fleet_rounds_per_s']} rounds/s vs committed "
+                f"{committed['current']['fleet_rounds_per_s']} "
+                f"(floor {floor:.1f} at {TRACER_OFF_TOLERANCE:.0%})")

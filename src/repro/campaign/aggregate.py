@@ -27,7 +27,9 @@ class TrialRecord:
     ``telemetry`` carries the trial's
     :meth:`repro.telemetry.MetricsRegistry.snapshot_json` when the
     trial function exported one (see
-    :class:`Aggregator` ``include_telemetry``).
+    :class:`Aggregator` ``include_telemetry``); ``trace`` carries the
+    trial's :meth:`repro.telemetry.Tracer.snapshot_json` when the
+    runner traced it (``CampaignRunner(include_traces=True)``).
     """
 
     point_index: int
@@ -37,6 +39,7 @@ class TrialRecord:
     seed: int = 0
     metrics: Mapping[str, float] = field(default_factory=dict, hash=False)
     telemetry: Optional[str] = None
+    trace: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -70,7 +73,9 @@ class PointSummary:
 
     ``telemetry`` maps trial index to that trial's parsed registry
     snapshot — populated only by an :class:`Aggregator` constructed
-    with ``include_telemetry=True``.
+    with ``include_telemetry=True``. ``traces`` maps trial index to
+    that trial's parsed trace snapshot (``include_traces=True``; only
+    head-sampled trials appear).
     """
 
     point_index: int
@@ -80,6 +85,7 @@ class PointSummary:
     metrics: Mapping[str, MetricSummary] = field(default_factory=dict,
                                                  hash=False)
     telemetry: Mapping[int, Any] = field(default_factory=dict, hash=False)
+    traces: Mapping[int, Any] = field(default_factory=dict, hash=False)
 
     def __getitem__(self, metric: str) -> MetricSummary:
         return self.metrics[metric]
@@ -99,14 +105,20 @@ class Aggregator:
         ``telemetry`` JSON trial functions may attach to their records)
         and export it per point, so ``results/<name>.json`` lets
         benches assert on transport-level aggregates directly.
+    :param include_traces: keep each sampled trial's trace snapshot
+        (the ``trace`` JSON the traced runner attaches) and export it
+        per point, so ``results/<name>.json`` carries replayable causal
+        chains next to the statistics.
     """
 
     def __init__(self, confidence: float = 0.95,
-                 include_telemetry: bool = False) -> None:
+                 include_telemetry: bool = False,
+                 include_traces: bool = False) -> None:
         if not 0.0 < confidence < 1.0:
             raise ValueError(f"confidence must be in (0, 1), got {confidence}")
         self._confidence = confidence
         self._include_telemetry = include_telemetry
+        self._include_traces = include_traces
         # point_key -> (point_index, params, trial count)
         self._points: Dict[str, Tuple[int, Mapping[str, Any], int]] = {}
         self._stats: Dict[Tuple[str, str], RunningStats] = {}
@@ -114,6 +126,8 @@ class Aggregator:
         self._metric_order: Dict[str, List[str]] = {}
         # point_key -> {trial index: parsed snapshot}
         self._telemetry: Dict[str, Dict[int, Any]] = {}
+        # point_key -> {trial index: parsed trace snapshot}
+        self._traces: Dict[str, Dict[int, Any]] = {}
 
     def add(self, record: TrialRecord) -> None:
         """Fold one trial record into the running summaries."""
@@ -127,6 +141,9 @@ class Aggregator:
         if self._include_telemetry and record.telemetry is not None:
             self._telemetry.setdefault(record.point_key, {})[record.trial] = (
                 json.loads(record.telemetry))
+        if self._include_traces and record.trace is not None:
+            self._traces.setdefault(record.point_key, {})[record.trial] = (
+                json.loads(record.trace))
         order = self._metric_order[record.point_key]
         for metric, value in record.metrics.items():
             stats_key = (record.point_key, metric)
@@ -157,7 +174,8 @@ class Aggregator:
             result.append(PointSummary(point_index=index, point_key=key,
                                        params=params, trials=trials,
                                        metrics=metrics,
-                                       telemetry=self._telemetry.get(key, {})))
+                                       telemetry=self._telemetry.get(key, {}),
+                                       traces=self._traces.get(key, {})))
         result.sort(key=lambda summary: summary.point_index)
         return result
 
@@ -240,6 +258,10 @@ class CampaignResult:
                                       for trial, snapshot
                                       in sorted(summary.telemetry.items())}}
                        if summary.telemetry else {}),
+                    **({"traces": {str(trial): snapshot
+                                   for trial, snapshot
+                                   in sorted(summary.traces.items())}}
+                       if summary.traces else {}),
                 }
                 for summary in self.summaries
             ],

@@ -60,22 +60,28 @@ TINY_TRIAL_S = 0.002
 def execute_spec(spec: Spec) -> TrialRecord:
     """Run one trial spec (module-level so worker processes can run it).
 
-    A trial function may return a bare scalar, a metrics mapping, or a
-    ``(metrics, telemetry_json)`` pair — the last attaches the trial's
-    registry snapshot to its record for ``include_telemetry`` exports.
+    A trial function may return a bare scalar, a metrics mapping, a
+    ``(metrics, telemetry_json)`` pair, or a ``(metrics,
+    telemetry_json, trace_json)`` triple — the extras attach the
+    trial's registry snapshot (``include_telemetry`` exports) and its
+    trace snapshot (traced runs) to the record.
     """
     trial_fn, point_index, point_key, params, trial, seed = spec
     outcome = trial_fn(params, seed)
     telemetry = None
+    trace = None
     if isinstance(outcome, tuple):
-        outcome, telemetry = outcome
+        if len(outcome) == 3:
+            outcome, telemetry, trace = outcome
+        else:
+            outcome, telemetry = outcome
     if isinstance(outcome, Mapping):
         metrics = {name: float(value) for name, value in outcome.items()}
     else:
         metrics = {"value": float(outcome)}
     return TrialRecord(point_index=point_index, point_key=point_key,
                        params=params, trial=trial, seed=seed, metrics=metrics,
-                       telemetry=telemetry)
+                       telemetry=telemetry, trace=trace)
 
 
 def execute_chunk(chunk: List[Spec]) -> List[TrialRecord]:

@@ -98,6 +98,8 @@ class CampaignJournal:
                  "seed": record.seed, "metrics": dict(record.metrics)}
         if record.telemetry is not None:
             entry["telemetry"] = record.telemetry
+        if record.trace is not None:
+            entry["trace"] = record.trace
         try:
             if self._handle is None:
                 self._path.parent.mkdir(parents=True, exist_ok=True)

@@ -121,6 +121,44 @@ def trial_seed(base_seed: int, point_key: str, trial: int) -> int:
     return derive_seed(base_seed, "campaign", point_key, str(trial))
 
 
+class TracedTrial:
+    """A trial function wrapped with a per-trial :class:`Tracer`.
+
+    Module-level and picklable (the wrapped ``trial_fn`` must be, like
+    any campaign trial function), so traced sweeps run on every
+    executor. The head-sampling decision is made from the trial's
+    ``(point key, trial)`` identity — the same identity that keys
+    seeds, caches and journals — so a sampled sweep resumes and caches
+    exactly like an unsampled one, and a sampled-out trial runs with
+    *no* tracer installed (zero per-event cost, bit-identical results).
+    """
+
+    def __init__(self, trial_fn: TrialFn, point_key: str, trial: int,
+                 sample: float) -> None:
+        self.trial_fn = trial_fn
+        self.point_key = point_key
+        self.trial = trial
+        self.sample = sample
+
+    def __call__(self, params: Mapping[str, Any], seed: int):
+        from repro.telemetry.trace import Tracer, should_sample, use_tracer
+
+        if not should_sample(self.point_key, self.trial, self.sample):
+            return self.trial_fn(params, seed)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            root = tracer.begin("campaign.trial",
+                                attrs={"point": self.point_key,
+                                       "trial": self.trial, "seed": seed})
+            with tracer.scope(root):
+                outcome = self.trial_fn(params, seed)
+            tracer.finish(root)
+        telemetry = None
+        if isinstance(outcome, tuple):
+            outcome, telemetry = outcome[0], outcome[1]
+        return outcome, telemetry, tracer.snapshot_json()
+
+
 _source_fingerprint_cache: Optional[str] = None
 
 
@@ -228,7 +266,8 @@ class _Execution:
             return None
         return TrialRecord(point_index=spec[1], point_key=spec[2],
                            params=spec[3], trial=spec[4], seed=spec[5],
-                           metrics=metrics, telemetry=entry.get("telemetry"))
+                           metrics=metrics, telemetry=entry.get("telemetry"),
+                           trace=entry.get("trace"))
 
     def _decide(self, pending: List[Spec],
                 emit: Callable[[TrialRecord], None]) -> List[Spec]:
@@ -314,6 +353,17 @@ class CampaignRunner:
     :param include_telemetry: export each trial's registry snapshot
         (when the trial function attaches one) into the aggregated
         result and its JSON — see ``Aggregator``.
+    :param include_traces: run each trial under a per-trial
+        :class:`~repro.telemetry.Tracer` and export the trace snapshot
+        into the record, the aggregated result and its JSON. Traces are
+        deterministic (virtual timestamps, counter span IDs) so all
+        executors produce identical ones.
+    :param trace_sample: head-sampling rate for traced runs — the
+        fraction of ``(point, trial)`` identities that actually carry a
+        tracer (default 1.0, everything). Sampling is keyed on the same
+        identity as the seeds, so it is stable across executors,
+        resumes and cache hits; sampled-out trials run tracer-free at
+        zero cost.
     :param name: campaign label carried into the result/JSON.
     :param cache_dir: directory for content-hashed result caching; when
         set, rerunning an identical campaign loads its records instead
@@ -339,7 +389,9 @@ class CampaignRunner:
                  chunk_size: Optional[int] = None,
                  confidence: float = 0.95,
                  adaptive: Optional[AdaptiveSampling] = None,
-                 include_telemetry: bool = False, name: str = "campaign",
+                 include_telemetry: bool = False,
+                 include_traces: bool = False, trace_sample: float = 1.0,
+                 name: str = "campaign",
                  cache_dir: "Optional[Path | str]" = None,
                  cache_max_bytes: Optional[int] = DEFAULT_CACHE_MAX_BYTES,
                  journal_dir: "Optional[Path | str]" = None,
@@ -357,6 +409,9 @@ class CampaignRunner:
             raise ValueError("cache_max_bytes must be >= 1 (or None)")
         if adaptive is not None and not isinstance(adaptive, AdaptiveSampling):
             raise TypeError("adaptive must be an AdaptiveSampling (or None)")
+        if not 0.0 <= trace_sample <= 1.0:
+            raise ValueError(
+                f"trace_sample must be in [0, 1], got {trace_sample}")
         self._trial_fn = trial_fn
         self._trials_per_point = trials_per_point
         self._base_seed = int(base_seed)
@@ -366,6 +421,8 @@ class CampaignRunner:
         self._confidence = confidence
         self._adaptive = adaptive
         self._include_telemetry = include_telemetry
+        self._include_traces = include_traces
+        self._trace_sample = float(trace_sample)
         self._name = name
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._cache_max_bytes = cache_max_bytes
@@ -400,7 +457,11 @@ class CampaignRunner:
                 for trial in range(self._floor)]
 
     def _make_spec(self, point: GridPoint, trial: int) -> Spec:
-        return (self._trial_fn, point.index, point.key, point.params,
+        trial_fn = self._trial_fn
+        if self._include_traces:
+            trial_fn = TracedTrial(trial_fn, point.key, trial,
+                                   self._trace_sample)
+        return (trial_fn, point.index, point.key, point.params,
                 trial, trial_seed(self._base_seed, point.key, trial))
 
     # ------------------------------------------------------------------
@@ -521,7 +582,8 @@ class CampaignRunner:
     def _finalise(self, name: str, records: List[TrialRecord],
                   mode: str, resumed: int = 0) -> CampaignResult:
         aggregator = Aggregator(confidence=self._confidence,
-                                include_telemetry=self._include_telemetry)
+                                include_telemetry=self._include_telemetry,
+                                include_traces=self._include_traces)
         aggregator.extend(records)
         return CampaignResult(
             name=name, base_seed=self._base_seed,
@@ -566,6 +628,11 @@ class CampaignRunner:
             "confidence": self._confidence,
             "adaptive": ([adaptive.max_trials, adaptive.ci_width,
                           adaptive.metric] if adaptive is not None else None),
+            # Tracing changes record *content* (unlike the executor or
+            # worker count), so traced and untraced runs must not share
+            # a cache entry or a journal.
+            "traces": ([self._trace_sample]
+                       if self._include_traces else None),
             "specs": [
                 [key, trial, seed,
                  repr(sorted(params.items(), key=lambda kv: kv[0]))]
@@ -649,7 +716,7 @@ class CampaignRunner:
             point_index=point_index, point_key=key, params=params,
             trial=trial, seed=seed,
             metrics={str(k): float(v) for k, v in metrics.items()},
-            telemetry=entry.get("telemetry"))
+            telemetry=entry.get("telemetry"), trace=entry.get("trace"))
 
     def _write_cache(self, cache_path: Optional[Path],
                      records: List[TrialRecord]) -> None:
@@ -668,7 +735,9 @@ class CampaignRunner:
                  "params": {name: json_value(value)
                             for name, value in record.params.items()},
                  **({"telemetry": record.telemetry}
-                    if record.telemetry is not None else {})}
+                    if record.telemetry is not None else {}),
+                 **({"trace": record.trace}
+                    if record.trace is not None else {})}
                 for record in records
             ],
         }

@@ -36,6 +36,7 @@ from repro.dns.rrtype import RRType
 from repro.doh.client import DoHClient, DoHQueryOutcome
 from repro.netsim.address import IPAddress
 from repro.netsim.simulator import Simulator
+from repro.telemetry.trace import current_tracer
 
 
 # ----------------------------------------------------------------------
@@ -206,6 +207,7 @@ class SecurePoolGenerator:
         self._resolvers = resolver_set
         self._simulator = simulator
         self._config = config or PoolGeneratorConfig()
+        self._tracer = current_tracer()
         min_answers = self._config.min_answers
         if min_answers is not None and not 1 <= min_answers <= len(resolver_set):
             raise ConfigurationError(
@@ -256,9 +258,12 @@ class SecurePoolGenerator:
                     else len(self._resolvers))
         elapsed = self._simulator.now - started_at
         if len(succeeded) < required:
-            return GeneratedPool(addresses=[], truncate_length=0,
-                                 contributions={}, answers=answers,
-                                 failed_resolvers=failed, elapsed=elapsed)
+            generated = GeneratedPool(addresses=[], truncate_length=0,
+                                      contributions={}, answers=answers,
+                                      failed_resolvers=failed,
+                                      elapsed=elapsed)
+            self._trace_combine(generated)
+            return generated
         degraded = len(succeeded) < len(self._resolvers)
 
         if self._config.dual_stack is DualStackPolicy.PER_FAMILY:
@@ -287,10 +292,31 @@ class SecurePoolGenerator:
             pool, truncate_length, contributions = combine_answer_lists(
                 answer_lists, self._config.truncation)
 
-        return GeneratedPool(addresses=pool, truncate_length=truncate_length,
-                             contributions=contributions, answers=answers,
-                             failed_resolvers=failed, elapsed=elapsed,
-                             degraded=degraded)
+        generated = GeneratedPool(
+            addresses=pool, truncate_length=truncate_length,
+            contributions=contributions, answers=answers,
+            failed_resolvers=failed, elapsed=elapsed, degraded=degraded)
+        self._trace_combine(generated)
+        return generated
+
+    def _trace_combine(self, generated: GeneratedPool) -> None:
+        """One Algorithm-1 combine as an instantaneous span: which
+        resolver contributed what, and what survived truncation — the
+        record the tracetool causal-chain analysis pivots on."""
+        tracer = self._tracer
+        if tracer is None:
+            return
+        tracer.event("pool.combine", attrs={
+            "answers": {answer.resolver.name:
+                        [str(address) for address in answer.addresses]
+                        for answer in generated.answers},
+            "contributions": {name: [str(address) for address in part]
+                              for name, part in
+                              generated.contributions.items()},
+            "result": [str(address) for address in generated.addresses],
+            "truncate_length": generated.truncate_length,
+            "failed": list(generated.failed_resolvers),
+        })
 
 
 class _Generation:
@@ -305,10 +331,21 @@ class _Generation:
         self._started_at = generator._simulator.now
         self._answers: Dict[str, ResolverAnswer] = {}
         self._pending = 0
+        self._span = None
 
     def start(self) -> None:
         resolvers = self._generator._resolvers.resolvers
         self._pending = len(resolvers) * len(self._qtypes)
+        tracer = self._generator._tracer
+        if tracer is not None:
+            self._span = tracer.begin("pool.generate",
+                                      attrs={"domain": self._domain})
+            with tracer.scope(self._span):
+                self._fan_out(resolvers)
+        else:
+            self._fan_out(resolvers)
+
+    def _fan_out(self, resolvers) -> None:
         for resolver in resolvers:
             self._answers[resolver.name] = ResolverAnswer(
                 resolver=resolver,
@@ -352,5 +389,17 @@ class _Generation:
         if self._pending == 0:
             ordered = [self._answers[ref.name]
                        for ref in self._generator._resolvers]
-            self._callback(self._generator._combine(ordered,
-                                                    self._started_at))
+            tracer = self._generator._tracer
+            if tracer is not None and self._span is not None:
+                # The join arrives through the last resolver's callback
+                # hop; combine under the generation span, then close it.
+                with tracer.scope(self._span):
+                    generated = self._generator._combine(ordered,
+                                                         self._started_at)
+                tracer.finish(self._span.set(
+                    ok=generated.ok, degraded=generated.degraded,
+                    pool_size=len(generated.addresses)))
+            else:
+                generated = self._generator._combine(ordered,
+                                                     self._started_at)
+            self._callback(generated)

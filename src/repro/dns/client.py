@@ -32,6 +32,7 @@ from repro.netsim.transport import (
     Transport,
 )
 from repro.telemetry.registry import current_registry
+from repro.telemetry.trace import current_tracer
 
 DNS_PORT = 53
 
@@ -119,6 +120,7 @@ class StubResolver:
                                     rng=rng or random.Random(0))
         self._stats = StubStats()
         self._telemetry = current_registry()
+        self._tracer = current_tracer()
         # TXID-independent query tails per (labels, qtype): a query's
         # wire form is its 2-byte TXID followed by fixed bytes, so each
         # attempt is one struct.pack + concat instead of a full encode.
@@ -145,6 +147,12 @@ class StubResolver:
 
         def build_request(attempt: AttemptInfo) -> bytes:
             self._stats.queries += 1
+            if self._tracer is not None:
+                # Runs under the attempt span's scope (the transport
+                # activates it around begin_attempt).
+                self._tracer.event("dns.encode",
+                                   attrs={"qname": str(qname),
+                                          "qtype": qtype.name})
             return struct.pack("!H", attempt.txid) + tail
 
         def classify(datagram: Datagram,
@@ -153,8 +161,22 @@ class StubResolver:
                                       qname, qtype)
             if response is None:
                 self._stats.spoofs_rejected += 1
+                if self._tracer is not None:
+                    self._tracer.event("dns.decode",
+                                       attrs={"qname": str(qname),
+                                              "accepted": False})
                 return None
             self._stats.responses += 1
+            if self._tracer is not None:
+                addresses = [str(record.rdata.address)  # type: ignore[attr-defined]
+                             for record in response.answers
+                             if record.rrtype in (RRType.A, RRType.AAAA)]
+                decode = self._tracer.event(
+                    "dns.decode", attrs={"qname": str(qname),
+                                         "accepted": True,
+                                         "answers": addresses})
+                if datagram.spoofed:
+                    decode.set(spoofed=True)
             if datagram.spoofed:
                 self._stats.poisoned_acceptances += 1
                 if self._telemetry is not None:

@@ -37,6 +37,7 @@ from repro.netsim.transport import (
     Transport,
 )
 from repro.telemetry.registry import current_registry
+from repro.telemetry.trace import current_tracer
 
 
 class DoHStatus(enum.Enum):
@@ -108,6 +109,7 @@ class DoHClient:
         self._transport = Transport(host, simulator, rng=self._rng)
         self._stats = DoHClientStats()
         self._telemetry = current_registry()
+        self._tracer = current_tracer()
 
     @property
     def stats(self) -> DoHClientStats:
@@ -159,6 +161,21 @@ class _DoHQuery:
         self._connection.connect()
 
     def _send_request(self) -> None:
+        tracer = self._client._tracer
+        if tracer is not None:
+            # The TLS handshake completion arrives through a simulator
+            # callback hop; re-activate the attempt span so the encode
+            # event (and the request's flight) parent under it.
+            with tracer.scope(self._exchange.attempt_span):
+                tracer.event(
+                    "doh.encode",
+                    attrs={"qname": str(self._query.question.qname),
+                           "server": self._server_name})
+                self._send_request_untraced()
+            return
+        self._send_request_untraced()
+
+    def _send_request_untraced(self) -> None:
         wire = self._query.encode()
         if self._client._method == "GET":
             request = HttpRequest(
@@ -179,6 +196,17 @@ class _DoHQuery:
     def _on_response_bytes(self, data: bytes) -> None:
         if self._finished:
             return
+        tracer = self._client._tracer
+        if tracer is not None:
+            # Response bytes also arrive through a callback hop; the
+            # decode events below must parent under the live attempt.
+            with tracer.scope(self._exchange.attempt_span):
+                self._decode_response(data)
+            return
+        self._decode_response(data)
+
+    def _decode_response(self, data: bytes) -> None:
+        tracer = self._client._tracer
         try:
             response = HttpResponse.decode(data)
         except ValueError:
@@ -212,11 +240,23 @@ class _DoHQuery:
         )
         if not question_ok:
             self._client._stats.bad_responses += 1
+            if tracer is not None:
+                tracer.event("doh.decode",
+                             attrs={"accepted": False,
+                                    "reason": "question mismatch"})
             self._finish(DoHQueryOutcome(DoHStatus.BAD_RESPONSE,
                                          http_status=response.status,
                                          failure_reason="question mismatch"))
             return
         self._client._stats.successes += 1
+        if tracer is not None:
+            answers = [str(record.rdata.address)  # type: ignore[attr-defined]
+                       for record in message.answers
+                       if record.rrtype in (RRType.A, RRType.AAAA)]
+            tracer.event("doh.decode",
+                         attrs={"accepted": True,
+                                "qname": str(self._query.question.qname),
+                                "answers": answers})
         self._finish(DoHQueryOutcome(DoHStatus.OK, message=message,
                                      http_status=response.status))
 

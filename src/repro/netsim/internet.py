@@ -37,6 +37,7 @@ from repro.netsim.packet import Datagram
 from repro.netsim.simulator import Simulator
 from repro.netsim.topology import RoutingError, Topology
 from repro.telemetry.registry import current_registry
+from repro.telemetry.trace import current_tracer
 from repro.util.rng import RngRegistry
 
 
@@ -156,9 +157,12 @@ class Internet:
         self._datagrams_duplicated = 0
         self._bytes_sent = 0
         # Telemetry instruments are resolved once here; with no
-        # registry installed the delivery path stays untouched.
+        # registry installed the delivery path stays untouched. The
+        # tracer is captured under the same contract: ``None`` means
+        # the flight loop allocates no spans at all.
         telemetry = current_registry()
         self._telemetry = telemetry
+        self._tracer = current_tracer()
         if telemetry is not None:
             self._t_sent = telemetry.counter("net.datagrams_sent")
             self._t_bytes = telemetry.counter("net.bytes_sent")
@@ -336,13 +340,33 @@ class Internet:
             receipt = DeliveryReceipt(datagram=datagram, delivered=False,
                                       send_time=send_time)
 
+        # One flight span per trip, one child span per link transit.
+        # Hop timelines are decided right here at schedule time, so the
+        # whole flight is recorded synchronously in virtual time —
+        # nothing about it depends on when the delivery callback fires.
+        tracer = self._tracer
+        flight = None
+        if tracer is not None:
+            flight = tracer.begin(
+                "net.flight", start=send_time,
+                attrs={"src": str(datagram.src), "dst": str(datagram.dst),
+                       "size": datagram_size})
+            if datagram.spoofed:
+                flight.set(spoofed=True)
+
         destination_host = self._hosts_by_address.get(datagram.dst.address)
         if destination_host is None:
+            if flight is not None:
+                tracer.finish(flight.set(outcome="dropped",
+                                         dropped_by="no-host"), send_time)
             return self._drop(receipt, "no-host", datagram_size)
 
         try:
             plan = self._plan_for(origin_node, destination_host.node)
         except RoutingError:
+            if flight is not None:
+                tracer.finish(flight.set(outcome="dropped",
+                                         dropped_by="no-route"), send_time)
             return self._drop(receipt, "no-route", datagram_size)
         if receipt is not None:
             receipt.route_nodes = list(plan.route_nodes)
@@ -359,7 +383,19 @@ class Internet:
             # Natural loss first, then attacker taps: a dropped packet
             # never reaches the tap further down the same hop.
             dropped, gap, delay = link.transit(hop_size)
+            if flight is not None:
+                hop_start = send_time + total_delay
+                hop_span = tracer.span_at(
+                    "net.hop", hop_start,
+                    hop_start if dropped else hop_start + delay,
+                    parent=flight, attrs={"link": link.name})
             if dropped:
+                if flight is not None:
+                    hop_span.set(outcome="dropped", fault="loss")
+                    tracer.finish(
+                        flight.set(outcome="dropped", dropped_by=link.name,
+                                   hops=hops),
+                        send_time + total_delay)
                 if receipt is not None:
                     receipt.hops = hops
                 return self._drop(receipt, link.name, datagram_size)
@@ -371,6 +407,8 @@ class Internet:
                 # discards the copy along with the original).
                 duplicate_gap = gap
                 duplicating_link = link
+                if flight is not None:
+                    hop_span.set(fault="duplicate", duplicate_gap=gap)
             total_delay += delay
             if taps is not None:
                 for tap in taps:
@@ -378,6 +416,14 @@ class Internet:
                     if action.verdict is TapVerdict.PASS:
                         continue
                     if action.verdict is TapVerdict.DROP:
+                        if flight is not None:
+                            hop_span.set(outcome="dropped",
+                                         fault=f"tap:{link.name}")
+                            tracer.finish(
+                                flight.set(outcome="dropped",
+                                           dropped_by=f"tap:{link.name}",
+                                           hops=hops),
+                                send_time + total_delay)
                         if receipt is not None:
                             receipt.hops = hops
                         return self._drop(receipt, f"tap:{link.name}",
@@ -386,6 +432,11 @@ class Internet:
                         raise ValueError("REWRITE verdict requires a payload")
                     current = current.with_payload(action.payload)
                     hop_size = len(action.payload)
+                    if flight is not None:
+                        hop_span.set(rewritten=True,
+                                     fault=f"tap:{link.name}")
+                        if action.extra_delay:
+                            hop_span.set(extra_delay=action.extra_delay)
                     if receipt is not None:
                         receipt.rewritten = True
                     total_delay += action.extra_delay
@@ -395,17 +446,35 @@ class Internet:
         arrival = simulator.now + total_delay
         telemetry = self._telemetry
 
+        if flight is not None:
+            # The flight's outcome is provisionally "delivered" with its
+            # precomputed arrival; the delivery closure downgrades it to
+            # no-socket if the destination port turns out unbound.
+            tracer.finish(flight.set(outcome="delivered", hops=hops),
+                          arrival)
+
         if receipt is not None:
             receipt.hops = hops
 
             def deliver() -> None:
-                accepted = destination_host.deliver(final)
+                # Traced deliveries run under the inbound flight's
+                # scope: whatever the receiving handler does
+                # synchronously (decode, build and send a response)
+                # parents under this flight, so causality is preserved
+                # across the wire.
+                if flight is None:
+                    accepted = destination_host.deliver(final)
+                else:
+                    with tracer.scope(flight):
+                        accepted = destination_host.deliver(final)
                 receipt.arrival_time = simulator.now
                 receipt.delivered = accepted
                 if accepted:
                     self._datagrams_delivered += 1
                 else:
                     receipt.dropped_by = "no-socket"
+                    if flight is not None:
+                        flight.set(outcome="dropped", dropped_by="no-socket")
                 self._finish(receipt)
 
             simulator.schedule_at(arrival, deliver,
@@ -413,20 +482,34 @@ class Internet:
         elif telemetry is None:
 
             def deliver_lean() -> None:
-                if destination_host.deliver(final):
+                if flight is None:
+                    accepted = destination_host.deliver(final)
+                else:
+                    with tracer.scope(flight):
+                        accepted = destination_host.deliver(final)
+                if accepted:
                     self._datagrams_delivered += 1
+                elif flight is not None:
+                    flight.set(outcome="dropped", dropped_by="no-socket")
 
             simulator.schedule_at(arrival, deliver_lean)
         else:
 
             def deliver_counted() -> None:
-                if destination_host.deliver(final):
+                if flight is None:
+                    accepted = destination_host.deliver(final)
+                else:
+                    with tracer.scope(flight):
+                        accepted = destination_host.deliver(final)
+                if accepted:
                     self._datagrams_delivered += 1
                     self._t_sent.inc()
                     self._t_bytes.inc(datagram_size)
                     self._t_delivered.inc()
                     self._t_latency.observe(simulator.now - send_time)
                 else:
+                    if flight is not None:
+                        flight.set(outcome="dropped", dropped_by="no-socket")
                     self._count_drop("no-socket", datagram_size)
 
             simulator.schedule_at(arrival, deliver_counted)
@@ -434,6 +517,11 @@ class Internet:
         if duplicate_gap is not None:
             if receipt is not None:
                 receipt.duplicated = True
+            if flight is not None:
+                flight.set(duplicated=True)
+                tracer.event("net.duplicate_delivery",
+                             parent=flight, at=arrival + duplicate_gap,
+                             attrs={"link": duplicating_link.name})
             duplicating_link.count_duplicate()
 
             def deliver_copy() -> None:

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.telemetry.trace import current_tracer
 
 Callback = Callable[[], None]
 
@@ -90,6 +93,18 @@ class Simulator:
         self._executed = 0
         self._pending = 0
         self._running = False
+        # Wall-clock profiling is off by default: ``_profile`` stays
+        # None and run() takes the untimed loop. enable_profiling()
+        # switches it on (the only sanctioned wall-clock use in
+        # src/repro — see the CI hygiene gate).
+        self._profile: Optional[Dict[str, List[float]]] = None
+        # Tracing rides the virtual clock: when a tracer is in scope at
+        # construction (the same capture-once contract the metrics
+        # registry uses), bind it to this simulator's now so spans
+        # begun anywhere in the world carry virtual timestamps.
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.bind_clock(lambda: self._now)
 
     @property
     def now(self) -> float:
@@ -146,6 +161,7 @@ class Simulator:
         try:
             queue = self._queue
             pop = heapq.heappop
+            profile = self._profile
             executed_this_run = 0
             while queue:
                 if max_events is not None and executed_this_run >= max_events:
@@ -167,7 +183,17 @@ class Simulator:
                 event._simulator = None
                 self._pending -= 1
                 self._now = when
-                event.callback()
+                if profile is None:
+                    event.callback()
+                else:
+                    started = perf_counter()
+                    event.callback()
+                    elapsed = perf_counter() - started
+                    cell = profile.get(event.label)
+                    if cell is None:
+                        cell = profile[event.label] = [0.0, 0.0]
+                    cell[0] += 1.0
+                    cell[1] += elapsed
                 self._executed += 1
                 executed_this_run += 1
             if until is not None and until > self._now:
@@ -199,6 +225,35 @@ class Simulator:
             event._simulator = None
         self._queue.clear()
         self._pending = 0
+
+    # ------------------------------------------------------------------
+    # Wall-clock profiling (off by default).
+    # ------------------------------------------------------------------
+
+    def enable_profiling(self) -> None:
+        """Collect per-event-kind dispatch counts and wall time.
+
+        Off by default — the run() hot loop only pays for the
+        ``perf_counter`` pair once this is called. Event kinds are the
+        ``label`` strings passed to :meth:`schedule_at` (empty label
+        buckets together as ``""``). Wall time measures *host* seconds
+        inside callbacks; it never feeds back into virtual time,
+        metrics, or traces, so enabling profiling cannot change any
+        simulated outcome.
+        """
+        if self._profile is None:
+            self._profile = {}
+
+    def profile_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-label ``{"count": ..., "wall_s": ...}``, label-sorted.
+
+        Counts are deterministic (they mirror event dispatch); wall
+        seconds are host-machine measurements and vary run to run.
+        """
+        if self._profile is None:
+            return {}
+        return {label: {"count": cell[0], "wall_s": cell[1]}
+                for label, cell in sorted(self._profile.items())}
 
 
 class Timer:

@@ -39,6 +39,7 @@ from repro.netsim.packet import Datagram
 from repro.netsim.simulator import Simulator, Timer
 from repro.netsim.socket import UdpSocket
 from repro.telemetry.registry import current_registry
+from repro.telemetry.trace import Span, Tracer, current_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.host import Host
@@ -131,14 +132,16 @@ class PendingExchange:
 
     __slots__ = ("_simulator", "_policy", "_begin_attempt", "_on_complete",
                  "_label", "_next_txid", "_on_cancel", "_report",
-                 "_finished", "_attempt_started_at", "_timer")
+                 "_finished", "_attempt_started_at", "_timer",
+                 "_tracer", "_span", "_attempt_span")
 
     def __init__(self, simulator: Simulator, policy: RetryPolicy,
                  begin_attempt: Callable[[AttemptInfo], None],
                  on_complete: Callable[[ExchangeReport], None],
                  label: str = "exchange",
                  next_txid: Optional[Callable[[], int]] = None,
-                 on_cancel: Optional[Callable[[], None]] = None) -> None:
+                 on_cancel: Optional[Callable[[], None]] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self._simulator = simulator
         self._policy = policy
         self._begin_attempt = begin_attempt
@@ -150,6 +153,13 @@ class PendingExchange:
         self._finished = False
         self._attempt_started_at = 0.0
         self._timer = Timer(simulator, self._on_timeout, label=label)
+        # The exchange and current-attempt spans. The attempt span is
+        # re-activated explicitly whenever control re-enters through a
+        # simulator callback hop (timeout firing, reply delivery), so
+        # children recorded there still parent under the right attempt.
+        self._tracer = tracer
+        self._span: Optional[Span] = None
+        self._attempt_span: Optional[Span] = None
 
     # ------------------------------------------------------------------
     # State.
@@ -167,6 +177,12 @@ class PendingExchange:
     def report(self) -> ExchangeReport:
         return self._report
 
+    @property
+    def attempt_span(self) -> Optional[Span]:
+        """The open span of the in-flight attempt (``None`` untraced) —
+        reply handlers re-activate it so decode spans parent here."""
+        return self._attempt_span
+
     # ------------------------------------------------------------------
     # Lifecycle.
     # ------------------------------------------------------------------
@@ -174,6 +190,9 @@ class PendingExchange:
     def start(self) -> "PendingExchange":
         """Launch the first attempt; returns self for chaining."""
         self._report.started_at = self._simulator.now
+        if self._tracer is not None:
+            self._span = self._tracer.begin(
+                "transport.exchange", attrs={"label": self._label})
         self._start_attempt()
         return self
 
@@ -184,6 +203,9 @@ class PendingExchange:
             return
         self._report.value = value
         self._report.rtt = self._simulator.now - self._attempt_started_at
+        if self._attempt_span is not None:
+            self._tracer.finish(self._attempt_span.set(outcome="accepted"))
+            self._attempt_span = None
         self._finish()
 
     def cancel(self) -> None:
@@ -196,6 +218,12 @@ class PendingExchange:
             return
         self._finished = True
         self._timer.cancel()
+        if self._attempt_span is not None:
+            self._tracer.finish(self._attempt_span.set(outcome="cancelled"))
+            self._attempt_span = None
+        if self._span is not None:
+            self._tracer.finish(self._span.set(outcome="cancelled"))
+            self._span = None
         if self._on_cancel is not None:
             self._on_cancel()
 
@@ -208,13 +236,27 @@ class PendingExchange:
         self._report.attempts = attempt_index
         self._attempt_started_at = self._simulator.now
         txid = self._next_txid() if self._next_txid is not None else None
-        self._begin_attempt(AttemptInfo(index=attempt_index, txid=txid))
+        attempt = AttemptInfo(index=attempt_index, txid=txid)
+        tracer = self._tracer
+        if tracer is None:
+            self._begin_attempt(attempt)
+        else:
+            attrs = {"attempt": attempt_index}
+            if txid is not None:
+                attrs["txid"] = txid
+            self._attempt_span = tracer.begin(
+                "transport.attempt", parent=self._span, attrs=attrs)
+            with tracer.scope(self._attempt_span):
+                self._begin_attempt(attempt)
         if not self._finished:
             self._timer.start(self._policy.timeout_for(attempt_index))
 
     def _on_timeout(self) -> None:
         if self._finished:
             return
+        if self._attempt_span is not None:
+            self._tracer.finish(self._attempt_span.set(outcome="timeout"))
+            self._attempt_span = None
         if self._report.attempts < self._policy.max_attempts:
             self._start_attempt()
             return
@@ -225,6 +267,13 @@ class PendingExchange:
         self._finished = True
         self._report.finished_at = self._simulator.now
         self._timer.cancel()
+        if self._span is not None:
+            report = self._report
+            self._span.set(attempts=report.attempts,
+                           timed_out=report.timed_out)
+            if report.rtt is not None:
+                self._span.set(rtt=report.rtt)
+            self._tracer.finish(self._span)
         self._on_complete(self._report)
 
 
@@ -266,7 +315,8 @@ class DatagramExchange:
             transport.simulator, policy, self._begin_attempt, self._finish,
             label=label,
             next_txid=transport.draw_txid if want_txid else None,
-            on_cancel=self._close_socket)
+            on_cancel=self._close_socket,
+            tracer=transport.tracer)
 
     @property
     def pending(self) -> PendingExchange:
@@ -278,6 +328,9 @@ class DatagramExchange:
 
     def start(self) -> "DatagramExchange":
         self._pending.start()
+        span = self._pending._span
+        if span is not None:
+            span.set(dest=str(self._destination))
         return self
 
     # ------------------------------------------------------------------
@@ -298,7 +351,16 @@ class DatagramExchange:
             report.suppressed_replies += 1
             return
         report.bytes_received += datagram.size
-        value = self._classify(datagram, self._attempt)
+        # Delivery arrives through a simulator callback hop, so the
+        # attempt's trace context is re-activated here: decode spans
+        # emitted by the classifier parent under the attempt.
+        tracer = self._transport.tracer
+        attempt_span = self._pending.attempt_span
+        if tracer is not None and attempt_span is not None:
+            with tracer.scope(attempt_span):
+                value = self._classify(datagram, self._attempt)
+        else:
+            value = self._classify(datagram, self._attempt)
         if value is None:
             report.rejected_replies += 1
             return
@@ -337,8 +399,10 @@ class Transport:
         self._exchanges_started = 0
         self._exchanges_timed_out = 0
         # Captured once at construction: with no registry installed the
-        # per-exchange publish below is skipped entirely.
+        # per-exchange publish below is skipped entirely; likewise with
+        # no tracer installed no exchange/attempt spans are allocated.
         self._telemetry = current_registry()
+        self._tracer = current_tracer()
         # (metric name, label) -> instrument, filled on first use so the
         # per-exchange publish is dict hits instead of registry lookups.
         # Instruments are still created at the same first-use points as
@@ -352,6 +416,11 @@ class Transport:
     @property
     def simulator(self) -> Simulator:
         return self._simulator
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The tracer captured at construction (``None`` = untraced)."""
+        return self._tracer
 
     @property
     def exchanges_started(self) -> int:
@@ -395,7 +464,8 @@ class Transport:
         self._exchanges_started += 1
         pending = PendingExchange(
             self._simulator, policy, begin_attempt,
-            self._finalize(on_complete, label), label=label)
+            self._finalize(on_complete, label), label=label,
+            tracer=self._tracer)
         return pending.start()
 
     def _finalize(self, on_complete: CompletionCallback,

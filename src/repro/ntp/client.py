@@ -22,6 +22,7 @@ from repro.netsim.transport import (
 )
 from repro.ntp.clock import SimClock
 from repro.telemetry.registry import current_registry
+from repro.telemetry.trace import current_tracer
 from repro.ntp.packet import (
     MODE_SERVER,
     NTP_PORT,
@@ -68,6 +69,7 @@ class NtpClient:
         self._queries = 0
         self._timeouts = 0
         self._telemetry = current_registry()
+        self._tracer = current_tracer()
 
     @property
     def clock(self) -> SimClock:
@@ -91,6 +93,9 @@ class NtpClient:
 
         def build_request(attempt: AttemptInfo) -> bytes:
             state["t1"] = self._clock.now()
+            if self._tracer is not None:
+                self._tracer.event("ntp.encode",
+                                   attrs={"server": str(address)})
             return NtpPacket(origin=state["t1"]).encode()
 
         def classify(datagram: Datagram,
@@ -106,6 +111,10 @@ class NtpClient:
             t4 = self._clock.now()
             offset, delay = offset_and_delay(state["t1"], reply.receive,
                                              reply.transmit, t4)
+            if self._tracer is not None:
+                self._tracer.event("ntp.decode",
+                                   attrs={"server": str(address),
+                                          "offset": offset, "delay": delay})
             return NtpSample(server=address, offset=offset, delay=delay)
 
         def on_complete(report: ExchangeReport) -> None:

@@ -68,6 +68,7 @@ from repro.ntp.client import NtpClient, NtpSample
 from repro.ntp.clock import SimClock
 from repro.population.arrivals import ArrivalProcess, make_arrivals
 from repro.telemetry.registry import MetricsRegistry, use_registry
+from repro.telemetry.trace import current_tracer
 from repro.util.rng import RngRegistry
 
 
@@ -397,7 +398,7 @@ class _FleetClient:
     """One population member: host + clock + stubs (or DoH) + SNTP."""
 
     __slots__ = ("fleet", "index", "host", "clock", "stubs", "doh", "ntp",
-                 "rng", "state")
+                 "rng", "state", "span")
 
     def __init__(self, fleet: "ClientFleet", index: int, host: Host,
                  clock: SimClock, stubs: List[StubResolver],
@@ -411,6 +412,7 @@ class _FleetClient:
         self.ntp = ntp
         self.rng = rng
         self.state = ClientRoundState()
+        self.span = None              # live "client.round" trace span
 
 
 class ClientFleet:
@@ -491,6 +493,10 @@ class ClientFleet:
                 f"(got population={self._population}, max "
                 f"{FleetConfig.MAX_CLIENTS})")
         self.registry = registry or MetricsRegistry()
+        # Same zero-cost contract as the registry: capture the ambient
+        # tracer once; with none installed the round loop allocates
+        # nothing trace-related.
+        self._tracer = current_tracer()
         self._dispatcher = BatchDispatcher(
             self._simulator, self._config.dispatch_quantum)
         self._started = False
@@ -637,8 +643,21 @@ class ClientFleet:
 
     def _round(self, client: _FleetClient) -> None:
         self._m_rounds.inc()
-        self._apply(client, advance_round(self._config, client.state,
-                                          client.rng, ROUND_BEGIN))
+        tracer = self._tracer
+        step = advance_round(self._config, client.state, client.rng,
+                             ROUND_BEGIN)
+        if tracer is None:
+            self._apply(client, step)
+            return
+        # The round span lives on the client until the round concludes
+        # (which happens through later simulator callbacks); scoping it
+        # here parents the resolve fan-out / cached-pool sync under it.
+        client.span = tracer.begin(
+            "client.round",
+            attrs={"client": client.index,
+                   "round": client.state.rounds_done})
+        with tracer.scope(client.span):
+            self._apply(client, step)
 
     def _apply(self, client: _FleetClient, step: RoundStep) -> None:
         """Perform one :class:`RoundStep`: the I/O, telemetry and
@@ -650,6 +669,10 @@ class ClientFleet:
             self._ts_avail.record(self._simulator.now, 1.0)
             self._m_rounds_ok.inc()
             pick = step.pick
+            if client.span is not None:
+                # Which pool member this round disciplines against —
+                # the pivot of the victim classification.
+                client.span.set(pick=str(pick))
             client.ntp.sample(
                 pick,
                 lambda sample: self._after_sync(
@@ -669,6 +692,19 @@ class ClientFleet:
             self._ts_shifted.record(now, 1.0 if step.shifted else 0.0)
         if step.timed_out:
             self._m_sync_timeouts.inc()
+        if client.span is not None:
+            tracer = self._tracer
+            span = client.span
+            client.span = None
+            span.set(outcome=step.action, synced=step.synced,
+                     victim=step.victim, shifted=step.shifted)
+            if step.failed:
+                span.set(failed=True)
+            if step.timed_out:
+                span.set(timed_out=True)
+            if step.synced:
+                span.set(clock_error=step.clock_error)
+            tracer.finish(span)
         # ...then schedule what comes next.
         if step.action == "stop":
             return
@@ -695,27 +731,65 @@ class ClientFleet:
         completed answer set back into the round loop."""
         answers: Dict[int, Optional[List[IPAddress]]] = {}
         expected = len(self._providers)
+        tracer = self._tracer
+        query_spans: Dict[int, Any] = {}
 
         def on_answer(provider_index: int,
                       addresses: Optional[List[IPAddress]]) -> None:
             answers[provider_index] = addresses
-            if len(answers) == expected:
-                self._apply(client, advance_round(
-                    self._config, client.state, client.rng,
-                    ANSWERS_COMPLETE, answers=answers))
+            if tracer is not None:
+                span = query_spans.pop(provider_index, None)
+                if span is not None:
+                    if addresses is None:
+                        span.set(failed=True)
+                    else:
+                        span.set(answers=[str(a) for a in addresses])
+                    tracer.finish(span)
+            if len(answers) < expected:
+                return
+            step = advance_round(self._config, client.state, client.rng,
+                                 ANSWERS_COMPLETE, answers=answers)
+            if tracer is None or client.span is None:
+                self._apply(client, step)
+                return
+            # The last answer arrives through a delivery callback whose
+            # active span is the inbound flight; re-activate the round
+            # span so the combine record (and any follow-on sync
+            # exchange) parent under the round, not the wire.
+            with tracer.scope(client.span):
+                tracer.event(
+                    "client.combine",
+                    attrs={"client": client.index,
+                           "pool": [str(a) for a in (step.pool or [])],
+                           "ok": step.action == "sync"})
+                self._apply(client, step)
+
+        def issue(provider_index: int, send: Callable[[], None]) -> None:
+            if tracer is None:
+                send()
+                return
+            span = query_spans[provider_index] = tracer.begin(
+                "client.query", parent=client.span,
+                attrs={"provider": provider_index})
+            with tracer.scope(span):
+                send()
 
         if client.doh is not None:
             for provider_index, (endpoint, name) in enumerate(
                     zip(self._endpoints, self._server_names)):
-                client.doh.query(endpoint, name, self._pool_domain, RRType.A,
-                                 lambda outcome, pi=provider_index:
-                                 on_answer(pi, _doh_addresses(outcome)))
+                issue(provider_index,
+                      lambda e=endpoint, n=name, pi=provider_index:
+                      client.doh.query(e, n, self._pool_domain, RRType.A,
+                                       lambda outcome, pi=pi:
+                                       on_answer(pi, _doh_addresses(outcome))))
         else:
             for provider_index, stub in enumerate(client.stubs):
-                stub.query(self._pool_domain, RRType.A,
-                           lambda outcome, pi=provider_index:
-                           on_answer(pi, outcome.addresses
-                                     if outcome.ok else None))
+                issue(provider_index,
+                      lambda s=stub, pi=provider_index:
+                      s.query(self._pool_domain, RRType.A,
+                              lambda outcome, pi=pi:
+                              on_answer(pi, outcome.addresses
+                                        if outcome.ok else None)))
 
     def _after_sync(self, client: _FleetClient, sample: NtpSample,
                     attacker: bool) -> None:
@@ -725,9 +799,17 @@ class ClientFleet:
             # round decision; the loop only classifies the result.
             client.clock.step(sample.offset)
             clock_error = abs(client.clock.error())
-        self._apply(client, advance_round(
+        step = advance_round(
             self._config, client.state, client.rng, SYNC_COMPLETE,
-            synced=sample.ok, attacker=attacker, clock_error=clock_error))
+            synced=sample.ok, attacker=attacker, clock_error=clock_error)
+        tracer = self._tracer
+        if tracer is not None and client.span is not None:
+            # Sync completion also arrives through a callback hop —
+            # conclude the round under its own span.
+            with tracer.scope(client.span):
+                self._apply(client, step)
+            return
+        self._apply(client, step)
 
     # ------------------------------------------------------------------
     # Outcomes (read back from the registry).

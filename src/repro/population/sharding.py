@@ -47,6 +47,7 @@ from typing import Any, Dict, List, Mapping, Optional
 
 from repro.population.fleet import PopulationOutcomes, population_outcomes
 from repro.telemetry.registry import MetricsRegistry, fold_snapshots
+from repro.telemetry.trace import current_tracer, fold_trace_snapshots
 
 
 @dataclass(frozen=True)
@@ -108,13 +109,24 @@ def _shard_trial(params: Mapping[str, Any], seed: int):
     from repro.scenarios.spec import ScenarioSpec, _materialize_population
 
     spec = ScenarioSpec.from_json(params["spec"])
-    world = _materialize_population(
-        spec, seed, None,
-        window=(int(params["first_index"]), int(params["size"]),
-                int(params["population"])))
+    window = (int(params["first_index"]), int(params["size"]),
+              int(params["population"]))
+    metrics = {"shard": float(params["shard"])}
+    if params.get("trace"):
+        # The parent's tracer cannot cross the process boundary; each
+        # shard records into its own and ships the snapshot back with
+        # its metrics snapshot, to be folded in shard order.
+        from repro.telemetry.trace import Tracer, use_tracer
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            world = _materialize_population(spec, seed, None, window=window)
+            world.run(max_events=int(params["max_events"]))
+        return (metrics, world.telemetry.snapshot_json(),
+                tracer.snapshot_json())
+    world = _materialize_population(spec, seed, None, window=window)
     world.run(max_events=int(params["max_events"]))
-    return ({"shard": float(params["shard"])},
-            world.telemetry.snapshot_json())
+    return (metrics, world.telemetry.snapshot_json())
 
 
 class ShardedFleet:
@@ -154,10 +166,17 @@ class ShardedFleet:
                                  shards if shards is not None
                                  else spec.fleet.shards)
         self.telemetry = registry if registry is not None else MetricsRegistry()
+        # Ambient tracer at construction (materialize runs under the
+        # trial's use_tracer scope); shards trace themselves and the
+        # folded result grafts back under the current span after run().
+        self._tracer = current_tracer()
         self.workers = workers
         self.executor = "adaptive"
         #: Per-shard snapshot_json strings, in shard order (after run).
         self.shard_snapshots: List[str] = []
+        #: Per-shard trace snapshot_json strings, in shard order (after
+        #: a traced run; empty otherwise).
+        self.shard_traces: List[str] = []
         #: The executor mode the run actually used (after run).
         self.executed_mode: Optional[str] = None
         self._ran = False
@@ -180,7 +199,8 @@ class ShardedFleet:
             (_shard_trial, plan.shard, f"shard={plan.shard}",
              {"spec": spec_json, "shard": plan.shard,
               "first_index": plan.first_index, "size": plan.size,
-              "population": self.population, "max_events": max_events},
+              "population": self.population, "max_events": max_events,
+              "trace": self._tracer is not None},
              0, self.seed)
             for plan in self.plans
         ]
@@ -252,6 +272,10 @@ class ShardedFleet:
         self.shard_snapshots = [records[plan.shard].telemetry
                                 for plan in self.plans]
         self.telemetry.merge(fold_snapshots(self.shard_snapshots))
+        if self._tracer is not None:
+            self.shard_traces = [records[plan.shard].trace
+                                 for plan in self.plans]
+            self._tracer.absorb(fold_trace_snapshots(self.shard_traces))
         return self.outcomes()
 
     # ------------------------------------------------------------------

@@ -6,6 +6,12 @@ histograms and virtual-time series into an optional
 cost nothing. See :mod:`repro.telemetry.registry` for the scoping
 contract and :mod:`repro.telemetry.metrics` for the determinism/merge
 guarantees the campaign layer relies on.
+
+The same publishers also emit causal **spans** into an optional
+:class:`Tracer` (:mod:`repro.telemetry.trace`) under the identical
+zero-cost contract — virtual-time, RNG-free, byte-deterministic across
+executors — and :mod:`repro.telemetry.tracetool` reconstructs victim
+causal chains from exported traces.
 """
 
 from repro.telemetry.metrics import (
@@ -18,11 +24,25 @@ from repro.telemetry.metrics import (
     bucket_upper_edge,
 )
 from repro.telemetry.registry import (
+    METRICS_SCHEMA,
     MetricsRegistry,
     current_registry,
     fold_snapshots,
     install_registry,
     use_registry,
+)
+from repro.telemetry.trace import (
+    TRACE_SCHEMA,
+    Span,
+    Tracer,
+    current_tracer,
+    fold_trace_snapshots,
+    install_tracer,
+    load_snapshot,
+    should_sample,
+    snapshot_to_chrome,
+    snapshot_to_jsonl,
+    use_tracer,
 )
 
 __all__ = [
@@ -30,12 +50,24 @@ __all__ = [
     "Counter",
     "Gauge",
     "LogBucketHistogram",
+    "METRICS_SCHEMA",
     "MetricsRegistry",
+    "Span",
+    "TRACE_SCHEMA",
     "TimeSeries",
+    "Tracer",
     "bucket_index",
     "bucket_upper_edge",
     "current_registry",
+    "current_tracer",
     "fold_snapshots",
+    "fold_trace_snapshots",
     "install_registry",
+    "install_tracer",
+    "load_snapshot",
+    "should_sample",
+    "snapshot_to_chrome",
+    "snapshot_to_jsonl",
     "use_registry",
+    "use_tracer",
 ]

@@ -21,6 +21,7 @@ restores the previous registry on exit so nested scopes compose.
 from __future__ import annotations
 
 import json
+import warnings
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Dict, Iterator, Optional, Tuple
@@ -31,6 +32,12 @@ from repro.telemetry.metrics import (
     LogBucketHistogram,
     TimeSeries,
 )
+
+#: Version tag stamped into every metrics snapshot. Versioned
+#: independently of the trace snapshot schema
+#: (:data:`repro.telemetry.trace.TRACE_SCHEMA`) so the two formats can
+#: evolve separately.
+METRICS_SCHEMA = "repro-metrics/1"
 
 _KINDS = {
     "counter": Counter,
@@ -149,12 +156,13 @@ class MetricsRegistry:
         """The raw instrument, or ``None`` when never touched."""
         return self._instruments.get(_key(name, labels))
 
-    def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """Deterministic state of every instrument, grouped by kind."""
-        grouped: Dict[str, Dict[str, object]] = {}
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministic state of every instrument, grouped by kind,
+        under a ``schema`` version tag."""
+        grouped: Dict[str, object] = {"schema": METRICS_SCHEMA}
         for key in sorted(self._instruments):
             kind = self._kinds[key]
-            grouped.setdefault(kind, {})[_render_key(key)] = (
+            grouped.setdefault(kind, {})[_render_key(key)] = (  # type: ignore[union-attr]
                 self._instruments[key].state())  # type: ignore[attr-defined]
         return grouped
 
@@ -215,6 +223,14 @@ class MetricsRegistry:
         """
         if isinstance(snapshot, str):
             snapshot = json.loads(snapshot)
+        snapshot = dict(snapshot)
+        if snapshot.pop("schema", None) is None:
+            # Pre-versioning snapshots (recorded before the schema tag
+            # landed) still load — but loudly, so stale artifacts get
+            # regenerated rather than silently mixed with tagged ones.
+            warnings.warn(
+                "metrics snapshot carries no 'schema' field; assuming "
+                f"{METRICS_SCHEMA}", stacklevel=2)
         registry = cls()
         for kind, instruments in snapshot.items():
             loader = _LOADERS.get(kind)

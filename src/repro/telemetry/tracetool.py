@@ -1,0 +1,367 @@
+"""Trace analyzer: from a span dump to "who poisoned this client, how".
+
+``python -m repro.telemetry.tracetool trace.json`` reads a trace
+snapshot (the canonical JSON of :meth:`repro.telemetry.Tracer.snapshot_json`
+or its JSONL rendering) and reconstructs, for every victim client
+round, the causal chain the aggregates hide:
+
+* which providers answered the round's Algorithm 1 fan-out, and what
+  each answered;
+* which addresses survived the truncate-and-combine, which of those
+  are attacker-controlled, and which provider(s) contributed each;
+* which pool member the client picked and synced against, over which
+  links (per-hop flight timeline, with drop/duplicate/tap fault
+  attribution);
+* per-exchange critical-path timing: request transit, server-side
+  time, response transit.
+
+The forged-address set is optional (``--forged``): without it the tool
+attributes via the round's own victim classification (the ``pick``
+that synced against an attacker). ``--chrome`` converts the trace to
+Chrome Trace Event JSON for https://ui.perfetto.dev.
+
+Everything is importable — ``TraceIndex``, :func:`victim_rounds`,
+:func:`format_victim_chain` — so examples and tests can drive the same
+analysis without shelling out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.telemetry.trace import load_snapshot, snapshot_to_chrome
+
+SpanDict = Dict[str, Any]
+
+
+class TraceIndex:
+    """A parsed trace snapshot with parent/child navigation."""
+
+    def __init__(self, snapshot: Dict[str, Any]) -> None:
+        self.snapshot = snapshot
+        self.spans: List[SpanDict] = list(snapshot.get("spans", ()))
+        self.by_id: Dict[int, SpanDict] = {
+            span["id"]: span for span in self.spans}
+        self._children: Dict[Optional[int], List[SpanDict]] = {}
+        for span in self.spans:
+            self._children.setdefault(span.get("parent"), []).append(span)
+
+    def named(self, name: str) -> List[SpanDict]:
+        return [span for span in self.spans if span["name"] == name]
+
+    def children(self, span: SpanDict,
+                 name: Optional[str] = None) -> List[SpanDict]:
+        kids = self._children.get(span["id"], [])
+        if name is not None:
+            kids = [kid for kid in kids if kid["name"] == name]
+        return kids
+
+    def descendants(self, span: SpanDict,
+                    name: Optional[str] = None) -> List[SpanDict]:
+        """All spans below ``span`` (depth-first, emission order within
+        a level), optionally filtered by name."""
+        found: List[SpanDict] = []
+        stack = list(self.children(span))
+        while stack:
+            current = stack.pop(0)
+            if name is None or current["name"] == name:
+                found.append(current)
+            stack = self.children(current) + stack
+        return found
+
+
+def attrs(span: SpanDict) -> Dict[str, Any]:
+    return span.get("attrs") or {}
+
+
+def duration(span: SpanDict) -> float:
+    return span.get("end", span["start"]) - span["start"]
+
+
+def matches_forged(address: str, forged: Sequence[str]) -> bool:
+    """Exact match, or prefix match for specs ending in ``.`` — so
+    ``--forged 203.0.113.`` covers the whole documentation block."""
+    for spec in forged:
+        if spec.endswith("."):
+            if address.startswith(spec):
+                return True
+        elif address == spec:
+            return True
+    return False
+
+
+def victim_rounds(index: TraceIndex,
+                  client: Optional[int] = None) -> List[SpanDict]:
+    """Round spans that synced against an attacker server."""
+    rounds = [span for span in index.named("client.round")
+              if attrs(span).get("victim")]
+    if client is not None:
+        rounds = [span for span in rounds
+                  if attrs(span).get("client") == client]
+    return rounds
+
+
+def client_rounds(index: TraceIndex, client: int) -> List[SpanDict]:
+    return [span for span in index.named("client.round")
+            if attrs(span).get("client") == client]
+
+
+# ----------------------------------------------------------------------
+# Flight / exchange analysis.
+# ----------------------------------------------------------------------
+
+
+def _flight_line(flight: SpanDict) -> str:
+    a = attrs(flight)
+    outcome = a.get("outcome", "open")
+    extra = ""
+    if outcome == "dropped":
+        extra = f" by {a.get('dropped_by', '?')}"
+    if a.get("spoofed"):
+        extra += " SPOOFED"
+    if a.get("duplicated"):
+        extra += " duplicated"
+    return (f"flight {a.get('src', '?')} -> {a.get('dst', '?')} "
+            f"[{outcome}{extra}] {duration(flight) * 1e3:.2f}ms")
+
+
+def _hop_line(hop: SpanDict) -> str:
+    a = attrs(hop)
+    fault = f" fault={a['fault']}" if "fault" in a else ""
+    rewritten = " REWRITTEN" if a.get("rewritten") else ""
+    return (f"hop {a.get('link', '?')} "
+            f"{duration(hop) * 1e3:.2f}ms{fault}{rewritten}")
+
+
+def _render_flight_tree(index: TraceIndex, flight: SpanDict,
+                        lines: List[str], indent: str) -> None:
+    lines.append(indent + _flight_line(flight))
+    for hop in index.children(flight, "net.hop"):
+        lines.append(indent + "  " + _hop_line(hop))
+    for child in index.children(flight, "net.flight"):
+        _render_flight_tree(index, child, lines, indent + "  ")
+
+
+def _terminal_flight(index: TraceIndex, flight: SpanDict) -> SpanDict:
+    """The deepest flight in a request's continuation chain (the
+    response leg that finally reached the requester, when delivered)."""
+    current = flight
+    while True:
+        nested = index.children(current, "net.flight")
+        if not nested:
+            return current
+        current = nested[-1]
+
+
+def critical_path(index: TraceIndex,
+                  exchange: SpanDict) -> Optional[Dict[str, float]]:
+    """Request transit / server time / response transit of the accepted
+    attempt, or ``None`` when no attempt carried a delivered response."""
+    for attempt in reversed(index.children(exchange, "transport.attempt")):
+        flights = index.children(attempt, "net.flight")
+        if not flights:
+            continue
+        request = flights[0]
+        response = _terminal_flight(index, request)
+        if response is request:
+            continue
+        return {
+            "request_s": duration(request),
+            "server_s": max(response["start"] - request.get(
+                "end", request["start"]), 0.0),
+            "response_s": duration(response),
+            "total_s": response.get("end", response["start"])
+            - request["start"],
+        }
+    return None
+
+
+def format_exchange(index: TraceIndex, exchange: SpanDict,
+                    indent: str = "  ") -> List[str]:
+    """Human-readable report of one supervised exchange: attempts,
+    per-link flight timelines, critical-path split."""
+    a = attrs(exchange)
+    lines = [f"{indent}exchange {a.get('label', '?')} "
+             f"t={exchange['start']:.3f}s dur={duration(exchange) * 1e3:.2f}ms "
+             f"attempts={a.get('attempts', '?')}"
+             + (" TIMED-OUT" if a.get("timed_out") else "")]
+    for attempt in index.children(exchange, "transport.attempt"):
+        at = attrs(attempt)
+        txid = f" txid={at['txid']}" if "txid" in at else ""
+        lines.append(f"{indent}  attempt {at.get('attempt', '?')}{txid} "
+                     f"[{at.get('outcome', 'open')}]")
+        for flight in index.children(attempt, "net.flight"):
+            _render_flight_tree(index, flight, lines, indent + "    ")
+    path = critical_path(index, exchange)
+    if path is not None:
+        lines.append(
+            f"{indent}  critical path: request {path['request_s'] * 1e3:.2f}ms"
+            f" | server {path['server_s'] * 1e3:.2f}ms"
+            f" | response {path['response_s'] * 1e3:.2f}ms"
+            f" | total {path['total_s'] * 1e3:.2f}ms")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# The victim causal chain.
+# ----------------------------------------------------------------------
+
+
+def format_victim_chain(index: TraceIndex, round_span: SpanDict,
+                        forged: Sequence[str] = ()) -> str:
+    """The full causal story of one victim round, as printable text."""
+    a = attrs(round_span)
+    pick = a.get("pick")
+    lines = [f"Victim causal chain — client {a.get('client', '?')}, "
+             f"round {a.get('round', '?')} "
+             f"(t={round_span['start']:.3f}s → "
+             f"{round_span.get('end', round_span['start']):.3f}s)"]
+
+    # Phase 1: the fan-out. Which provider answered what, over which
+    # wire path.
+    contributed_pick: List[Any] = []
+    queries = index.children(round_span, "client.query")
+    for query in queries:
+        qa = attrs(query)
+        provider = qa.get("provider", "?")
+        answers = qa.get("answers")
+        if qa.get("failed") or answers is None:
+            lines.append(f"  provider {provider}: FAILED (no answer)")
+            continue
+        marks = []
+        forged_answers = [addr for addr in answers
+                          if matches_forged(addr, forged)]
+        if forged_answers:
+            marks.append(f"serves forged {', '.join(forged_answers)}")
+        if pick is not None and pick in answers:
+            contributed_pick.append(provider)
+            marks.append("contributed the pick")
+        mark = f"   << {'; '.join(marks)}" if marks else ""
+        lines.append(f"  provider {provider}: answers "
+                     f"[{', '.join(answers)}]{mark}")
+        for exchange in index.descendants(query, "transport.exchange"):
+            lines.extend(format_exchange(index, exchange, indent="    "))
+
+    # Phase 2: the combine. What survived truncation, and who to blame.
+    combines = index.children(round_span, "client.combine")
+    for combine in combines:
+        ca = attrs(combine)
+        pool = ca.get("pool", [])
+        survivors = [addr for addr in pool if matches_forged(addr, forged)]
+        lines.append(f"  combine -> pool [{', '.join(pool)}]"
+                     + ("" if ca.get("ok") else " (FAILED)"))
+        for survivor in survivors:
+            sources = [attrs(q).get("provider", "?") for q in queries
+                       if survivor in (attrs(q).get("answers") or ())]
+            lines.append(f"    forged survivor {survivor} "
+                         f"(from provider(s) "
+                         f"{', '.join(str(s) for s in sources)})")
+    if not combines and a.get("round", 1) != 0:
+        lines.append("  (cached pool — resolved in an earlier round)")
+
+    # Phase 3: the sync. The attacker server the client disciplined
+    # its clock against, and the wire path the exchange took.
+    if pick is not None:
+        source = (f" (answered by provider(s) "
+                  f"{', '.join(str(s) for s in contributed_pick)})"
+                  if contributed_pick else "")
+        lines.append(f"  pick {pick}  << attacker server{source}")
+    error = a.get("clock_error")
+    shifted = " TIME-SHIFTED" if a.get("shifted") else ""
+    lines.append(f"  sync: synced={a.get('synced', False)}"
+                 + (f" clock_error={error * 1e3:.2f}ms" if error is not None
+                    else "") + shifted)
+    for exchange in index.children(round_span, "transport.exchange"):
+        # NTP exchanges hang directly under the round (queries own the
+        # DNS ones).
+        lines.extend(format_exchange(index, exchange, indent="    "))
+    return "\n".join(lines)
+
+
+def summarize(index: TraceIndex) -> str:
+    """Span census: count and total duration per span name."""
+    counts: Counter = Counter()
+    totals: Dict[str, float] = {}
+    for span in index.spans:
+        counts[span["name"]] += 1
+        totals[span["name"]] = totals.get(span["name"], 0.0) + duration(span)
+    width = max((len(name) for name in counts), default=4)
+    lines = [f"{'span':<{width}}  count  total_virtual_s"]
+    for name in sorted(counts):
+        lines.append(f"{name:<{width}}  {counts[name]:>5}  "
+                     f"{totals[name]:.6f}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI.
+# ----------------------------------------------------------------------
+
+
+def load_trace(path: str) -> TraceIndex:
+    """Read a snapshot (JSON document or JSONL; ``-`` for stdin)."""
+    text = (sys.stdin.read() if path == "-"
+            else Path(path).read_text())
+    return TraceIndex(load_snapshot(text))
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.tracetool",
+        description="Analyze a repro trace snapshot: victim causal "
+                    "chains, per-exchange critical paths, Perfetto "
+                    "export.")
+    parser.add_argument("trace", help="trace snapshot (JSON or JSONL; "
+                                      "'-' reads stdin)")
+    parser.add_argument("--forged", default="",
+                        help="comma-separated attacker addresses; a "
+                             "trailing '.' makes a spec a prefix "
+                             "(e.g. '203.0.113.')")
+    parser.add_argument("--client", type=int, default=None,
+                        help="restrict to one client's rounds (with no "
+                             "victim rounds, shows all of them)")
+    parser.add_argument("--max-chains", type=int, default=5,
+                        help="cap on printed causal chains (default 5)")
+    parser.add_argument("--summary", action="store_true",
+                        help="print the span census instead of chains")
+    parser.add_argument("--chrome", metavar="OUT", default=None,
+                        help="also write Chrome Trace Event JSON "
+                             "(open in ui.perfetto.dev)")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    index = load_trace(args.trace)
+    if args.chrome:
+        Path(args.chrome).write_text(json.dumps(
+            snapshot_to_chrome(index.snapshot), sort_keys=True) + "\n")
+        print(f"wrote Chrome trace: {args.chrome} "
+              f"({len(index.spans)} spans)")
+    if args.summary:
+        print(summarize(index))
+        return 0
+
+    forged = [spec.strip() for spec in args.forged.split(",") if spec.strip()]
+    rounds = victim_rounds(index, client=args.client)
+    if not rounds and args.client is not None:
+        rounds = client_rounds(index, args.client)
+        if rounds:
+            print(f"client {args.client} was never a victim; "
+                  f"showing its {len(rounds)} round(s)")
+    if not rounds:
+        print(f"no victim rounds in trace ({len(index.spans)} spans, "
+              f"{len(index.named('client.round'))} client rounds)")
+        return 0
+    shown = rounds[:args.max_chains]
+    print(f"{len(rounds)} victim round(s); showing {len(shown)}\n")
+    for round_span in shown:
+        print(format_victim_chain(index, round_span, forged))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -107,7 +107,7 @@ def test_fold_select_keeps_exactly_the_selected_subset(ops_lists):
     counters_only = fold_snapshots(
         snapshots, select=lambda kind, name, labels: kind == "counter")
     folded = counters_only.snapshot()
-    assert set(folded) <= {"counter"}
+    assert set(folded) <= {"schema", "counter"}
     # The selected instruments match an unfiltered fold's counters.
     whole = fold_snapshots(snapshots).snapshot()
     assert folded.get("counter", {}) == whole.get("counter", {})
