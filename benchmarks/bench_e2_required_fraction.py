@@ -20,23 +20,20 @@ export.
 
 from repro.analysis.model import required_corrupted_resolvers
 from repro.campaign import CampaignRunner, ParameterGrid, spec_trial
-from repro.scenarios.spec import LinkSpec, ResolverSpec, pool_spec, set_path
+from repro.scenarios.presets import e2_grid_base_spec
 
 from benchmarks.conftest import CACHE_DIR, JOURNAL_DIR, run_once
-
-FORGED = tuple(f"203.0.113.{i + 1}" for i in range(4))
 
 TRIALS = 3          # independent world seeds per grid point
 
 #: Access-link latencies swept as a LinkSpec axis (metro vs long-haul).
 LATENCIES = (0.003, 0.030)
 
-BASE_SPEC = pool_spec(pool_size=40, answers_per_query=4)
-BASE_SPEC = set_path(BASE_SPEC, "provider.resolver", ResolverSpec())
-BASE_SPEC = set_path(BASE_SPEC, "provider.forged", FORGED)
-# An explicit access LinkSpec so the latency axis has a concrete path
-# to land on (pool_spec defaults access to None = the metro profile).
-BASE_SPEC = set_path(BASE_SPEC, "network.access", LinkSpec())
+# The canonical base spec lives in the preset registry (shared with the
+# --smoke grid and examples): a 40-server pool with an explicit
+# ResolverSpec and access LinkSpec so every swept path has a concrete
+# node to land on.
+BASE_SPEC = e2_grid_base_spec()
 
 GRID = ParameterGrid.over_spec(
     BASE_SPEC,

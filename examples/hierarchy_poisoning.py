@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Trace one poisoned referral chain through the resolution hierarchy.
+
+The H1 experiments measure *how often* cache expiries hand an off-path
+attacker a raceable window; this example shows *one* such race being
+won, causally. A small client population resolves ``pool.ntp.org``
+through providers whose recursors walk the real root→TLD→authoritative
+chain (``ResolverSpec(mode="iterative")``), while an off-path sprayer
+races forged answers against provider 0's upstream queries. The run
+executes under a :class:`~repro.telemetry.trace.Tracer`; the span tree
+is then read back to narrate:
+
+* the benign referral walk (each ``resolver.step`` hop: zone, server,
+  referral depth),
+* the step where a spoofed response beat the TXID/port checks
+  (``poisoned=True`` on the span) and entered the cache,
+* and how the poisoned answer flowed into client NTP syncs against the
+  attacker's server.
+
+Timestamps are virtual and span IDs counter-derived, so the printed
+chains are bit-identical on every run — diff them across code changes.
+
+Run:  python examples/hierarchy_poisoning.py [--out TRACE.jsonl]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.scenarios.presets import hierarchy_population_spec
+from repro.scenarios.spec import materialize
+from repro.telemetry.trace import Tracer, use_tracer
+from repro.telemetry.tracetool import (
+    TraceIndex,
+    attrs,
+    format_victim_chain,
+    summarize,
+    victim_rounds,
+)
+
+#: What the sprayer forges into provider 0's cache.
+FORGED = ("203.0.113.66",)
+
+#: Short pool TTL + a fast sprayer: expiries re-open upstream
+#: resolutions often enough that one race lands within the run.
+SPEC = hierarchy_population_spec(
+    num_clients=10, rounds=3, pool_ttl=15,
+    spray_rate=8.0, spray_duration=60.0,
+    covered_bits=6, port_window=2, forged=FORGED)
+
+
+def narrate_referral_walk(index, resolve_span) -> None:
+    """Print each hop of one resolution's walk down the hierarchy."""
+    a = attrs(resolve_span)
+    print(f"resolve {a['qname']} ({a['qtype']}) "
+          f"via {a.get('resolver', '?')}:")
+    for step in index.children(resolve_span, name="resolver.step"):
+        s = attrs(step)
+        flag = "  <-- POISONED" if s.get("poisoned") else ""
+        print(f"  depth {s['depth']}: zone {s['zone']!r:14} "
+              f"server {s['server']}{flag}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, metavar="TRACE.jsonl",
+                        help="also write the trace as JSONL (feed it to "
+                             "python -m repro.telemetry.tracetool)")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    # Publishers capture the ambient tracer when constructed, so the
+    # world must be materialized inside the tracer scope.
+    tracer = Tracer()
+    with use_tracer(tracer):
+        root = tracer.begin("campaign.trial",
+                            attrs={"point": "hierarchy_poisoning",
+                                   "trial": 0, "seed": args.seed})
+        with tracer.scope(root):
+            world = materialize(SPEC, args.seed)
+            outcomes = world.run()
+        tracer.finish(root)
+
+    index = TraceIndex(tracer.snapshot())
+    stats = [d.resolver.stats for d in world.pool.providers]
+    poisoned = sum(s.poisoned_acceptances for s in stats)
+    print(f"{SPEC.fleet.size} clients x {SPEC.fleet.rounds} rounds over "
+          f"the 2-level hierarchy, pool TTL {SPEC.pool.ttl}s, sprayer at "
+          f"{SPEC.attacks[0].param('rate'):.0f} bursts/s:")
+    print(f"  exposure windows {sum(s.exposure_windows for s in stats)}, "
+          f"spoofs rejected {sum(s.spoofs_rejected for s in stats)}, "
+          f"poisoned acceptances {poisoned}, "
+          f"victim rounds {outcomes.victim_rounds}/{outcomes.rounds}\n")
+    print(summarize(index))
+    print()
+
+    # The benign walk first: the deepest clean resolution we traced.
+    resolves = index.named("resolver.resolve")
+    clean = next(r for r in resolves
+                 if not any(attrs(s).get("poisoned")
+                            for s in index.children(
+                                r, name="resolver.step")))
+    narrate_referral_walk(index, clean)
+    print()
+
+    # Then every step a forgery actually won.
+    dirty = [r for r in resolves
+             if any(attrs(s).get("poisoned")
+                    for s in index.children(r, name="resolver.step"))]
+    if not dirty:
+        print("no poisoned step in this trace — rerun with another "
+              "--seed or a higher spray rate")
+    for r in dirty:
+        narrate_referral_walk(index, r)
+        print()
+
+    # And where the poison went: client rounds that synced to FORGED.
+    rounds = victim_rounds(index)
+    for round_span in rounds[:2]:
+        print(format_victim_chain(index, round_span, forged=FORGED))
+        print()
+    if len(rounds) > 2:
+        print(f"... {len(rounds) - 2} more victim chain(s) omitted")
+
+    if args.out:
+        Path(args.out).write_text(tracer.to_jsonl())
+        print(f"\nwrote {args.out} — analyze with:\n"
+              f"  python -m repro.telemetry.tracetool {args.out} "
+              f"--forged 203.0.113.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

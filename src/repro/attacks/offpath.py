@@ -168,3 +168,95 @@ class OffPathPoisoner:
             forged_addresses=list(forged_addresses),
         )
         return self.spray(victim_address, plan)
+
+
+class PeriodicSprayer:
+    """A sustained off-path campaign: forged-response bursts at a fixed
+    rate against one victim resolver.
+
+    This is the attacker the ``offpath`` :class:`AttackSpec` installs
+    in rate mode: it cannot observe the victim's queries, so it simply
+    keeps spraying — a burst only lands if it arrives while the victim
+    has a resolution (an open cache slot) in flight, which is exactly
+    the exposure window shortened TTLs multiply.  The guess-space
+    knobs model the paper's entropy assumptions:
+
+    :param port_window: ports covered per burst.  With
+        ``track_ports=True`` the window is anchored at the victim's
+        sequential-port oracle (:attr:`Host.next_sequential_port`) —
+        the most recently allocated port plus the next allocations;
+        with ``track_ports=False`` the attacker guesses blind from the
+        bottom of the ephemeral range.
+    :param covered_bits: the burst covers the full TXID space of a
+        ``covered_bits``-wide ID field; against a victim with
+        ``txid_bits > covered_bits`` each guess hits with probability
+        ``2**(covered_bits - txid_bits)``.
+    """
+
+    def __init__(self, poisoner: OffPathPoisoner, simulator, victim_host,
+                 *, question: Question, spoofed_server: Endpoint,
+                 forged_addresses: Sequence["IPAddress | str"],
+                 rate: float, duration: float, start: float = 0.0,
+                 port_window: int = 2, covered_bits: int = 6,
+                 track_ports: bool = True, ttl: int = 86_400) -> None:
+        if rate <= 0.0:
+            raise ValueError("spray rate must be > 0 bursts/s")
+        if duration < 0.0 or start < 0.0:
+            raise ValueError("spray start/duration must be >= 0")
+        if port_window < 1:
+            raise ValueError("port_window must be >= 1")
+        self._poisoner = poisoner
+        self._simulator = simulator
+        self._victim = victim_host
+        self._question = question
+        self._spoofed_server = spoofed_server
+        self._forged = [IPAddress(a) for a in forged_addresses]
+        self._rate = float(rate)
+        self._duration = float(duration)
+        self._start = float(start)
+        self._port_window = int(port_window)
+        self._txids = OffPathPoisoner.txid_space(int(covered_bits))
+        self._track_ports = bool(track_ports)
+        self._ttl = int(ttl)
+        self._scheduled = False
+        self.bursts = 0
+        self.packets_injected = 0
+
+    @property
+    def planned_bursts(self) -> int:
+        return max(1, int(round(self._duration * self._rate)))
+
+    def schedule(self) -> None:
+        """Pre-schedule every burst of the campaign (idempotent)."""
+        if self._scheduled:
+            return
+        self._scheduled = True
+        interval = 1.0 / self._rate
+        for index in range(self.planned_bursts):
+            self._simulator.schedule_at(self._start + index * interval,
+                                        self._fire, label="offpath-spray")
+
+    def _target_ports(self) -> List[int]:
+        low, high = EPHEMERAL_RANGE
+        if self._track_ports and not self._victim.randomize_ports:
+            # The socket currently awaiting an answer (if any) holds the
+            # most recently allocated port, i.e. the oracle minus one;
+            # cover it plus the next window-1 allocations.
+            span = high - low + 1
+            anchor = low + ((self._victim.next_sequential_port - low - 1)
+                            % span)
+            return OffPathPoisoner.sequential_port_guesses(
+                self._port_window, start=anchor)
+        return OffPathPoisoner.sequential_port_guesses(self._port_window)
+
+    def _fire(self) -> None:
+        plan = SprayPlan(
+            question=self._question,
+            spoofed_server=self._spoofed_server,
+            target_ports=self._target_ports(),
+            txid_guesses=self._txids,
+            forged_addresses=self._forged,
+            ttl=self._ttl)
+        report = self._poisoner.spray(self._victim.primary_address, plan)
+        self.bursts += 1
+        self.packets_injected += report.packets_injected

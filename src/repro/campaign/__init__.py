@@ -56,6 +56,7 @@ from repro.campaign.trials import (
     advantage_bits_trial,
     build_scenario,
     figure1_system_trial,
+    hierarchy_trial,
     offpath_spray_trial,
     overhead_trial,
     pool_attack_trial,
@@ -82,6 +83,7 @@ __all__ = [
     "build_scenario",
     "choose_executor",
     "figure1_system_trial",
+    "hierarchy_trial",
     "journal_path",
     "offpath_spray_trial",
     "overhead_trial",

@@ -331,6 +331,102 @@ def spec_trial(params: Mapping[str, Any], seed: int):
 
 
 # ----------------------------------------------------------------------
+# H1 — exposure windows and hijack over the iterative hierarchy.
+# ----------------------------------------------------------------------
+
+
+def hierarchy_trial(params: Mapping[str, Any], seed: int):
+    """One measured population over the iterative resolution hierarchy.
+
+    A :func:`spec_trial`-shaped bridge (``params["spec"]`` + validated
+    swept paths) specialised for hierarchy worlds: the spec must carry a
+    :class:`~repro.scenarios.spec.FleetSpec` and an iterative
+    :class:`~repro.scenarios.spec.ResolverSpec`, so the providers'
+    recursors walk real root→TLD→authoritative referral chains with TTL
+    caching.  On top of the :func:`population_trial` metric set it
+    reports the poisoning-exposure surface ``bench_h1`` sweeps:
+
+    ``exposure_windows`` / ``exposure_open_s`` / ``windows_per_hour``
+        cache-miss resolution windows (count, total open seconds, rate
+        per virtual hour) summed over every provider — the intervals an
+        off-path forgery can race.
+    ``referrals_followed``, ``cache_hits`` / ``cache_misses``
+        referral and cache traffic (cache counters read from the
+        telemetry registry, so they equal the fold of any sharded
+        execution of the same world).
+    ``poisoned_acceptances``, ``spoofs_rejected``, ``hijacked``
+        the race outcome: forged responses accepted/rejected by the
+        victim's resolver, and whether any acceptance occurred.
+    ``spray_bursts`` / ``spray_packets``
+        attacker cost, from the installed off-path sprayers.
+    """
+    if "spec" not in params:
+        raise ValueError("hierarchy_trial needs params['spec'] "
+                         "(use ParameterGrid.over_spec)")
+    spec = params["spec"]
+    if isinstance(spec, Mapping):
+        spec = ScenarioSpec.from_dict(spec)
+    for name, value in params.items():
+        if name == "spec":
+            continue
+        applied = get_path(spec, name)
+        expected = tuple(value) if isinstance(value, list) else value
+        if applied != expected:
+            raise ValueError(
+                f"spec path {name!r} carries {applied!r} but the grid "
+                f"point says {expected!r}; was the spec edited after "
+                f"expansion?")
+    if spec.fleet is None:
+        raise ValueError("hierarchy_trial needs a population spec "
+                         "(add a FleetSpec)")
+    if spec.provider.resolver is None \
+            or spec.provider.resolver.mode != "iterative":
+        raise ValueError("hierarchy_trial needs an iterative ResolverSpec "
+                         "(mode='iterative'); use "
+                         "repro.scenarios.presets.hierarchy_population_spec")
+    if spec.fleet.shards > 1:
+        raise ValueError(
+            "hierarchy_trial runs one world per trial; shard the campaign, "
+            "not the fleet (the cache counters it reads fold bit-identically "
+            "across shards — see repro.telemetry.fold_snapshots)")
+
+    world = materialize(spec, seed)
+    metrics = _population_metrics(world)
+
+    snapshot = world.telemetry.snapshot()
+
+    def _summed(name: str) -> float:
+        counters = snapshot.get("counter", {})
+        return float(sum(state for key, state in counters.items()
+                         if key == name or key.startswith(name + "{")))
+
+    stats = [deployment.resolver.stats
+             for deployment in world.pool.providers]
+    hours = world.pool.simulator.now / 3600.0
+    windows = sum(s.exposure_windows for s in stats)
+    poisoned = sum(s.poisoned_acceptances for s in stats)
+    metrics.update({
+        "exposure_windows": float(windows),
+        "exposure_open_s": sum(s.exposure_open_s for s in stats),
+        "windows_per_hour": windows / hours if hours > 0 else 0.0,
+        "referrals_followed": float(sum(s.referrals_followed
+                                        for s in stats)),
+        "cache_hits": _summed("dns.cache.hits"),
+        "cache_misses": _summed("dns.cache.misses"),
+        "poisoned_acceptances": float(poisoned),
+        "spoofs_rejected": float(sum(s.spoofs_rejected for s in stats)),
+        "hijacked": 1.0 if poisoned else 0.0,
+        "spray_bursts": float(sum(
+            attack.bursts for _, attack in world.attacks
+            if hasattr(attack, "bursts"))),
+        "spray_packets": float(sum(
+            attack.packets_injected for _, attack in world.attacks
+            if hasattr(attack, "packets_injected"))),
+    })
+    return metrics, world.telemetry.snapshot_json()
+
+
+# ----------------------------------------------------------------------
 # E1 — the whole Figure 1 pipeline, DNS→DoH→pool→Chronos.
 # ----------------------------------------------------------------------
 

@@ -19,11 +19,20 @@ wire-format fidelity:
   iterative resolution with bailiwick filtering, TXID and source-port
   randomisation — the attack surface the paper's off-path adversary
   targets;
+* :mod:`repro.dns.hierarchy` — the declarative root→TLD→authoritative
+  referral chain (:class:`HierarchySpec`) and its compiler onto the
+  simulated topology;
 * :mod:`repro.dns.client` — a stub resolver for client hosts.
 """
 
 from repro.dns.cache import DnsCache
 from repro.dns.client import StubResolver
+from repro.dns.hierarchy import (
+    HierarchyDeployment,
+    HierarchySpec,
+    compile_hierarchy,
+    compile_legacy_tree,
+)
 from repro.dns.message import (
     Flags,
     Message,
@@ -53,7 +62,11 @@ from repro.dns.zone import Zone, ZoneError
 
 __all__ = [
     "DnsCache",
+    "HierarchyDeployment",
+    "HierarchySpec",
     "StubResolver",
+    "compile_hierarchy",
+    "compile_legacy_tree",
     "Flags",
     "Message",
     "Question",

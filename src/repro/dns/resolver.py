@@ -129,7 +129,13 @@ ResolveCallback = Callable[[ResolveOutcome], None]
 
 @dataclass
 class ResolverStats:
-    """Security/operations counters exposed for experiments."""
+    """Security/operations counters exposed for experiments.
+
+    ``exposure_windows`` / ``exposure_open_s`` quantify the paper's
+    poisoning surface: every resolution that misses the cache opens a
+    window (cache-miss start → slot filled) during which a spoofed
+    answer can race the genuine one; ``referrals_followed`` counts the
+    hops those resolutions walked down the hierarchy."""
 
     client_queries: int = 0
     upstream_queries: int = 0
@@ -140,6 +146,9 @@ class ResolverStats:
     servfails: int = 0
     cache_hits: int = 0
     bailiwick_rejected_records: int = 0
+    referrals_followed: int = 0
+    exposure_windows: int = 0
+    exposure_open_s: float = 0.0
 
 
 class RecursiveResolver:
@@ -151,12 +160,19 @@ class RecursiveResolver:
     :param root_hints: (server name, address) pairs for the root zone.
     :param config: behavioural tunables.
     :param rng: randomness source for TXIDs and server selection.
+    :param instrument: publish per-hop RTT series, referral-depth and
+        exposure-window histograms, cache hit/miss counters, and
+        ``resolver.resolve``/``resolver.step`` trace spans.  The
+        ambient registry/tracer are captured *once*, here — with no
+        ambient sinks (or ``instrument=False``, the default) the
+        resolver publishes nothing and behaves bit-identically.
     """
 
     def __init__(self, host: Host, simulator: Simulator,
                  root_hints: List[Tuple[Name, IPAddress]],
                  config: Optional[ResolverConfig] = None,
-                 rng: Optional[random.Random] = None) -> None:
+                 rng: Optional[random.Random] = None,
+                 instrument: bool = False) -> None:
         if not root_hints:
             raise ValueError("resolver needs at least one root hint")
         self._host = host
@@ -165,8 +181,25 @@ class RecursiveResolver:
                             for name, address in root_hints]
         self._config = config or ResolverConfig()
         self._rng = rng or random.Random(0)
+        registry = tracer = None
+        if instrument:
+            from repro.telemetry.registry import current_registry
+            from repro.telemetry.trace import current_tracer
+            registry = current_registry()
+            tracer = current_tracer()
+        self._tracer = tracer
+        self._hop_rtt = self._depth_hist = self._exposure_hist = None
+        if registry is not None:
+            label = host.name
+            self._hop_rtt = registry.timeseries(
+                "dns.resolver.hop_rtt", resolver=label)
+            self._depth_hist = registry.histogram(
+                "dns.resolver.referral_depth", resolver=label)
+            self._exposure_hist = registry.histogram(
+                "dns.resolver.exposure_window", resolver=label)
         self._cache = DnsCache(clock=lambda: simulator.now,
-                               max_entries=self._config.cache_max_entries)
+                               max_entries=self._config.cache_max_entries,
+                               registry=registry, label=host.name)
         self._stats = ResolverStats()
         self._sequential_txid = 0
         self._transport = Transport(host, simulator)
@@ -270,11 +303,12 @@ class _Resolution:
     __slots__ = ("_resolver", "_qname", "_qtype", "_callback", "_ns_depth",
                  "_config", "_sim", "_zone", "_servers", "_server_index",
                  "_referrals", "_cname_chain", "_upstream_queries",
-                 "_finished", "_exchange")
+                 "_finished", "_exchange", "_started", "_span")
 
     def __init__(self, resolver: RecursiveResolver, qname: Name,
                  qtype: RRType, callback: ResolveCallback,
-                 ns_depth: int = 0, cname_depth: int = 0) -> None:
+                 ns_depth: int = 0, cname_depth: int = 0,
+                 parent_span=None) -> None:
         self._resolver = resolver
         self._qname = qname
         self._qtype = qtype
@@ -291,6 +325,22 @@ class _Resolution:
         self._upstream_queries = 0
         self._finished = False
         self._exchange: Optional[DatagramExchange] = None
+        self._started = self._sim.now
+        tracer = resolver._tracer
+        if tracer is None:
+            self._span = None
+        elif parent_span is not None:
+            # Sub-resolutions (glueless NS, CNAME chase) hang off their
+            # parent explicitly: the ambient span is unreliable across
+            # simulator-callback hops.
+            self._span = tracer.begin(
+                "resolver.resolve", parent=parent_span,
+                attrs={"qname": str(qname), "qtype": qtype.name})
+        else:
+            self._span = tracer.begin(
+                "resolver.resolve",
+                attrs={"qname": str(qname), "qtype": qtype.name,
+                       "resolver": resolver._host.name})
 
     # ------------------------------------------------------------------
     # Driving.
@@ -332,6 +382,14 @@ class _Resolution:
             return
         _, server_address = self._servers[self._server_index]
         server_endpoint = Endpoint(server_address, DNS_PORT)
+        tracer = self._resolver._tracer
+        step_span = None
+        if tracer is not None:
+            step_span = tracer.begin(
+                "resolver.step", parent=self._span,
+                attrs={"zone": str(self._zone),
+                       "server": str(server_address),
+                       "depth": self._referrals})
         # The transport owns this server's whole retry budget: fresh
         # ephemeral socket and TXID per attempt, backoff per the
         # resolver's policy. TXIDs come from the resolver's own stream
@@ -362,10 +420,16 @@ class _Resolution:
             if datagram.spoofed:
                 # Accounting only: an off-path forgery beat the checks.
                 self._resolver._stats.poisoned_acceptances += 1
+                if step_span is not None:
+                    step_span.set(poisoned=True)
             return response
 
         def on_complete(report: ExchangeReport) -> None:
             self._exchange = None
+            if step_span is not None:
+                step_span.set(attempts=report.attempts,
+                              timed_out=report.timed_out)
+                tracer.finish(step_span)
             if self._finished:
                 return
             if report.timed_out:
@@ -373,6 +437,9 @@ class _Resolution:
                 self._resolver._stats.timeouts += report.attempts
                 self._next_server()
                 return
+            if (self._resolver._hop_rtt is not None
+                    and report.rtt is not None):
+                self._resolver._hop_rtt.record(self._sim.now, report.rtt)
             # Attempts before the accepted one each burned a timeout.
             self._resolver._stats.timeouts += report.attempts - 1
             self._handle_response(report.value)
@@ -434,6 +501,7 @@ class _Resolution:
         if referral is not None:
             zone, servers, glueless = referral
             self._referrals += 1
+            self._resolver._stats.referrals_followed += 1
             if self._referrals > self._config.max_referral_depth:
                 self._finish(ResolveOutcome(ResolveStatus.SERVFAIL,
                                             rcode=RCode.SERVFAIL,
@@ -540,7 +608,8 @@ class _Resolution:
             self._query_current_server()
 
         _Resolution(self._resolver, ns_name, RRType.A, continue_with,
-                    ns_depth=self._ns_depth + 1).start()
+                    ns_depth=self._ns_depth + 1,
+                    parent_span=self._span).start()
 
     def _follow_cname(self, cname_record: ResourceRecord,
                       from_cache: bool) -> None:
@@ -571,7 +640,8 @@ class _Resolution:
         # depth is inherited so loops terminate.
         _Resolution(self._resolver, target, self._qtype, merge,
                     ns_depth=self._ns_depth,
-                    cname_depth=self._cname_chain).start()
+                    cname_depth=self._cname_chain,
+                    parent_span=self._span).start()
 
     # ------------------------------------------------------------------
     # Termination.
@@ -585,4 +655,21 @@ class _Resolution:
             # Abandon any in-flight exchange (releases its socket).
             self._exchange.pending.cancel()
             self._exchange = None
+        if not outcome.from_cache and self._upstream_queries:
+            # A cache miss that went to the network kept a cache slot
+            # open from the resolution's start until now — the window
+            # a spray of forged responses races.
+            resolver = self._resolver
+            window = self._sim.now - self._started
+            resolver._stats.exposure_windows += 1
+            resolver._stats.exposure_open_s += window
+            if resolver._exposure_hist is not None:
+                resolver._exposure_hist.observe(window)
+            if resolver._depth_hist is not None:
+                resolver._depth_hist.observe(float(self._referrals))
+        if self._span is not None:
+            self._span.set(status=outcome.status.value,
+                           from_cache=outcome.from_cache,
+                           upstream_queries=self._upstream_queries)
+            self._resolver._tracer.finish(self._span)
         self._callback(outcome)

@@ -94,12 +94,14 @@ def deploy_provider(internet: Internet, profile: DoHProviderProfile,
                     authority: CertificateAuthority,
                     root_hints: List[Tuple[Name, IPAddress]],
                     rng_registry: RngRegistry,
-                    resolver_config: Optional[ResolverConfig] = None) -> ProviderDeployment:
+                    resolver_config: Optional[ResolverConfig] = None,
+                    instrument: bool = False) -> ProviderDeployment:
     """Stand up one provider in the simulated Internet.
 
     Creates the host, the backend recursive resolver (plain DNS on :53,
     used for its recursion engine), the TLS identity, and the DoH
-    front-end on :443.
+    front-end on :443.  ``instrument=True`` turns on the resolver's
+    cache/referral telemetry (iterative-hierarchy worlds).
     """
     host = internet.add_host(Host(
         profile.name, profile.region, [IPAddress(profile.address)],
@@ -107,7 +109,8 @@ def deploy_provider(internet: Internet, profile: DoHProviderProfile,
     resolver = RecursiveResolver(
         host, internet.simulator, root_hints,
         config=resolver_config or ResolverConfig(),
-        rng=rng_registry.stream("provider-txid", profile.name))
+        rng=rng_registry.stream("provider-txid", profile.name),
+        instrument=instrument)
     keypair = KeyPair.generate(rng_registry.stream("provider-key", profile.name))
     certificate = authority.issue(profile.name, keypair.public)
     doh_server = DoHServer(host, resolver, certificate, keypair)

@@ -84,6 +84,14 @@ class Host:
         self._randomize_ports = bool(value)
 
     @property
+    def next_sequential_port(self) -> int:
+        """The next ephemeral port a sequential-allocation stack will
+        hand out — the off-path attacker's port oracle against hosts
+        with ``randomize_ports=False`` (the paper's zero-port-entropy
+        assumption).  Meaningless while ports are randomised."""
+        return self._next_sequential_port
+
+    @property
     def primary_address(self) -> IPAddress:
         return self._addresses[0]
 

@@ -16,15 +16,23 @@ from repro.scenarios.builders import (
     build_population_scenario,
 )
 from repro.scenarios.presets import (
+    SPEC_PRESETS,
     degraded_network_scenario,
+    e2_grid_base_spec,
     figure1_scenario,
+    get_spec_preset,
+    hierarchy_population_spec,
+    hierarchy_scenario,
+    hierarchy_spec,
     large_scale_scenario,
     lossy_network_scenario,
 )
 from repro.scenarios.spec import (
+    RESOLVER_MODES,
     AttackSpec,
     FaultSpec,
     FleetSpec,
+    HierarchySpec,
     LinkSpec,
     NetworkSpec,
     PoolSpec,
@@ -47,6 +55,7 @@ __all__ = [
     "AttackSpec",
     "FaultSpec",
     "FleetSpec",
+    "HierarchySpec",
     "LinkSpec",
     "NetworkSpec",
     "PoolDirectory",
@@ -55,16 +64,23 @@ __all__ = [
     "PopulationScenario",
     "ProfileSpec",
     "ProviderSpec",
+    "RESOLVER_MODES",
     "RegionSpec",
     "ResolverSpec",
+    "SPEC_PRESETS",
     "ScenarioSpec",
     "TelemetrySpec",
     "World",
     "build_pool_scenario",
     "build_population_scenario",
     "degraded_network_scenario",
+    "e2_grid_base_spec",
     "figure1_scenario",
     "get_path",
+    "get_spec_preset",
+    "hierarchy_population_spec",
+    "hierarchy_scenario",
+    "hierarchy_spec",
     "large_scale_scenario",
     "lossy_network_scenario",
     "materialize",

@@ -68,6 +68,10 @@ class PoolScenario:
     access_fault: Optional[FaultModel] = None  # installed on the client edge
     telemetry: Optional["MetricsRegistry"] = None    # noqa: F821
     attacks: List[Tuple[str, Any]] = field(default_factory=list)
+    #: The compiled referral chain for ``mode="iterative"`` worlds (a
+    #: :class:`repro.dns.hierarchy.HierarchyDeployment`); None on the
+    #: legacy flat tree.
+    hierarchy: Optional[Any] = None
 
     @property
     def provider_endpoints(self) -> List:
@@ -144,6 +148,11 @@ class PopulationScenario:
     @property
     def internet(self) -> Internet:
         return self.pool.internet
+
+    @property
+    def hierarchy(self):
+        """The compiled referral chain (iterative worlds), else None."""
+        return self.pool.hierarchy
 
     def run(self, max_events: int = 5_000_000):
         """Drive the whole population to completion; returns the

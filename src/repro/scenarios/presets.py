@@ -11,16 +11,22 @@ from __future__ import annotations
 import inspect
 from dataclasses import replace
 
+from typing import Optional
+
 from repro.core.errors import UnknownPresetError
 from repro.netsim.link import LinkProfile
 from repro.scenarios.builders import PoolScenario
 from repro.scenarios.spec import (
+    AttackSpec,
     FaultSpec,
+    HierarchySpec,
     LinkSpec,
     ResolverSpec,
     ScenarioSpec,
     materialize,
     pool_spec,
+    population_spec,
+    set_path,
 )
 
 #: The patient retry configuration the degraded/lossy presets use.
@@ -104,6 +110,119 @@ custom_scenario.__signature__ = inspect.Signature(
     [inspect.Parameter("seed", inspect.Parameter.POSITIONAL_OR_KEYWORD,
                        default=1)]
     + list(inspect.signature(pool_spec).parameters.values()))
+
+
+# ----------------------------------------------------------------------
+# Spec-valued presets (the grid/exemplar surface).
+#
+# Unlike the ``*_scenario`` builders above, these return the *spec*
+# itself, so benchmarks, ``--smoke`` grids and examples can share one
+# canonical base spec by name instead of re-deriving it inline.
+# ----------------------------------------------------------------------
+
+#: Forged answers the documentation block provides, one per answer slot
+#: of the E2 base spec (kept in lockstep with ``_default_forged``).
+_E2_FORGED = tuple(f"203.0.113.{i + 1}" for i in range(4))
+
+
+def e2_grid_base_spec() -> ScenarioSpec:
+    """The base spec of the E2 grid (``bench_e2_required_fraction``):
+    a 40-server pool with an explicit :class:`ResolverSpec` and access
+    :class:`LinkSpec` so the campaign can sweep ``provider.count`` ×
+    ``provider.corrupted`` × ``network.access.latency`` directly."""
+    spec = pool_spec(pool_size=40, answers_per_query=4)
+    spec = set_path(spec, "provider.resolver", ResolverSpec())
+    spec = set_path(spec, "provider.forged", _E2_FORGED)
+    return set_path(spec, "network.access", LinkSpec())
+
+
+def hierarchy_spec(pool_size: int = 20, answers_per_query: int = 4,
+                   pool_ttl: int = 60,
+                   hierarchy: Optional[HierarchySpec] = None,
+                   **kwargs) -> ScenarioSpec:
+    """Figure 1 with iterative resolution: the providers' recursors
+    walk a real root→TLD→authoritative referral chain (the
+    :class:`~repro.dns.hierarchy.HierarchySpec` tree) instead of the
+    legacy flat forwarding layout."""
+    spec = pool_spec(pool_size=pool_size,
+                     answers_per_query=answers_per_query,
+                     pool_ttl=pool_ttl, **kwargs)
+    return replace(spec, provider=replace(
+        spec.provider,
+        resolver=ResolverSpec(mode="iterative",
+                              hierarchy=hierarchy or HierarchySpec())))
+
+
+def hierarchy_scenario(seed: int = 1, **kwargs) -> PoolScenario:
+    return materialize(hierarchy_spec(**kwargs), seed)
+
+
+def hierarchy_population_spec(
+    num_clients: int = 50,
+    rounds: int = 3,
+    pool_ttl: int = 60,
+    spray_rate: float = 0.0,
+    spray_duration: float = 60.0,
+    txid_bits: int = 6,
+    covered_bits: int = 6,
+    port_window: int = 2,
+    forged: tuple = ("203.0.113.66",),
+    hierarchy: Optional[HierarchySpec] = None,
+    **kwargs,
+) -> ScenarioSpec:
+    """A measured population over the iterative hierarchy with an
+    off-path sprayer racing provider 0's upstream queries.
+
+    Providers serve plain DNS (the UDP fleet transport) and run
+    deliberately weakened recursors — ``txid_bits``-wide transaction
+    IDs, sequential ephemeral ports once the sprayer installs — the
+    paper's historical-stack entropy assumptions.  ``pool_ttl`` and
+    ``spray_rate`` are the exposure-window axes ``bench_h1`` sweeps
+    (as ``pool.ttl`` and ``attacks[0].rate``); ``spray_rate=0`` keeps
+    the attacker passive so the same world doubles as the unattacked
+    baseline.
+    """
+    spec = population_spec(num_clients=num_clients, rounds=rounds,
+                           pool_ttl=pool_ttl, **kwargs)
+    spec = replace(spec, provider=replace(
+        spec.provider, serve="dns",
+        resolver=ResolverSpec(mode="iterative", txid_bits=txid_bits,
+                              hierarchy=hierarchy or HierarchySpec())))
+    attack = AttackSpec.of(
+        "offpath", rate=spray_rate, duration=spray_duration,
+        covered_bits=covered_bits, port_window=port_window,
+        forged=tuple(str(a) for a in forged))
+    return replace(spec, attacks=(attack,))
+
+
+#: Spec-valued preset registry: name -> builder returning a
+#: :class:`ScenarioSpec` (separate from :data:`PRESETS`, whose builders
+#: return compiled worlds).
+SPEC_PRESETS = {
+    "figure1": figure1_spec,
+    "large-scale": large_scale_spec,
+    "lossy-network": lossy_network_spec,
+    "degraded-network": degraded_network_spec,
+    "e2-grid-base": e2_grid_base_spec,
+    "hierarchy": hierarchy_spec,
+    "hierarchy-population": hierarchy_population_spec,
+    "custom": pool_spec,
+}
+
+
+def get_spec_preset(name: str):
+    """Look up a *spec* builder by registry name.
+
+    >>> get_spec_preset("hierarchy") is hierarchy_spec
+    True
+
+    Raises :class:`repro.core.errors.UnknownPresetError` listing the
+    valid names for anything else.
+    """
+    try:
+        return SPEC_PRESETS[name]
+    except KeyError:
+        raise UnknownPresetError(name, SPEC_PRESETS) from None
 
 
 # ----------------------------------------------------------------------

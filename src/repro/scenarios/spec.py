@@ -35,7 +35,6 @@ Three operations close the loop:
 from __future__ import annotations
 
 import dataclasses
-import json
 import re
 from dataclasses import dataclass, field, fields, replace
 from typing import (
@@ -56,73 +55,12 @@ from repro.netsim.link import FaultModel, LinkProfile
 
 
 # ----------------------------------------------------------------------
-# Serialization base.
+# Serialization base (moved to repro.util.specbase so lower layers can
+# define specs too; re-exported here for compatibility).
 # ----------------------------------------------------------------------
 
-def _encode(value: Any) -> Any:
-    if isinstance(value, SpecBase):
-        return value.to_dict()
-    if isinstance(value, tuple):
-        return [_encode(item) for item in value]
-    return value
-
-
-class SpecBase:
-    """Shared serialization machinery for every spec dataclass.
-
-    Subclasses declare nested fields in ``_NESTED`` as
-    ``{field: (kind, spec_class)}`` with ``kind`` one of ``"spec"``,
-    ``"opt"`` (optional spec), ``"tuple"`` (tuple of specs),
-    ``"opt_tuple"`` (optional tuple of specs) or ``"scalars"`` (tuple
-    of plain values, ``spec_class`` ignored).  Everything else
-    round-trips as a JSON scalar.
-    """
-
-    _NESTED: Dict[str, Tuple[str, Optional[type]]] = {}
-
-    def to_dict(self) -> Dict[str, Any]:
-        """A JSON-ready dict; inverse of :meth:`from_dict`."""
-        return {f.name: _encode(getattr(self, f.name))
-                for f in fields(self)}
-
-    @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "SpecBase":
-        """Rebuild a spec from :meth:`to_dict` output (lists become
-        tuples; unknown keys fail loudly to catch typo'd sweeps)."""
-        known = {f.name for f in fields(cls)}
-        unknown = set(data) - known
-        if unknown:
-            raise ConfigurationError(
-                f"{cls.__name__}.from_dict: unknown fields "
-                f"{sorted(unknown)}; known: {sorted(known)}")
-        kwargs: Dict[str, Any] = {}
-        for name, raw in data.items():
-            kind, spec_cls = cls._NESTED.get(name, (None, None))
-            if kind == "spec":
-                kwargs[name] = spec_cls.from_dict(raw)
-            elif kind == "opt":
-                kwargs[name] = (None if raw is None
-                                else spec_cls.from_dict(raw))
-            elif kind == "tuple":
-                kwargs[name] = tuple(spec_cls.from_dict(item)
-                                     for item in raw)
-            elif kind == "opt_tuple":
-                kwargs[name] = (None if raw is None
-                                else tuple(spec_cls.from_dict(item)
-                                           for item in raw))
-            elif kind == "scalars":
-                kwargs[name] = tuple(raw)
-            else:
-                kwargs[name] = raw
-        return cls(**kwargs)
-
-    def to_json(self) -> str:
-        """Canonical JSON (sorted keys, byte-stable across runs)."""
-        return json.dumps(self.to_dict(), sort_keys=True, allow_nan=False)
-
-    @classmethod
-    def from_json(cls, text: str) -> "SpecBase":
-        return cls.from_dict(json.loads(text))
+from repro.dns.hierarchy import HierarchySpec  # noqa: E402
+from repro.util.specbase import SpecBase, _encode  # noqa: E402, F401
 
 
 # ----------------------------------------------------------------------
@@ -282,10 +220,26 @@ class ProfileSpec(SpecBase):
                    address=profile.address)
 
 
+#: ResolverSpec modes: ``"forwarding"`` (the legacy flat tree — the
+#: providers' recursors resolve against the fixed root/org/ntpns
+#: layout) or ``"iterative"`` (a :class:`HierarchySpec`-compiled
+#: root→TLD→zone tree with instrumented caching recursion).
+RESOLVER_MODES = ("forwarding", "iterative")
+
+#: ResolverSpec fields that shape the *world*, not the per-resolver
+#: ResolverConfig; excluded from the config mirror round-trip.
+_RESOLVER_WORLD_FIELDS = ("mode", "hierarchy")
+
+
 @dataclass(frozen=True)
 class ResolverSpec(SpecBase):
     """Serializable mirror of
-    :class:`repro.dns.resolver.ResolverConfig` (same defaults)."""
+    :class:`repro.dns.resolver.ResolverConfig` (same defaults), plus
+    the world-level resolution axis: ``mode``/``hierarchy`` pick the
+    DNS tree the providers' recursors walk (they never reach the
+    per-resolver config).  Both serialize only when non-default, so
+    pre-hierarchy spec JSON stays byte-identical.
+    """
 
     query_timeout: float = 2.0
     max_retries_per_server: int = 1
@@ -299,15 +253,38 @@ class ResolverSpec(SpecBase):
     cache_max_entries: int = 10_000
     negative_ttl_cap: int = 900
     serve_port: int = 53
+    mode: str = "forwarding"
+    hierarchy: Optional[HierarchySpec] = None
+
+    _NESTED = {"hierarchy": ("opt", HierarchySpec)}
+
+    def __post_init__(self) -> None:
+        if self.mode not in RESOLVER_MODES:
+            raise ConfigurationError(
+                f"resolver mode must be one of {RESOLVER_MODES}, "
+                f"got {self.mode!r}")
+        if self.hierarchy is not None and self.mode != "iterative":
+            raise ConfigurationError(
+                "ResolverSpec.hierarchy needs mode='iterative'")
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        if self.mode == "forwarding":
+            del data["mode"]
+        if self.hierarchy is None:
+            del data["hierarchy"]
+        return data
 
     def to_config(self) -> ResolverConfig:
         return ResolverConfig(**{f.name: getattr(self, f.name)
-                                 for f in fields(self)})
+                                 for f in fields(self)
+                                 if f.name not in _RESOLVER_WORLD_FIELDS})
 
     @classmethod
     def from_config(cls, config: ResolverConfig) -> "ResolverSpec":
         return cls(**{f.name: getattr(config, f.name)
-                      for f in fields(cls)})
+                      for f in fields(cls)
+                      if f.name not in _RESOLVER_WORLD_FIELDS})
 
 
 #: ProviderSpec serving modes: full DoH front-end (the default, what
@@ -521,6 +498,15 @@ class AttackSpec(SpecBase):
                 return value
         return default
 
+    def has_param(self, name: str) -> bool:
+        return any(key == name for key, _ in self.params)
+
+    def with_param(self, name: str, value: Any) -> "AttackSpec":
+        """A copy with one parameter replaced (or added) — the
+        :func:`set_path` surface for sweeping attack knobs."""
+        kept = tuple((k, v) for k, v in self.params if k != name)
+        return AttackSpec(kind=self.kind, params=kept + ((name, value),))
+
     def to_dict(self) -> Dict[str, Any]:
         return {"kind": self.kind,
                 "params": {name: _encode(value)
@@ -544,6 +530,11 @@ class AttackContext:
     access_links: List[str]
     region_links: Dict[str, str] = field(default_factory=dict)
     ntp_fleet: Any = None
+    root_hints: List[Any] = field(default_factory=list)
+
+    @property
+    def simulator(self):
+        return self.internet.simulator
 
     def links_for(self, attack: AttackSpec) -> List[str]:
         """Resolve an attack's target links: explicit ``links``, one
@@ -606,9 +597,62 @@ def _install_mitm(attack: AttackSpec, ctx: AttackContext):
 
 
 def _install_offpath(attack: AttackSpec, ctx: AttackContext):
-    from repro.attacks.offpath import OffPathPoisoner
+    """The off-path poisoner, driven entirely by :class:`AttackSpec`
+    data.  With no ``rate`` the installer returns a passive
+    :class:`~repro.attacks.offpath.OffPathPoisoner` (the legacy
+    behaviour — trial code sprays by hand).  With ``rate > 0`` it
+    schedules a :class:`~repro.attacks.offpath.PeriodicSprayer` that
+    bursts forged responses at one victim resolver for the run's
+    duration; every knob (spray rate, port/TXID entropy assumptions,
+    spoofed server, forged addresses) is a sweepable spec field.
+    """
+    from repro.attacks.offpath import OffPathPoisoner, PeriodicSprayer
+    from repro.dns.message import Question
+    from repro.dns.rrtype import RRType
+    from repro.netsim.address import Endpoint, IPAddress
+
     node = attack.param("node") or ctx.providers[0].host.node
-    return OffPathPoisoner(ctx.internet, injection_node=node)
+    poisoner = OffPathPoisoner(ctx.internet, injection_node=node)
+    rate = float(attack.param("rate", 0.0))
+    if rate <= 0.0:
+        return poisoner
+
+    victim = ctx.providers[int(attack.param("victim", 0))]
+    track_ports = bool(attack.param("track_ports", True))
+    if track_ports:
+        # The paper's zero-port-entropy assumption: a victim stack
+        # allocating ephemeral ports sequentially, so the attacker's
+        # oracle (Host.next_sequential_port) predicts the open socket.
+        victim.host.randomize_ports = False
+    spoof = attack.param("spoof")
+    if spoof is not None:
+        spoofed_server = Endpoint(IPAddress(str(spoof)), 53)
+    else:
+        if not ctx.root_hints:
+            raise ConfigurationError(
+                "offpath rate-mode needs a spoofable server: no root "
+                "hints in context and no spoof= param")
+        # The resolver's first hop re-asks the root on every cache
+        # miss (referrals are not cached), so racing the root wins
+        # the whole resolution.
+        spoofed_server = Endpoint(ctx.root_hints[0][1], 53)
+    forged = [str(a) for a in attack.param("forged", ())]
+    if not forged:
+        raise ConfigurationError("offpath rate-mode needs forged= "
+                                 "addresses to inject")
+    sprayer = PeriodicSprayer(
+        poisoner, ctx.simulator, victim.host,
+        question=Question(ctx.pool_domain, RRType.A),
+        spoofed_server=spoofed_server, forged_addresses=forged,
+        rate=rate,
+        duration=float(attack.param("duration", 60.0)),
+        start=float(attack.param("start", 0.0)),
+        port_window=int(attack.param("port_window", 2)),
+        covered_bits=int(attack.param("covered_bits", 6)),
+        track_ports=track_ports,
+        ttl=int(attack.param("ttl", 86_400)))
+    sprayer.schedule()
+    return sprayer
 
 
 def _install_timeshift(attack: AttackSpec, ctx: AttackContext):
@@ -712,10 +756,20 @@ def _split_path(path: str) -> List[Tuple[str, Optional[int]]]:
 
 def get_path(spec: SpecBase, path: str) -> Any:
     """Read a dotted path, e.g. ``get_path(s, "fleet.size")`` or
-    ``get_path(s, "network.regions[0].link.loss")``."""
+    ``get_path(s, "network.regions[0].link.loss")``.  On an
+    :class:`AttackSpec` node, a name that is not a dataclass field
+    falls through to the attack's parameters (``"attacks[0].rate"``) —
+    the surface campaign grids sweep attack knobs with."""
     value: Any = spec
     for attr, index in _split_path(path):
         if not hasattr(value, attr):
+            if isinstance(value, AttackSpec) and value.has_param(attr):
+                if index is not None:
+                    raise ConfigurationError(
+                        f"spec path {path!r}: attack params are not "
+                        f"indexable")
+                value = value.param(attr)
+                continue
             raise ConfigurationError(
                 f"spec path {path!r}: {type(value).__name__} has no "
                 f"field {attr!r}")
@@ -736,6 +790,13 @@ def _set_steps(node: Any, steps: List[Tuple[str, Optional[int]]],
                value: Any, path: str) -> Any:
     attr, index = steps[0]
     if not dataclasses.is_dataclass(node) or not hasattr(node, attr):
+        # Attack knobs live in the params tuple, not as fields; a
+        # terminal non-field name on an AttackSpec sets (or adds) the
+        # parameter so grids can sweep e.g. "attacks[0].rate".
+        if (isinstance(node, AttackSpec) and len(steps) == 1
+                and index is None and not hasattr(node, attr)):
+            return node.with_param(
+                attr, tuple(value) if isinstance(value, list) else value)
         raise ConfigurationError(
             f"spec path {path!r}: {type(node).__name__} has no "
             f"field {attr!r}")
@@ -944,34 +1005,30 @@ def _materialize_single(spec: ScenarioSpec, seed: int, registry):
 
 
 def _build_pool_world(spec: ScenarioSpec, seed: int):
-    """The Figure 1 world (ported verbatim from the legacy
-    ``build_pool_scenario`` so spec-built worlds stay bit-identical)."""
-    from repro.dns.name import Name
-    from repro.dns.rdata import ARdata, NSRdata
-    from repro.dns.rrtype import RRType
-    from repro.dns.server import AuthoritativeServer
-    from repro.dns.zone import Zone
+    """The Figure 1 world.  ``mode="forwarding"`` deploys the legacy
+    flat tree (ported verbatim through
+    :func:`repro.dns.hierarchy.compile_legacy_tree` so spec-built
+    worlds stay bit-identical); ``mode="iterative"`` compiles the
+    scenario's :class:`~repro.dns.hierarchy.HierarchySpec` into a
+    root→TLD→zone referral chain and instruments the providers'
+    caching resolvers."""
+    from repro.dns.hierarchy import (
+        HierarchySpec,
+        compile_hierarchy,
+        compile_legacy_tree,
+    )
     from repro.doh.providers import (
         FIGURE1_PROVIDERS,
         deploy_provider,
         synthetic_profiles,
     )
     from repro.doh.tls import CertificateAuthority, TrustStore
-    from repro.netsim.address import IPAddress, ip
+    from repro.netsim.address import ip
     from repro.netsim.host import Host
     from repro.netsim.internet import Internet
     from repro.netsim.simulator import Simulator
     from repro.netsim.topology import Topology
-    from repro.scenarios.builders import (
-        CLIENT_ADDRESS,
-        NTP_NS_ADDRESSES,
-        ORG_NS_ADDRESS,
-        POOL_DOMAIN,
-        ROOT_NS_ADDRESS,
-        PoolScenario,
-        _make_benign_pool,
-    )
-    from repro.scenarios.workload import PoolDirectory
+    from repro.scenarios.builders import CLIENT_ADDRESS, PoolScenario
     from repro.util.rng import RngRegistry
 
     provider_spec = spec.provider
@@ -996,54 +1053,18 @@ def _build_pool_world(spec: ScenarioSpec, seed: int):
     internet = Internet(simulator, topology, registry)
 
     # --- DNS tree -----------------------------------------------------
-    root_host = internet.add_host(
-        Host("a.root-servers.net", "dns-root-edge", [ip(ROOT_NS_ADDRESS)]))
-    org_host = internet.add_host(
-        Host("a0.org.afilias-nst.info", "dns-org-edge", [ip(ORG_NS_ADDRESS)]))
-
-    root_zone = Zone(".", soa_mname="a.root-servers.net")
-    root_zone.add_delegation("org", "a0.org.afilias-nst.info")
-    # Out-of-zone NS target needs glue at the root (it lives under
-    # .info in reality; here the root carries the A record directly).
-    root_zone.add_record("a0.org.afilias-nst.info", ARdata(ORG_NS_ADDRESS))
-
-    org_zone = Zone("org", soa_mname="a0.org.afilias-nst.info")
-    ntpns_hosts = {}
-    for ns_name, address in NTP_NS_ADDRESSES.items():
-        org_zone.add_delegation("ntp.org", ns_name, glue=[ARdata(address)])
-        ntpns_hosts[ns_name] = internet.add_host(
-            Host(ns_name, "ntpns-edge", [ip(address)]))
-    # ntpns.org itself is a real zone too (its servers' names live there).
-    org_zone.add_delegation("ntpns.org", "c.ntpns.org",
-                            glue=[ARdata(NTP_NS_ADDRESSES["c.ntpns.org"])])
-
-    directory = PoolDirectory(
-        benign=_make_benign_pool(pool.size, dual_stack=pool.dual_stack),
-        answers_per_query=pool.answers_per_query,
-        rng=registry.stream("pool-rotation"),
-    )
-    pool_zone = Zone("ntp.org", soa_mname="c.ntpns.org", default_ttl=pool.ttl)
-    for ns_name in NTP_NS_ADDRESSES:
-        pool_zone.add_record("ntp.org", NSRdata(Name(ns_name)))
-    pool_zone.add_provider(POOL_DOMAIN, RRType.A,
-                           directory.record_provider(family=4), ttl=pool.ttl)
-    if pool.dual_stack:
-        pool_zone.add_provider(POOL_DOMAIN, RRType.AAAA,
-                               directory.record_provider(family=6),
-                               ttl=pool.ttl)
-
-    ntpns_zone = Zone("ntpns.org", soa_mname="c.ntpns.org")
-    for ns_name, address in NTP_NS_ADDRESSES.items():
-        ntpns_zone.add_record(ns_name, ARdata(address))
-
-    dns_servers = {
-        "root": AuthoritativeServer(root_host, [root_zone]),
-        "org": AuthoritativeServer(org_host, [org_zone]),
-    }
-    for ns_name, host in ntpns_hosts.items():
-        dns_servers[ns_name] = AuthoritativeServer(host, [pool_zone, ntpns_zone])
-
-    root_hints = [(Name("a.root-servers.net"), IPAddress(ROOT_NS_ADDRESS))]
+    iterative = (provider_spec.resolver is not None
+                 and provider_spec.resolver.mode == "iterative")
+    if iterative:
+        tree = compile_hierarchy(
+            internet, registry, pool,
+            provider_spec.resolver.hierarchy or HierarchySpec())
+    else:
+        tree = compile_legacy_tree(internet, registry, pool)
+    directory = tree.directory
+    pool_zone = tree.pool_zone
+    dns_servers = tree.servers
+    root_hints = tree.root_hints
 
     # --- DoH providers -------------------------------------------------
     authority = CertificateAuthority("SimRoot CA", registry.stream("ca"))
@@ -1062,13 +1083,15 @@ def _build_pool_world(spec: ScenarioSpec, seed: int):
     if provider_spec.serve == "doh":
         providers = [
             deploy_provider(internet, profile, authority, root_hints,
-                            registry, resolver_config=resolver_config)
+                            registry, resolver_config=resolver_config,
+                            instrument=iterative)
             for profile in profiles
         ]
     else:
         providers = [
             _deploy_plain_provider(internet, profile, root_hints, registry,
-                                   resolver_config=resolver_config)
+                                   resolver_config=resolver_config,
+                                   instrument=iterative)
             for profile in profiles
         ]
 
@@ -1082,12 +1105,13 @@ def _build_pool_world(spec: ScenarioSpec, seed: int):
         client=client, providers=providers, authority=authority,
         trust_store=trust_store, directory=directory, pool_zone=pool_zone,
         dns_servers=dns_servers, root_hints=root_hints,
-        access_fault=access_fault,
+        access_fault=access_fault, pool_domain=tree.pool_domain,
+        hierarchy=tree if iterative else None,
     )
 
 
 def _deploy_plain_provider(internet, profile, root_hints, rng_registry,
-                           resolver_config=None):
+                           resolver_config=None, instrument=False):
     """A provider in ``serve="dns"`` mode: recursion engine + plain :53
     only — no TLS identity, no DoH front-end."""
     from repro.dns.resolver import RecursiveResolver, ResolverConfig
@@ -1101,7 +1125,8 @@ def _deploy_plain_provider(internet, profile, root_hints, rng_registry,
     resolver = RecursiveResolver(
         host, internet.simulator, root_hints,
         config=resolver_config or ResolverConfig(),
-        rng=rng_registry.stream("provider-txid", profile.name))
+        rng=rng_registry.stream("provider-txid", profile.name),
+        instrument=instrument)
     return ProviderDeployment(profile=profile, host=host, resolver=resolver,
                               doh_server=None, certificate=None, keypair=None)
 
@@ -1260,7 +1285,7 @@ def _install_attacks(spec: ScenarioSpec, world, pool_scenario,
         providers=pool_scenario.providers,
         directory=pool_scenario.directory,
         access_links=access_links, region_links=region_links,
-        ntp_fleet=ntp_fleet)
+        ntp_fleet=ntp_fleet, root_hints=list(pool_scenario.root_hints))
     for attack in spec.attacks:
         world.attacks.append((attack.kind,
                               ATTACK_INSTALLERS[attack.kind](attack,
@@ -1273,14 +1298,17 @@ __all__ = [
     "AttackSpec",
     "FaultSpec",
     "FleetSpec",
+    "HierarchySpec",
     "LinkSpec",
     "NetworkSpec",
     "PoolSpec",
     "ProfileSpec",
     "ProviderSpec",
+    "RESOLVER_MODES",
     "RegionSpec",
     "ResolverSpec",
     "ScenarioSpec",
+    "SpecBase",
     "TelemetrySpec",
     "World",
     "apply_paths",

@@ -1,0 +1,160 @@
+"""DnsCache under virtual time at scale: expiry ordering, LRU pressure,
+and registry counters that fold bit-identically across shards."""
+
+import pytest
+
+from repro.dns.cache import DnsCache
+from repro.dns.message import ResourceRecord
+from repro.dns.name import Name
+from repro.dns.rcode import RCode
+from repro.dns.rdata import ARdata
+from repro.dns.rrtype import RRType
+from repro.telemetry.registry import MetricsRegistry, fold_snapshots
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def name(index):
+    return Name(f"host{index}.example.com")
+
+
+def record(index, ttl):
+    return ResourceRecord(
+        name(index), RRType.A, ttl,
+        ARdata(f"172.16.{index // 250}.{index % 250 + 1}"))
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestExpiryOrderingAtScale:
+    N = 1000
+
+    def fill(self, clock):
+        cache = DnsCache(clock=clock, max_entries=self.N)
+        # Entry i expires at t = i + 1: a strict expiry ordering.
+        for i in range(self.N):
+            cache.put_positive(name(i), RRType.A, [record(i, ttl=i + 1)])
+        return cache
+
+    def test_entries_expire_in_ttl_order(self, clock):
+        cache = self.fill(clock)
+        # At virtual time t exactly the first t entries (TTLs 1..t)
+        # have expired, regardless of insertion volume.
+        for t in (1, 250, 999):
+            clock.now = float(t)
+            live = sum(
+                1 for i in range(self.N)
+                if cache.get(name(i), RRType.A) is not None)
+            assert live == self.N - t
+
+    def test_purge_expired_matches_virtual_time(self, clock):
+        cache = self.fill(clock)
+        clock.now = 400.0
+        assert cache.purge_expired() == 400
+        assert cache.size == self.N - 400
+        clock.now = float(self.N)
+        assert cache.purge_expired() == self.N - 400
+        assert cache.size == 0
+
+    def test_remaining_ttl_decays_with_virtual_time(self, clock):
+        cache = DnsCache(clock=clock)
+        cache.put_positive(name(0), RRType.A, [record(0, ttl=300)])
+        clock.now = 120.0
+        entry = cache.get(name(0), RRType.A)
+        assert entry.records[0].ttl == 180
+
+
+class TestLruAndNegativeEntries:
+    def test_negative_entries_compete_for_lru_slots(self, clock):
+        cache = DnsCache(clock=clock, max_entries=4)
+        for i in range(4):
+            cache.put_negative(name(i), RRType.A, RCode.NXDOMAIN,
+                               negative_ttl=60)
+        cache.put_positive(name(99), RRType.A, [record(99, ttl=60)])
+        # Oldest negative entry was evicted to make room.
+        assert cache.evictions == 1
+        assert cache.get(name(0), RRType.A) is None
+        assert cache.get(name(99), RRType.A) is not None
+
+    def test_recently_hit_entry_survives_pressure(self, clock):
+        cache = DnsCache(clock=clock, max_entries=4)
+        for i in range(4):
+            cache.put_positive(name(i), RRType.A, [record(i, ttl=600)])
+        # Touch entry 0 so entry 1 becomes least-recently-used.
+        assert cache.get(name(0), RRType.A) is not None
+        cache.put_positive(name(4), RRType.A, [record(4, ttl=600)])
+        assert cache.get(name(0), RRType.A) is not None
+        assert cache.get(name(1), RRType.A) is None
+
+    def test_negative_entry_expires_like_positive(self, clock):
+        cache = DnsCache(clock=clock)
+        cache.put_negative(name(0), RRType.A, RCode.NXDOMAIN,
+                           negative_ttl=30)
+        entry = cache.get(name(0), RRType.A)
+        assert entry.is_negative and entry.rcode is RCode.NXDOMAIN
+        clock.now = 31.0
+        assert cache.get(name(0), RRType.A) is None
+
+
+def run_shard_workload(shard_index, registry):
+    """A deterministic per-shard cache workload; returns the cache."""
+    clock = FakeClock()
+    cache = DnsCache(clock=clock, max_entries=64, registry=registry,
+                     label=f"shard{shard_index}")
+    for i in range(100 + shard_index * 10):
+        cache.put_positive(name(i), RRType.A, [record(i, ttl=120)])
+    for i in range(150):
+        cache.get(name(i), RRType.A)        # hits for live, misses past end
+    clock.now = 121.0
+    for i in range(20):
+        cache.get(name(i), RRType.A)        # all expired: misses
+    return cache
+
+
+class TestRegistryCounters:
+    def test_registry_counters_equal_integer_properties(self):
+        registry = MetricsRegistry()
+        cache = run_shard_workload(0, registry)
+        assert cache.hits > 0 and cache.misses > 0 and cache.evictions > 0
+        for counter, value in (("hits", cache.hits),
+                               ("misses", cache.misses),
+                               ("evictions", cache.evictions)):
+            assert registry.value(f"dns.cache.{counter}",
+                                  resolver="shard0") == value
+
+    def test_uninstrumented_cache_publishes_nothing(self):
+        cache = run_shard_workload(0, registry=None)
+        assert cache.hits > 0
+        assert "counter" not in MetricsRegistry().snapshot()
+
+    def test_fold_is_order_invariant_for_integer_counters(self):
+        snapshots = []
+        caches = []
+        for shard in range(4):
+            registry = MetricsRegistry()
+            caches.append(run_shard_workload(shard, registry))
+            snapshots.append(registry.snapshot())
+
+        forward = fold_snapshots(snapshots)
+        reverse = fold_snapshots(list(reversed(snapshots)))
+        # Counter state is integral, so the shard fold order cannot
+        # change a single byte of the combined snapshot.
+        assert forward.snapshot_json() == reverse.snapshot_json()
+
+        # And the fold equals the sum of the per-shard truth.
+        for shard, cache in enumerate(caches):
+            assert forward.value("dns.cache.hits",
+                                 resolver=f"shard{shard}") == cache.hits
+        total_hits = sum(
+            state for key, state in forward.snapshot()["counter"].items()
+            if key.startswith("dns.cache.hits"))
+        assert total_hits == sum(cache.hits for cache in caches)

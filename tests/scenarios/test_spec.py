@@ -15,9 +15,19 @@ from hypothesis import strategies as st
 
 from repro.core.errors import ConfigurationError, UnknownPresetError
 from repro.scenarios import build_pool_scenario, build_population_scenario
-from repro.scenarios.presets import degraded_network_scenario, get_preset
+from repro.scenarios.presets import (
+    SPEC_PRESETS,
+    degraded_network_scenario,
+    e2_grid_base_spec,
+    get_preset,
+    get_spec_preset,
+    hierarchy_population_spec,
+    hierarchy_spec,
+)
 from repro.scenarios.spec import (
+    RESOLVER_MODES,
     AttackSpec,
+    HierarchySpec,
     FaultSpec,
     FleetSpec,
     LinkSpec,
@@ -339,3 +349,81 @@ class TestPresetRegistry:
              "custom"])
         # Still a ValueError, as the campaign layer expects.
         assert isinstance(excinfo.value, ValueError)
+
+
+class TestResolverModes:
+    def test_forwarding_to_dict_is_byte_stable(self):
+        # The pre-hierarchy wire format: forwarding specs must not grow
+        # new keys, or cached spec JSON and goldens would shift.
+        data = ResolverSpec().to_dict()
+        assert "mode" not in data
+        assert "hierarchy" not in data
+
+    def test_iterative_spec_round_trips(self):
+        spec = hierarchy_spec(pool_size=10)
+        assert spec.provider.resolver.mode == "iterative"
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_custom_hierarchy_round_trips(self):
+        resolver = ResolverSpec(
+            mode="iterative",
+            hierarchy=HierarchySpec(ns_count=3, glue=False))
+        assert ResolverSpec.from_dict(resolver.to_dict()) == resolver
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            ResolverSpec(mode="recursive-available")
+        assert RESOLVER_MODES == ("forwarding", "iterative")
+
+    def test_hierarchy_requires_iterative_mode(self):
+        with pytest.raises(ConfigurationError):
+            ResolverSpec(mode="forwarding", hierarchy=HierarchySpec())
+
+
+class TestAttackPseudoPaths:
+    def test_get_and_set_attack_params(self):
+        spec = hierarchy_population_spec(spray_rate=2.0)
+        assert get_path(spec, "attacks[0].rate") == 2.0
+        faster = set_path(spec, "attacks[0].rate", 16.0)
+        assert get_path(faster, "attacks[0].rate") == 16.0
+        assert get_path(spec, "attacks[0].rate") == 2.0  # original intact
+
+    def test_attack_kind_is_addressable(self):
+        spec = hierarchy_population_spec()
+        assert get_path(spec, "attacks[0].kind") == "offpath"
+
+    def test_unknown_attack_param_raises(self):
+        spec = hierarchy_population_spec()
+        with pytest.raises(ConfigurationError):
+            get_path(spec, "attacks[0].warp_factor")
+
+    def test_attack_index_out_of_range(self):
+        spec = hierarchy_population_spec()
+        with pytest.raises(ConfigurationError):
+            set_path(spec, "attacks[3].rate", 1.0)
+
+
+class TestSpecPresetRegistry:
+    def test_known_spec_presets(self):
+        assert set(SPEC_PRESETS) == {
+            "figure1", "large-scale", "lossy-network", "degraded-network",
+            "e2-grid-base", "hierarchy", "hierarchy-population", "custom"}
+
+    def test_spec_presets_return_specs(self):
+        for preset_name in ("e2-grid-base", "hierarchy",
+                            "hierarchy-population"):
+            spec = get_spec_preset(preset_name)()
+            assert isinstance(spec, ScenarioSpec)
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_e2_grid_base_has_sweepable_nodes(self):
+        spec = e2_grid_base_spec()
+        # The grid axes bench_e2 sweeps must all have concrete nodes.
+        assert get_path(spec, "network.access.latency") > 0
+        assert get_path(spec, "provider.count") == 3
+
+    def test_unknown_spec_preset_lists_names(self):
+        with pytest.raises(UnknownPresetError) as excinfo:
+            get_spec_preset("hierarchyy")
+        assert "hierarchy" in str(excinfo.value)
