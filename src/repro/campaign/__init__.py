@@ -55,6 +55,7 @@ from repro.campaign.sampling import AdaptiveSampling
 from repro.campaign.trials import (
     advantage_bits_trial,
     build_scenario,
+    chaos_trial,
     figure1_system_trial,
     hierarchy_trial,
     offpath_spray_trial,
@@ -81,6 +82,7 @@ __all__ = [
     "advantage_bits_trial",
     "attack_probability_trial",
     "build_scenario",
+    "chaos_trial",
     "choose_executor",
     "figure1_system_trial",
     "hierarchy_trial",

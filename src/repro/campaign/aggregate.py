@@ -30,6 +30,12 @@ class TrialRecord:
     :class:`Aggregator` ``include_telemetry``); ``trace`` carries the
     trial's :meth:`repro.telemetry.Tracer.snapshot_json` when the
     runner traced it (``CampaignRunner(include_traces=True)``).
+
+    ``error`` is ``None`` for a successful trial; a crashed trial
+    records ``"ExceptionType: message"`` instead of metrics, so one
+    bad grid point cannot take down a long sweep. Errored records are
+    excluded from aggregation, journals and result caches — re-running
+    (or resuming) the campaign re-executes exactly those trials.
     """
 
     point_index: int
@@ -40,6 +46,7 @@ class TrialRecord:
     metrics: Mapping[str, float] = field(default_factory=dict, hash=False)
     telemetry: Optional[str] = None
     trace: Optional[str] = None
+    error: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -131,6 +138,10 @@ class Aggregator:
 
     def add(self, record: TrialRecord) -> None:
         """Fold one trial record into the running summaries."""
+        if record.error is not None:
+            # Crashed trials carry no metrics; folding them would only
+            # deflate the per-point trial counts the CIs divide by.
+            return
         entry = self._points.get(record.point_key)
         if entry is None:
             self._points[record.point_key] = (record.point_index,
@@ -211,7 +222,9 @@ class CampaignResult:
     record came out of a completion journal); ``executor`` is the
     configured policy (usually ``"adaptive"``) and ``resumed`` counts
     journal-recovered records — all three are provenance only and never
-    affect the records themselves.
+    affect the records themselves. ``failed`` counts records whose
+    trial function raised (their ``error`` fields say why); the
+    summaries cover only the successful trials.
     """
 
     name: str
@@ -222,6 +235,7 @@ class CampaignResult:
     summaries: List[PointSummary]
     executor: str = "adaptive"
     resumed: int = 0
+    failed: int = 0
 
     def summary(self, **subset: Any) -> PointSummary:
         """The unique point summary whose params match ``subset``."""
@@ -246,6 +260,7 @@ class CampaignResult:
             "mode": self.mode,
             "executor": self.executor,
             "resumed": self.resumed,
+            "failed": self.failed,
             "results": [
                 {
                     "params": {name: json_value(value)

@@ -65,9 +65,21 @@ def execute_spec(spec: Spec) -> TrialRecord:
     telemetry_json, trace_json)`` triple — the extras attach the
     trial's registry snapshot (``include_telemetry`` exports) and its
     trace snapshot (traced runs) to the record.
+
+    A trial function that *raises* is contained here: the exception
+    becomes the record's ``error`` field (empty metrics) instead of
+    aborting the sweep, so a chaos timeline that crashes one grid
+    point still leaves every other point's records intact. Only
+    ``Exception`` is caught — ``KeyboardInterrupt`` and friends still
+    tear the campaign down.
     """
     trial_fn, point_index, point_key, params, trial, seed = spec
-    outcome = trial_fn(params, seed)
+    try:
+        outcome = trial_fn(params, seed)
+    except Exception as error:
+        return TrialRecord(point_index=point_index, point_key=point_key,
+                           params=params, trial=trial, seed=seed, metrics={},
+                           error=f"{type(error).__name__}: {error}")
     telemetry = None
     trace = None
     if isinstance(outcome, tuple):
@@ -166,8 +178,10 @@ def run_threads(specs: Sequence[Spec], workers: int,
                 chunk_size: Optional[int], emit: EmitFn) -> None:
     """Thread-pool executor: no pickling, no fork, shared memory.
 
-    Chunks complete out of order (the runner reassembles by identity);
-    a trial exception cancels the not-yet-started chunks and propagates.
+    Chunks complete out of order (the runner reassembles by identity).
+    Trial exceptions are contained by :func:`execute_spec`; anything
+    that still reaches here is infrastructure failure and cancels the
+    not-yet-started chunks before propagating.
     """
     from concurrent.futures import ThreadPoolExecutor, as_completed
 
@@ -208,8 +222,9 @@ def run_processes(specs: Sequence[Spec], workers: int,
         # semaphores): the serial path gives identical results.
         return None
     chunks = chunk_specs(specs, workers, chunk_size)
-    # Errors raised past this point come from the trial function itself
-    # and must propagate, not silently trigger a serial re-run.
+    # Trial exceptions are contained inside execute_spec; errors raised
+    # past this point are pool infrastructure failures and must
+    # propagate, not silently trigger a serial re-run.
     try:
         for batch in pool.imap_unordered(execute_chunk, chunks):
             for record in batch:

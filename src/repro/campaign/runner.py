@@ -233,7 +233,9 @@ class _Execution:
 
         def emit(record: TrialRecord) -> None:
             slots[slot_of[(record.point_key, record.trial)]] = record
-            if self._journal is not None:
+            if self._journal is not None and record.error is None:
+                # Errored trials stay out of the journal so a resumed
+                # run re-executes them instead of trusting the crash.
                 self._journal.append(record)
             self._tick()
 
@@ -510,9 +512,13 @@ class CampaignRunner:
         finally:
             if journal is not None:
                 journal.close()
-        self._write_cache(cache_path, records)
-        if journal is not None:
-            journal.discard()
+        if all(record.error is None for record in records):
+            self._write_cache(cache_path, records)
+            if journal is not None:
+                journal.discard()
+        # A sweep with crashed trials keeps its journal and writes no
+        # cache: the next run resumes the successful records and
+        # re-executes exactly the failed identities.
         return self._finalise(name, records, mode=execution.mode,
                               resumed=execution.resumed)
 
@@ -589,7 +595,8 @@ class CampaignRunner:
             name=name, base_seed=self._base_seed,
             trials_per_point=self._trials_per_point, mode=mode,
             records=records, summaries=aggregator.summaries(),
-            executor=self._executor, resumed=resumed)
+            executor=self._executor, resumed=resumed,
+            failed=sum(1 for record in records if record.error is not None))
 
     # ------------------------------------------------------------------
     # Content-hash result caching.

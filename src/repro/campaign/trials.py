@@ -427,6 +427,111 @@ def hierarchy_trial(params: Mapping[str, Any], seed: int):
 
 
 # ----------------------------------------------------------------------
+# C1 — chaos timelines and graceful degradation.
+# ----------------------------------------------------------------------
+
+#: An availability bin at or above this mean counts as "recovered" when
+#: chaos_trial measures time-to-recovery after a failure window.
+RECOVERY_THRESHOLD = 0.99
+
+
+def chaos_trial(params: Mapping[str, Any], seed: int):
+    """One measured population under a declared chaos timeline.
+
+    A :func:`spec_trial`-shaped bridge (``params["spec"]`` + validated
+    swept paths) specialised for chaos worlds: the spec must carry a
+    :class:`~repro.scenarios.spec.FleetSpec` and a
+    :class:`~repro.chaos.ChaosSpec` with at least one event, so sweeps
+    like ``chaos.events[0].fraction`` or ``chaos.events[0].duration``
+    land on real failure windows.  On top of the
+    :func:`population_trial` metric set it reports the
+    graceful-degradation surface ``bench_c1`` sweeps:
+
+    ``availability``
+        the whole-run sync SLO (from the base metric set) — quorum
+        policies (``fleet.min_answers``) should hold it above the
+        strict all-providers policy at every outage point.
+    ``mttr``
+        mean time-to-recovery over the windowed chaos events: per
+        event, the delay from its ``at`` until the first
+        ``pop.availability`` bin ending after the window whose mean is
+        at least :data:`RECOVERY_THRESHOLD` (the run horizon when the
+        population never recovers).
+    ``availability_floor`` / ``degraded_victim_fraction``
+        the worst availability bin and the mean victim fraction inside
+        the degraded windows — how far the population sagged while the
+        failure was live.
+    ``chaos_events``
+        how many events the controller actually applied.
+    """
+    if "spec" not in params:
+        raise ValueError("chaos_trial needs params['spec'] "
+                         "(use ParameterGrid.over_spec)")
+    spec = params["spec"]
+    if isinstance(spec, Mapping):
+        spec = ScenarioSpec.from_dict(spec)
+    for name, value in params.items():
+        if name == "spec":
+            continue
+        applied = get_path(spec, name)
+        expected = tuple(value) if isinstance(value, list) else value
+        if applied != expected:
+            raise ValueError(
+                f"spec path {name!r} carries {applied!r} but the grid "
+                f"point says {expected!r}; was the spec edited after "
+                f"expansion?")
+    if spec.fleet is None:
+        raise ValueError("chaos_trial needs a population spec "
+                         "(add a FleetSpec)")
+    if spec.chaos is None or not spec.chaos.events:
+        raise ValueError("chaos_trial needs spec.chaos with at least one "
+                         "event (attach a repro.chaos.ChaosSpec)")
+    if spec.fleet.shards > 1:
+        raise ValueError(
+            "chaos_trial runs one world per trial; shard the campaign, "
+            "not the fleet (infrastructure chaos replays identically in "
+            "every shard, so pop.* metrics fold bit-identically anyway)")
+
+    world = materialize(spec, seed)
+    metrics = _population_metrics(world)
+    registry = world.telemetry
+    horizon = world.simulator.now
+    bin_width = spec.telemetry.time_bin
+    avail = registry.get("pop.availability")
+    avail_series = avail.series() if avail is not None else []
+    victim = registry.get("pop.victim_fraction")
+    victim_series = victim.series() if victim is not None else []
+
+    windows = [(event.at, event.at + event.duration)
+               for event in spec.chaos.events
+               if getattr(event, "duration", 0.0) > 0.0]
+
+    def _degraded(t: float) -> bool:
+        return any(at < t + bin_width and t < end for at, end in windows)
+
+    ttrs = []
+    for at, end in windows:
+        recovered = next(
+            (t for t, mean in avail_series
+             if t + bin_width > end and mean >= RECOVERY_THRESHOLD), None)
+        ttrs.append(max(0.0, (horizon if recovered is None else recovered)
+                        - at))
+    floor = [mean for t, mean in avail_series if _degraded(t)]
+    degraded_victims = [mean for t, mean in victim_series if _degraded(t)]
+    metrics.update({
+        "chaos_events": float(len(world.chaos.windows))
+        if world.chaos is not None else 0.0,
+        "mttr": sum(ttrs) / len(ttrs) if ttrs else 0.0,
+        "availability_floor": min(floor) if floor
+        else metrics["availability"],
+        "degraded_victim_fraction": (sum(degraded_victims)
+                                     / len(degraded_victims)
+                                     if degraded_victims else 0.0),
+    })
+    return metrics, registry.snapshot_json()
+
+
+# ----------------------------------------------------------------------
 # E1 — the whole Figure 1 pipeline, DNS→DoH→pool→Chronos.
 # ----------------------------------------------------------------------
 

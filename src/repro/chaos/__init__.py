@@ -1,0 +1,40 @@
+"""Deterministic chaos engineering for compiled scenario worlds.
+
+Declare a failure timeline with :class:`ChaosSpec` (outages, link
+flaps, partitions, cache wipes, overload windows), attach it to a
+:class:`repro.scenarios.spec.ScenarioSpec` via its ``chaos=`` field,
+and ``materialize`` installs a :class:`ChaosController` that executes
+the timeline in virtual time. See the README's "Chaos engineering"
+section for the schema and the telemetry it produces.
+"""
+
+from repro.chaos.capacity import QUEUE_DEPTH_BIN, ServerCapacity
+from repro.chaos.controller import ACTIVE_BIN, ChaosController, install_chaos
+from repro.chaos.spec import (
+    EVENT_KINDS,
+    CacheWipe,
+    ChaosSpec,
+    LinkFlap,
+    Overload,
+    Partition,
+    ServerOutage,
+    decode_event,
+    encode_event,
+)
+
+__all__ = [
+    "ACTIVE_BIN",
+    "CacheWipe",
+    "ChaosController",
+    "ChaosSpec",
+    "EVENT_KINDS",
+    "LinkFlap",
+    "Overload",
+    "Partition",
+    "QUEUE_DEPTH_BIN",
+    "ServerCapacity",
+    "ServerOutage",
+    "decode_event",
+    "encode_event",
+    "install_chaos",
+]

@@ -210,6 +210,9 @@ class RecursiveResolver:
         # swaps this (like the DoH front-end's resolver reference) so a
         # compromised provider lies on every interface it serves.
         self.serve_engine: "RecursiveResolver" = self
+        # Bounded-queue capacity during chaos Overload windows; None
+        # (the steady state) keeps the historical inline serve path.
+        self.capacity = None
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -250,6 +253,21 @@ class RecursiveResolver:
             return
         if query.is_response or len(query.questions) != 1:
             return
+        capacity = self.capacity
+        if capacity is None:
+            self._serve_client_query(datagram, query)
+            return
+
+        def reject() -> None:
+            self._serve_socket.reply(datagram, make_response(
+                query, rcode=RCode.SERVFAIL,
+                recursion_available=True).encode())
+
+        capacity.admit(lambda: self._serve_client_query(datagram, query),
+                       reject)
+
+    def _serve_client_query(self, datagram: Datagram,
+                            query: Message) -> None:
         self._stats.client_queries += 1
         question = query.question
 

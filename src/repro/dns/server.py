@@ -34,6 +34,9 @@ class AuthoritativeServer:
         self._zones: Dict[Name, Zone] = {}
         self._queries_served = 0
         self._socket = host.bind(port, self._handle_datagram)
+        # Bounded-queue capacity during chaos Overload windows; None
+        # (the steady state) keeps the historical inline serve path.
+        self.capacity: Optional["ServerCapacity"] = None  # noqa: F821
         for zone in zones or []:
             self.add_zone(zone)
 
@@ -74,6 +77,18 @@ class AuthoritativeServer:
             return  # garbage in, silence out (no FORMERR for unparseable)
         if query.is_response or len(query.questions) != 1:
             return
+        capacity = self.capacity
+        if capacity is None:
+            self._serve(datagram, query)
+            return
+
+        def reject() -> None:
+            self._socket.reply(datagram, make_response(
+                query, rcode=RCode.SERVFAIL).encode())
+
+        capacity.admit(lambda: self._serve(datagram, query), reject)
+
+    def _serve(self, datagram: Datagram, query: Message) -> None:
         self._queries_served += 1
         response = self.build_response(query)
         self._socket.reply(datagram, response.encode())

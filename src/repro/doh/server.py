@@ -43,6 +43,9 @@ class DoHServer:
                               on_data=self._handle_http)
         self._requests_served = 0
         self._requests_rejected = 0
+        # Bounded-queue capacity during chaos Overload windows; None
+        # (the steady state) keeps the historical inline serve path.
+        self.capacity: Optional["ServerCapacity"] = None  # noqa: F821
 
     @property
     def endpoint(self) -> Endpoint:
@@ -93,6 +96,18 @@ class DoHServer:
         if query.is_response or len(query.questions) != 1:
             self._reject(reply, 400)
             return
+        capacity = self.capacity
+        if capacity is None:
+            self._serve(query, reply)
+            return
+        # Overflow under the servfail policy answers 503 (the HTTP
+        # rendering of SERVFAIL); the drop policy leaves the client to
+        # its timeout.
+        capacity.admit(lambda: self._serve(query, reply),
+                       lambda: self._reject(reply, 503))
+
+    def _serve(self, query: Message,
+               reply: Callable[[bytes], None]) -> None:
         self._requests_served += 1
         question = query.question
 

@@ -93,7 +93,7 @@ class DeliveryReceipt:
     arrival_time: Optional[float] = None
     hops: int = 0
     dropped_by: Optional[str] = None  # link name, "tap:<link>", "no-route",
-    # "no-host", or "no-socket"
+    # "no-host", "host-down", or "no-socket"
     rewritten: bool = False
     duplicated: bool = False  # a link fault delivered a second copy
     route_nodes: List[str] = field(default_factory=list)
@@ -145,6 +145,7 @@ class Internet:
         self._hosts_by_name: Dict[str, Host] = {}
         self._hosts_by_address: Dict[IPAddress, Host] = {}
         self._taps: Dict[str, List[LinkTap]] = {}
+        self._down_hosts: set = set()
         self._tap_epoch = 0
         self._plans: Dict[Tuple[str, str], _FlightPlan] = {}
         self._plans_stamp = -1
@@ -226,6 +227,30 @@ class Internet:
     @property
     def hosts(self) -> List[Host]:
         return [self._hosts_by_name[name] for name in sorted(self._hosts_by_name)]
+
+    # ------------------------------------------------------------------
+    # Host availability (the chaos layer's crash/restart switch).
+    # ------------------------------------------------------------------
+
+    def set_host_down(self, name: str) -> None:
+        """Mark a host crashed: every datagram to or from it drops with
+        reason ``"host-down"`` until :meth:`set_host_up`.
+
+        Only :class:`repro.chaos.ChaosController` may call this (a CI
+        grep confines callers); scenario code models outages by
+        scheduling a :class:`repro.chaos.ServerOutage` event instead.
+        """
+        if name not in self._hosts_by_name:
+            raise KeyError(f"unknown host {name!r}")
+        self._down_hosts.add(name)
+
+    def set_host_up(self, name: str) -> None:
+        """Restart a crashed host (a no-op for hosts already up)."""
+        self._down_hosts.discard(name)
+
+    def host_is_down(self, name: str) -> bool:
+        """Whether the named host is currently crashed."""
+        return name in self._down_hosts
 
     # ------------------------------------------------------------------
     # Attacker interposition.
@@ -310,8 +335,25 @@ class Internet:
         receipt nobody reads is exactly the overhead the flight-plan
         fast path removes.
         """
+        if self._down_hosts and origin_host.name in self._down_hosts:
+            return self._drop_at_source(datagram)
         return self._route_and_schedule(datagram, origin_host.node,
                                         want_receipt=self._detailed)
+
+    def _drop_at_source(self, datagram: Datagram
+                        ) -> Optional[DeliveryReceipt]:
+        """A crashed origin cannot transmit: account the attempt as a
+        ``host-down`` drop without touching any link RNG stream."""
+        self._datagrams_sent += 1
+        self._bytes_sent += datagram.size
+        if self._detailed:
+            receipt = DeliveryReceipt(datagram=datagram, delivered=False,
+                                      send_time=self._simulator.now)
+            receipt.dropped_by = "host-down"
+            self._finish(receipt)
+            return receipt
+        self._count_drop("host-down", datagram.size)
+        return None
 
     def _plan_for(self, origin: str, dest_node: str) -> _FlightPlan:
         """The compiled flight plan for one (origin, destination) pair."""
@@ -360,6 +402,11 @@ class Internet:
                 tracer.finish(flight.set(outcome="dropped",
                                          dropped_by="no-host"), send_time)
             return self._drop(receipt, "no-host", datagram_size)
+        if self._down_hosts and destination_host.name in self._down_hosts:
+            if flight is not None:
+                tracer.finish(flight.set(outcome="dropped",
+                                         dropped_by="host-down"), send_time)
+            return self._drop(receipt, "host-down", datagram_size)
 
         try:
             plan = self._plan_for(origin_node, destination_host.node)
@@ -462,6 +509,15 @@ class Internet:
                 # synchronously (decode, build and send a response)
                 # parents under this flight, so causality is preserved
                 # across the wire.
+                if self._down_hosts \
+                        and destination_host.name in self._down_hosts:
+                    # The host crashed while the packet was in flight.
+                    receipt.dropped_by = "host-down"
+                    if flight is not None:
+                        flight.set(outcome="dropped",
+                                   dropped_by="host-down")
+                    self._finish(receipt)
+                    return
                 if flight is None:
                     accepted = destination_host.deliver(final)
                 else:
@@ -482,6 +538,9 @@ class Internet:
         elif telemetry is None:
 
             def deliver_lean() -> None:
+                if self._down_hosts \
+                        and destination_host.name in self._down_hosts:
+                    return
                 if flight is None:
                     accepted = destination_host.deliver(final)
                 else:
@@ -496,6 +555,13 @@ class Internet:
         else:
 
             def deliver_counted() -> None:
+                if self._down_hosts \
+                        and destination_host.name in self._down_hosts:
+                    if flight is not None:
+                        flight.set(outcome="dropped",
+                                   dropped_by="host-down")
+                    self._count_drop("host-down", datagram_size)
+                    return
                 if flight is None:
                     accepted = destination_host.deliver(final)
                 else:
@@ -528,6 +594,9 @@ class Internet:
                 # The copy rides outside the receipt: accounting for
                 # the original delivery stays untouched, the transport
                 # layer's suppression decides what the copy means.
+                if self._down_hosts \
+                        and destination_host.name in self._down_hosts:
+                    return
                 if destination_host.deliver(final):
                     self._datagrams_duplicated += 1
 

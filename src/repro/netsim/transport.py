@@ -271,6 +271,12 @@ class PendingExchange:
             report = self._report
             self._span.set(attempts=report.attempts,
                            timed_out=report.timed_out)
+            if report.timed_out:
+                # Every attempt the policy allowed has timed out: the
+                # exchange gave up for good, which is the signal chaos
+                # experiments grep traces for (distinct from a single
+                # attempt timing out and a retry succeeding).
+                self._span.set(gave_up=True)
             if report.rtt is not None:
                 self._span.set(rtt=report.rtt)
             self._tracer.finish(self._span)
@@ -500,6 +506,11 @@ class Transport:
         self._counter("transport.attempts", label).inc(report.attempts)
         if report.timed_out:
             self._counter("transport.timeouts", label).inc()
+            # Retry exhaustion, named explicitly: the whole policy
+            # budget (first attempt plus every retry) timed out and the
+            # caller got nothing. Availability dashboards key on this
+            # rather than inferring it from timeouts vs attempts.
+            self._counter("transport.exhausted", label).inc()
         elif report.rtt is not None:
             self._histogram("transport.rtt", label).observe(report.rtt)
         if report.bytes_sent:

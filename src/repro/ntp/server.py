@@ -33,6 +33,10 @@ class NtpServer:
         self._stratum = stratum
         self._socket = host.bind(port, self._handle_datagram)
         self._requests_served = 0
+        # Bounded-queue capacity during chaos Overload windows; None
+        # (the steady state) keeps the historical inline serve path.
+        # NTP has no error rcode, so overflow is always a silent drop.
+        self.capacity = None
 
     @property
     def host(self) -> Host:
@@ -64,11 +68,20 @@ class NtpServer:
             return
         if request.mode != MODE_CLIENT:
             return
+        capacity = self.capacity
+        if capacity is None:
+            self._serve(datagram, request)
+            return
+        capacity.admit(lambda: self._serve(datagram, request))
+
+    def _serve(self, datagram: Datagram, request: NtpPacket) -> None:
         self._requests_served += 1
         arrival = self._reading()
         # Server processing is instantaneous in simulation; departure
         # equals arrival. (Processing delay would cancel in the delay
-        # formula anyway.)
+        # formula anyway.) Under a capacity model the queueing delay is
+        # real virtual time, so arrival reads the post-queue clock —
+        # exactly how an overloaded server's t2/t3 drift late.
         reply = request.reply(receive=arrival, transmit=self._reading(),
                               stratum=self._stratum)
         self._socket.reply(datagram, reply.encode())

@@ -72,6 +72,9 @@ class PoolScenario:
     #: :class:`repro.dns.hierarchy.HierarchyDeployment`); None on the
     #: legacy flat tree.
     hierarchy: Optional[Any] = None
+    #: The installed :class:`repro.chaos.ChaosController` when the
+    #: scenario spec declared a failure timeline; None otherwise.
+    chaos: Optional[Any] = None
 
     @property
     def provider_endpoints(self) -> List:
@@ -140,6 +143,9 @@ class PopulationScenario:
     telemetry: "MetricsRegistry"    # noqa: F821
     attacker_addresses: List[IPAddress] = field(default_factory=list)
     attacks: List[Tuple[str, Any]] = field(default_factory=list)
+    #: The installed :class:`repro.chaos.ChaosController` when the
+    #: scenario spec declared a failure timeline; None otherwise.
+    chaos: Optional[Any] = None
 
     @property
     def simulator(self) -> Simulator:

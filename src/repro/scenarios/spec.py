@@ -16,7 +16,8 @@ The spec tree::
     ├── pool: PoolSpec                # directory size/ttl, combine policy
     ├── fleet: FleetSpec | None       # population (None = single client)
     ├── attacks: (AttackSpec, ...)    # named installers from repro.attacks
-    └── telemetry: TelemetrySpec      # registry scoping + binning
+    ├── telemetry: TelemetrySpec      # registry scoping + binning
+    └── chaos: ChaosSpec | None       # scheduled failure timeline
 
 Three operations close the loop:
 
@@ -49,6 +50,7 @@ from typing import (
     Union,
 )
 
+from repro.chaos.spec import ChaosSpec
 from repro.core.errors import ConfigurationError
 from repro.dns.resolver import ResolverConfig
 from repro.netsim.link import FaultModel, LinkProfile
@@ -702,13 +704,24 @@ class ScenarioSpec(SpecBase):
     fleet: Optional[FleetSpec] = None
     attacks: Tuple[AttackSpec, ...] = ()
     telemetry: TelemetrySpec = TelemetrySpec()
+    chaos: Optional[ChaosSpec] = None
 
     _NESTED = {"network": ("spec", NetworkSpec),
                "provider": ("spec", ProviderSpec),
                "pool": ("spec", PoolSpec),
                "fleet": ("opt", FleetSpec),
                "attacks": ("tuple", AttackSpec),
-               "telemetry": ("spec", TelemetrySpec)}
+               "telemetry": ("spec", TelemetrySpec),
+               "chaos": ("opt", ChaosSpec)}
+
+    def to_dict(self) -> Dict[str, Any]:
+        # ``chaos`` postdates the committed golden spec fixtures; omit
+        # it when absent so chaos-free specs serialize byte-identically
+        # to their pre-chaos JSON.
+        data = super().to_dict()
+        if self.chaos is None:
+            del data["chaos"]
+        return data
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "attacks", tuple(self.attacks))
@@ -1001,6 +1014,9 @@ def _materialize_single(spec: ScenarioSpec, seed: int, registry):
     _install_attacks(spec, world, world, ntp_fleet=None,
                      access_links=["client-edge--eu-central"],
                      region_links={})
+    from repro.chaos.controller import install_chaos
+    world.chaos = install_chaos(spec, world, ntp_fleet=None,
+                                registry=registry)
     return world
 
 
@@ -1274,6 +1290,9 @@ def _materialize_population(spec: ScenarioSpec, seed: int, registry,
                              [r.attach for r in spec.network.regions]
                              or regions)],
                      region_links=region_links)
+    from repro.chaos.controller import install_chaos
+    world.chaos = install_chaos(spec, pool_scenario, ntp_fleet=ntp_fleet,
+                                registry=registry)
     return world
 
 
@@ -1296,6 +1315,7 @@ __all__ = [
     "ATTACK_INSTALLERS",
     "AttackContext",
     "AttackSpec",
+    "ChaosSpec",
     "FaultSpec",
     "FleetSpec",
     "HierarchySpec",

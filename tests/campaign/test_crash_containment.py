@@ -1,0 +1,123 @@
+"""Trial crash containment: one raising trial must not sink the sweep."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import CampaignRunner, ParameterGrid
+
+GRID_AXES = {"offset": (0.0, 10.0, 100.0)}
+
+
+def fragile_trial(params, seed):
+    """Deterministically explodes at one grid point."""
+    if params["offset"] == 10.0:
+        raise ValueError(f"synthetic failure at offset={params['offset']}")
+    return {"value": params["offset"] + seed}
+
+
+def sturdy_trial(params, seed):
+    return {"value": params["offset"] + seed}
+
+
+def env_gated_trial(params, seed):
+    """Fails at offset=10 only while CRASH_TEST_FAIL is set — same
+    source both runs, so the journal fingerprint matches across the
+    broken run and the fixed rerun."""
+    if params["offset"] == 10.0 and os.environ.get("CRASH_TEST_FAIL"):
+        raise ValueError("synthetic transient failure")
+    return {"value": params["offset"] + seed}
+
+
+def grid(name="crash-test"):
+    return ParameterGrid(GRID_AXES, name=name)
+
+
+def run(trial_fn, **kwargs):
+    defaults = dict(trials_per_point=2, base_seed=5, executor="serial")
+    defaults.update(kwargs)
+    return CampaignRunner(trial_fn, **defaults).run(grid())
+
+
+class TestContainment:
+    def test_sweep_completes_with_error_records(self):
+        result = run(fragile_trial)
+        assert len(result.records) == 6          # every spec has a record
+        errored = [r for r in result.records if r.error is not None]
+        assert len(errored) == 2                 # both trials at offset=10
+        for record in errored:
+            assert record.params["offset"] == 10.0
+            assert record.metrics == {}
+            assert record.error.startswith("ValueError: synthetic failure")
+        assert result.failed == 2
+        assert result.to_json()["failed"] == 2
+
+    def test_healthy_points_keep_their_metrics(self):
+        result = run(fragile_trial)
+        clean = run(sturdy_trial)
+        keep = {(r.point_key, r.trial) for r in result.records
+                if r.error is None}
+        expected = {r for r in clean.records
+                    if (r.point_key, r.trial) in keep}
+        assert {r for r in result.records if r.error is None} == expected
+
+    def test_summaries_exclude_errored_trials(self):
+        result = run(fragile_trial)
+        keys = {summary.point_key for summary in result.summaries}
+        assert not any("offset=10.0" in key for key in keys)
+        # The healthy points summarize exactly their trial count.
+        for summary in result.summaries:
+            assert summary["value"].count == 2
+
+    def test_no_failures_means_failed_zero(self):
+        result = run(sturdy_trial)
+        assert result.failed == 0
+        assert all(r.error is None for r in result.records)
+
+    def test_process_pool_contains_crashes_too(self):
+        result = run(fragile_trial, executor="processes", workers=2)
+        assert result.failed == 2
+        assert len(result.records) == 6
+
+    def test_keyboard_interrupt_is_not_contained(self):
+        def impatient_trial(params, seed):
+            raise KeyboardInterrupt
+        with pytest.raises(KeyboardInterrupt):
+            run(impatient_trial)
+
+
+class TestResumeAndCacheInteraction:
+    def test_errored_trials_stay_out_of_the_journal(self, tmp_path):
+        result = run(fragile_trial, journal_dir=tmp_path)
+        assert result.failed == 2
+        # The journal survives a failed sweep, holding successes only,
+        # so a rerun after the bug is fixed re-executes the failures.
+        (journal_file,) = tmp_path.glob("*.jsonl")
+        journaled = [json.loads(line)
+                     for line in journal_file.read_text().splitlines()
+                     if line.strip()]
+        assert len(journaled) == 4
+        assert all("offset=10.0" not in entry["point_key"]
+                   for entry in journaled)
+
+    def test_fixed_trial_resumes_and_reexecutes_only_failures(self, tmp_path):
+        os.environ["CRASH_TEST_FAIL"] = "1"
+        try:
+            broken = run(env_gated_trial, journal_dir=tmp_path)
+        finally:
+            os.environ.pop("CRASH_TEST_FAIL", None)
+        assert broken.failed == 2
+        result = run(env_gated_trial, journal_dir=tmp_path)
+        assert result.failed == 0
+        assert result.resumed == 4               # the journaled successes
+        assert len(result.records) == 6
+        assert result.records == run(env_gated_trial).records
+        assert not list(tmp_path.glob("*.jsonl"))
+
+    def test_failed_sweep_writes_no_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = run(fragile_trial, cache_dir=cache_dir)
+        assert first.failed == 2
+        again = run(fragile_trial, cache_dir=cache_dir)
+        assert again.mode != "cached"            # no stale error replay

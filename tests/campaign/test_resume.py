@@ -36,7 +36,7 @@ def logged_seeds(log_path: Path) -> set:
 
 class TestKillAndResume:
     def _spawn(self, journal_dir: Path, out_json: Path, log: Path,
-               sleep_s: float) -> subprocess.Popen:
+               sleep_s: float, grid: str = "") -> subprocess.Popen:
         env = dict(os.environ)
         env["PYTHONPATH"] = (str(REPO_ROOT / "src") + os.pathsep
                              + str(REPO_ROOT)
@@ -44,6 +44,10 @@ class TestKillAndResume:
                                 if env.get("PYTHONPATH") else ""))
         env["RESUME_LOG"] = str(log)
         env["RESUME_SLEEP"] = str(sleep_s)
+        if grid:
+            env["RESUME_GRID"] = grid
+        else:
+            env.pop("RESUME_GRID", None)
         return subprocess.Popen(
             [sys.executable, "-m", "tests.campaign._resume_driver",
              str(journal_dir), str(out_json)],
@@ -103,6 +107,47 @@ class TestKillAndResume:
             reference = run_campaign(tmp_path / "fresh-journal")
         finally:
             os.environ.pop("RESUME_SLEEP", None)
+        assert (json.dumps(resumed["records"], sort_keys=True)
+                == records_payload(reference))
+
+    def test_sigkill_mid_chaos_campaign_then_resume_bit_identical(
+            self, tmp_path):
+        """The resume guarantee over real chaos worlds: kill a chaos-axis
+        sweep (full simulations, telemetry attached to every record)
+        mid-flight, rerun, and the resumed records — telemetry snapshots
+        included — match an uninterrupted run byte for byte."""
+        journal_dir = tmp_path / "journal"
+        log_1, log_2 = tmp_path / "exec1.log", tmp_path / "exec2.log"
+        out_resumed = tmp_path / "resumed.json"
+
+        victim = self._spawn(journal_dir, tmp_path / "never.json", log_1,
+                             sleep_s=0.3, grid="chaos")
+        try:
+            journal_file = self._wait_for_journal_lines(journal_dir, 2)
+        finally:
+            victim.kill()
+            victim.wait(timeout=30)
+        journaled = {int(json.loads(line)["seed"])
+                     for line in journal_file.read_text().splitlines()
+                     if line.strip()}
+        assert len(journaled) >= 2
+
+        resumer = self._spawn(journal_dir, out_resumed, log_2,
+                              sleep_s=0.0, grid="chaos")
+        assert resumer.wait(timeout=180) == 0
+        resumed = json.loads(out_resumed.read_text())
+        assert resumed["resumed"] >= len(journaled)
+        assert not journaled & logged_seeds(log_2)
+        assert not list(journal_dir.glob("*.jsonl"))
+
+        os.environ.pop("RESUME_LOG", None)
+        os.environ["RESUME_SLEEP"] = "0"
+        os.environ["RESUME_GRID"] = "chaos"
+        try:
+            reference = run_campaign(tmp_path / "fresh-journal")
+        finally:
+            os.environ.pop("RESUME_SLEEP", None)
+            os.environ.pop("RESUME_GRID", None)
         assert (json.dumps(resumed["records"], sort_keys=True)
                 == records_payload(reference))
 

@@ -94,13 +94,18 @@ class TestSerialParallelEquality:
         result = CampaignRunner(scalar_trial, workers=None).run(grid)
         assert result.mode == "serial"
 
-    def test_trial_errors_propagate_from_parallel_mode(self):
-        """A failing trial must surface, not trigger a serial re-run."""
+    def test_trial_errors_are_contained_in_parallel_mode(self):
+        """A failing trial is contained as an error record — in the
+        chosen parallel mode, not via a silent serial re-run — exactly
+        as it would be serially."""
         grid = ParameterGrid({"offset": (0.0,) * 1})
         runner = CampaignRunner(failing_trial, trials_per_point=4, workers=2,
                                 executor="processes")
-        with pytest.raises(RuntimeError, match="boom"):
-            runner.run(grid)
+        result = runner.run(grid)
+        assert result.mode == "processes:2"
+        assert result.failed == 4
+        assert all(record.error is not None and "boom" in record.error
+                   for record in result.records)
 
     def test_unpicklable_trial_falls_back_to_serial(self):
         grid = ParameterGrid({"offset": (0.0,)})

@@ -1,0 +1,112 @@
+"""ServerCapacity: the deterministic bounded-queue model."""
+
+from repro.chaos.capacity import QUEUE_DEPTH_BIN, ServerCapacity
+from repro.netsim.simulator import Simulator
+from repro.telemetry.registry import MetricsRegistry
+
+
+def make_capacity(simulator, registry=None, **overrides):
+    kwargs = dict(qps=10.0, queue_depth=2, service_time=0.01,
+                  overflow="drop", label="dns.google")
+    kwargs.update(overrides)
+    return ServerCapacity(simulator, registry=registry, **kwargs)
+
+
+class Recorder:
+    def __init__(self):
+        self.served = []
+        self.rejected = 0
+
+    def serve(self):
+        self.served.append(True)
+
+    def reject(self):
+        self.rejected += 1
+
+
+class TestQueueMechanics:
+    def test_interval_is_max_of_service_time_and_rate(self):
+        sim = Simulator()
+        assert make_capacity(sim).interval == 0.1            # 1/qps wins
+        assert make_capacity(sim, qps=10.0,
+                             service_time=0.5).interval == 0.5
+
+    def test_back_to_back_admits_until_queue_full(self):
+        sim = Simulator()
+        capacity = make_capacity(sim)       # interval 0.1, depth limit 2
+        recorder = Recorder()
+        assert capacity.admit(recorder.serve) is True        # in service
+        assert capacity.admit(recorder.serve) is True        # 1 waiting
+        assert capacity.admit(recorder.serve,
+                              recorder.reject) is False      # overflow
+        assert recorder.served == []        # service takes virtual time
+        assert recorder.rejected == 0       # "drop" policy: silent
+
+    def test_served_requests_complete_at_capacity_rate(self):
+        sim = Simulator()
+        capacity = make_capacity(sim)
+        completions = []
+        capacity.admit(lambda: completions.append(sim.now))
+        capacity.admit(lambda: completions.append(sim.now))
+        sim.run(until=1.0)
+        assert completions == [0.1, 0.2]
+
+    def test_queue_drains_with_virtual_time(self):
+        sim = Simulator()
+        capacity = make_capacity(sim)
+        capacity.admit(lambda: None)
+        capacity.admit(lambda: None)
+        assert capacity.depth(sim.now) == 2.0
+        sim.run(until=0.15)                  # one completion behind us
+        assert 0.0 < capacity.depth(sim.now) < 1.0
+        sim.run(until=5.0)
+        assert capacity.depth(sim.now) == 0.0
+        # Fully drained: admissions start a fresh busy period.
+        assert capacity.admit(lambda: None) is True
+
+    def test_zero_queue_depth_rejects_everything(self):
+        sim = Simulator()
+        capacity = make_capacity(sim, queue_depth=0)
+        assert capacity.admit(lambda: None) is False
+
+    def test_servfail_policy_invokes_reject_immediately(self):
+        sim = Simulator()
+        capacity = make_capacity(sim, overflow="servfail", queue_depth=1)
+        recorder = Recorder()
+        assert capacity.admit(recorder.serve) is True
+        assert capacity.admit(recorder.serve, recorder.reject) is False
+        assert recorder.rejected == 1       # bounced inline, no delay
+
+    def test_drop_policy_never_calls_reject(self):
+        sim = Simulator()
+        capacity = make_capacity(sim, overflow="drop", queue_depth=1)
+        recorder = Recorder()
+        capacity.admit(recorder.serve)
+        capacity.admit(recorder.serve)
+        capacity.admit(recorder.serve, recorder.reject)
+        assert recorder.rejected == 0
+
+
+class TestTelemetry:
+    def test_counters_and_depth_series(self):
+        sim = Simulator()
+        registry = MetricsRegistry()
+        capacity = make_capacity(sim, registry=registry)
+        for _ in range(4):                   # 2 admitted, 2 rejected
+            capacity.admit(lambda: None, lambda: None)
+        snap = registry.snapshot()
+        assert snap["counter"]["srv.admitted{server=dns.google}"] == 2
+        assert snap["counter"]["srv.rejected{server=dns.google}"] == 2
+        depth = registry.get("srv.queue_depth", server="dns.google")
+        assert depth is not None
+        assert depth.bin_width == QUEUE_DEPTH_BIN
+        # Arrival-sampled depths: 0, 1, 2, 2 all land in bin 0.
+        (bin_start, mean), = depth.series()
+        assert bin_start == 0.0
+        assert mean == (0 + 1 + 2 + 2) / 4
+
+    def test_no_registry_means_no_telemetry(self):
+        sim = Simulator()
+        capacity = make_capacity(sim, registry=None)
+        assert capacity.admit(lambda: None) is True
+        assert capacity.admit(lambda: None, lambda: None) is True
